@@ -1,0 +1,72 @@
+//! **Extension:** the storage argument for latent regularization.
+//!
+//! The paper (Section III-C) argues that `L_CL` needs only past *model
+//! snapshots*, not replay data, "which can significantly reduce storage
+//! overhead". This bench quantifies that claim on the actual trained
+//! models: bytes to store the encoder snapshots CND-IDS keeps vs bytes a
+//! replay-based method would need to retain the equivalent training
+//! streams.
+
+use cnd_bench::{banner, paper_cnd_ids, row, standard_split};
+use cnd_core::runner::evaluate_continual;
+use cnd_datasets::DatasetProfile;
+
+fn human(bytes: f64) -> String {
+    if bytes > 1e6 {
+        format!("{:.1} MB", bytes / 1e6)
+    } else {
+        format!("{:.1} kB", bytes / 1e3)
+    }
+}
+
+fn main() {
+    banner(
+        "Extension — snapshot vs replay storage overhead",
+        "paper Section III-C storage argument for L_CL",
+    );
+    let widths = [12, 14, 14, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "dataset".into(),
+                "snapshots".into(),
+                "replay".into(),
+                "ratio".into(),
+            ],
+            &widths
+        )
+    );
+    for profile in DatasetProfile::ALL {
+        let (_, split) = standard_split(profile);
+        let mut model = paper_cnd_ids(&split);
+        evaluate_continual(&mut model, &split).expect("run completes");
+
+        // Snapshot storage: one encoder parameter set per experience.
+        let encoder_params = model.feature_extractor().encoder().param_count();
+        let m = split.len();
+        let snapshot_bytes = (encoder_params * m * 8) as f64;
+
+        // Replay storage: the training streams a replay-based CL method
+        // must keep to revisit past experiences.
+        let replay_samples: usize = split.experiences.iter().map(|e| e.train_x.rows()).sum();
+        let d = split.clean_normal.cols();
+        let replay_bytes = (replay_samples * d * 8) as f64;
+
+        println!(
+            "{}",
+            row(
+                &[
+                    profile.name().into(),
+                    human(snapshot_bytes),
+                    human(replay_bytes),
+                    format!("{:.1}x", replay_bytes / snapshot_bytes),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\nAt the paper's full dataset sizes (0.26M–2.8M flows) the replay side");
+    println!("grows by another 20–240x while snapshots stay constant — the storage");
+    println!("argument strengthens with scale.");
+}

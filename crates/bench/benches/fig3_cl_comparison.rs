@@ -1,0 +1,154 @@
+//! Regenerates **Fig. 3** (continual-learning metrics of ADCN, LwF and
+//! CND-IDS on all four datasets) and **Table II** (CND-IDS improvement
+//! multipliers over the UCL baselines).
+//!
+//! Paper shape: CND-IDS has the best AVG and FwdTrans on every dataset,
+//! the best BwdTrans on all but UNSW-NB15, and improvement multipliers
+//! of 1.1x–6.5x (Table II).
+
+use cnd_bench::{banner, paper_cnd_ids, paper_ucl, ratio, row, standard_split};
+use cnd_core::baselines::UclMethod;
+use cnd_core::runner::{evaluate_continual, ContinualOutcome};
+use cnd_datasets::DatasetProfile;
+
+/// Paper Table II reference multipliers: (dataset, vs-ADCN AVG, vs-ADCN
+/// Fwd, vs-LwF AVG, vs-LwF Fwd).
+const PAPER_TABLE2: [(&str, f64, f64, f64, f64); 4] = [
+    ("X-IIoTID", 2.02, 5.00, 1.46, 1.35),
+    ("WUSTL-IIoT", 4.50, 6.47, 6.11, 3.47),
+    ("CICIDS2017", 1.37, 1.73, 1.93, 2.64),
+    ("UNSW-NB15", 1.29, 1.44, 1.11, 1.02),
+];
+
+fn main() {
+    banner(
+        "Fig. 3 — ADCN vs LwF vs CND-IDS continual metrics + Table II",
+        "paper Fig. 3 and Table II",
+    );
+    let widths = [12, 9, 9, 9, 9];
+    let mut outcomes: Vec<(DatasetProfile, Vec<ContinualOutcome>)> = Vec::new();
+
+    for profile in DatasetProfile::ALL {
+        let (_, split) = standard_split(profile);
+        let mut runs = Vec::new();
+        let mut adcn = paper_ucl(UclMethod::Adcn, &split);
+        runs.push(evaluate_continual(&mut adcn, &split).expect("ADCN run completes"));
+        let mut lwf = paper_ucl(UclMethod::Lwf, &split);
+        runs.push(evaluate_continual(&mut lwf, &split).expect("LwF run completes"));
+        let mut cnd = paper_cnd_ids(&split);
+        runs.push(evaluate_continual(&mut cnd, &split).expect("CND-IDS run completes"));
+
+        println!("\n--- {profile} ---");
+        println!(
+            "{}",
+            row(
+                &[
+                    "method".into(),
+                    "AVG".into(),
+                    "FwdTr".into(),
+                    "BwdTr".into(),
+                    "train s".into(),
+                ],
+                &widths
+            )
+        );
+        for out in &runs {
+            let s = out.f1_matrix.summary();
+            println!(
+                "{}",
+                row(
+                    &[
+                        out.name.clone(),
+                        format!("{:.3}", s.avg),
+                        format!("{:.3}", s.fwd_trans),
+                        format!("{:+.3}", s.bwd_trans),
+                        format!("{:.1}", out.train_seconds),
+                    ],
+                    &widths
+                )
+            );
+        }
+        outcomes.push((profile, runs));
+    }
+
+    // Table II block: improvement multipliers.
+    println!("\n--- Table II — CND-IDS improvement over UCL baselines ---");
+    let w2 = [12, 12, 12, 12, 12, 24];
+    println!(
+        "{}",
+        row(
+            &[
+                "dataset".into(),
+                "ADCN AVG".into(),
+                "ADCN Fwd".into(),
+                "LwF AVG".into(),
+                "LwF Fwd".into(),
+                "paper (A-AVG/A-F/L-AVG/L-F)".into(),
+            ],
+            &w2
+        )
+    );
+    let mut measured_means = [0.0f64; 4];
+    let mut counted = [0usize; 4];
+    for ((profile, runs), paper) in outcomes.iter().zip(PAPER_TABLE2) {
+        let (adcn, lwf, cnd) = (&runs[0], &runs[1], &runs[2]);
+        let c = cnd.f1_matrix.summary();
+        let a = adcn.f1_matrix.summary();
+        let l = lwf.f1_matrix.summary();
+        let cells = [
+            (c.avg, a.avg),
+            (c.fwd_trans, a.fwd_trans),
+            (c.avg, l.avg),
+            (c.fwd_trans, l.fwd_trans),
+        ];
+        for (i, (ours, base)) in cells.iter().enumerate() {
+            if *base > 0.0 {
+                measured_means[i] += ours / base;
+                counted[i] += 1;
+            }
+        }
+        println!(
+            "{}",
+            row(
+                &[
+                    profile.name().into(),
+                    ratio(c.avg, a.avg),
+                    ratio(c.fwd_trans, a.fwd_trans),
+                    ratio(c.avg, l.avg),
+                    ratio(c.fwd_trans, l.fwd_trans),
+                    format!(
+                        "{:.2}/{:.2}/{:.2}/{:.2}",
+                        paper.1, paper.2, paper.3, paper.4
+                    ),
+                ],
+                &w2
+            )
+        );
+    }
+    print!("\naverages: ");
+    let labels = ["ADCN AVG", "ADCN Fwd", "LwF AVG", "LwF Fwd"];
+    for i in 0..4 {
+        if counted[i] > 0 {
+            print!("{} {:.2}x  ", labels[i], measured_means[i] / counted[i] as f64);
+        }
+    }
+    println!("(paper: ADCN AVG 1.88x, ADCN Fwd 2.63x, LwF AVG 1.78x, LwF Fwd 1.60x)");
+
+    // Shape assertions: CND-IDS leads AVG and FwdTrans everywhere.
+    for (profile, runs) in &outcomes {
+        let cnd = runs[2].f1_matrix.summary();
+        for baseline in &runs[..2] {
+            let b = baseline.f1_matrix.summary();
+            assert!(
+                cnd.avg > b.avg && cnd.fwd_trans > b.fwd_trans,
+                "{profile}: CND-IDS must dominate {} (AVG {:.3} vs {:.3}, Fwd {:.3} vs {:.3})",
+                baseline.name,
+                cnd.avg,
+                b.avg,
+                cnd.fwd_trans,
+                b.fwd_trans
+            );
+        }
+    }
+    println!("shape check passed: CND-IDS leads AVG and FwdTrans on every dataset");
+}

@@ -1,0 +1,94 @@
+//! Regenerates **Fig. 4** (average F1 of CND-IDS vs the static
+//! novelty-detection baselines LOF, OC-SVM, PCA and DIF on all datasets).
+//!
+//! Paper shape: CND-IDS outperforms every ND method on every dataset;
+//! PCA and DIF are the two strongest baselines, with average improvement
+//! multipliers of 1.08x (PCA) and 1.16x (DIF).
+
+use cnd_bench::{banner, paper_cnd_ids, row, standard_split, BENCH_SEED};
+use cnd_core::runner::{evaluate_continual, evaluate_static_detector};
+use cnd_datasets::DatasetProfile;
+use cnd_detectors::{
+    DeepIsolationForest, LocalOutlierFactor, NoveltyDetector, OneClassSvm, OneClassSvmConfig,
+    PcaDetector,
+};
+
+fn detectors() -> Vec<Box<dyn NoveltyDetector>> {
+    vec![
+        Box::new(LocalOutlierFactor::new(20)),
+        Box::new(OneClassSvm::new(OneClassSvmConfig {
+            seed: BENCH_SEED,
+            ..Default::default()
+        })),
+        Box::new(PcaDetector::new(0.95)),
+        Box::new(DeepIsolationForest::new(
+            cnd_detectors::DeepIsolationForestConfig {
+                seed: BENCH_SEED,
+                ..Default::default()
+            },
+        )),
+    ]
+}
+
+fn main() {
+    banner(
+        "Fig. 4 — CND-IDS vs static novelty detectors (average F1)",
+        "paper Fig. 4",
+    );
+    let widths = [12, 9, 9, 9, 9, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "dataset".into(),
+                "LOF".into(),
+                "OC-SVM".into(),
+                "PCA".into(),
+                "DIF".into(),
+                "CND-IDS".into(),
+            ],
+            &widths
+        )
+    );
+    let mut sums = [0.0f64; 5];
+    let n_datasets = DatasetProfile::ALL.len() as f64;
+    for profile in DatasetProfile::ALL {
+        let (_, split) = standard_split(profile);
+        let mut cells = vec![profile.name().to_string()];
+        for (i, det) in detectors().iter_mut().enumerate() {
+            let out = evaluate_static_detector(det.as_mut(), &split).expect("static run");
+            sums[i] += out.average_f1();
+            cells.push(format!("{:.3}", out.average_f1()));
+        }
+        let mut cnd = paper_cnd_ids(&split);
+        let out = evaluate_continual(&mut cnd, &split).expect("CND-IDS run");
+        sums[4] += out.f1_matrix.avg();
+        cells.push(format!("{:.3}", out.f1_matrix.avg()));
+        println!("{}", row(&cells, &widths));
+    }
+    let means: Vec<f64> = sums.iter().map(|s| s / n_datasets).collect();
+    println!(
+        "{}",
+        row(
+            &[
+                "mean".into(),
+                format!("{:.3}", means[0]),
+                format!("{:.3}", means[1]),
+                format!("{:.3}", means[2]),
+                format!("{:.3}", means[3]),
+                format!("{:.3}", means[4]),
+            ],
+            &widths
+        )
+    );
+    println!(
+        "\nmean improvement of CND-IDS: {:.2}x over PCA (paper: 1.08x), {:.2}x over DIF (paper: 1.16x)",
+        means[4] / means[2],
+        means[4] / means[3]
+    );
+    assert!(
+        means[4] > means[2] && means[4] > means[3],
+        "CND-IDS must beat PCA and DIF on average"
+    );
+    println!("shape check passed: CND-IDS has the best mean F1, above PCA and DIF");
+}

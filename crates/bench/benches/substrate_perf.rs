@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the numeric substrate (matmul, Jacobi
+//! eigendecomposition, K-Means, PCA fit, CFE training step). Not a paper
+//! artifact — these track the performance of the building blocks so
+//! regressions in the hand-rolled kernels are visible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cnd_linalg::{eigen, stats, Matrix};
+use cnd_ml::pca::{ComponentSelection, Pca};
+use cnd_ml::KMeans;
+use rand::SeedableRng;
+
+fn substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+
+    // Matmul 128x64 * 64x128.
+    let a = Matrix::from_fn(128, 64, |i, j| ((i * 31 + j * 17) % 97) as f64 / 97.0);
+    let b = Matrix::from_fn(64, 128, |i, j| ((i * 13 + j * 7) % 89) as f64 / 89.0);
+    group.bench_function("matmul_128x64x128", |bch| {
+        bch.iter(|| a.matmul(&b).expect("shapes agree"))
+    });
+
+    // Jacobi eigen on a 48x48 covariance.
+    let x = Matrix::from_fn(400, 48, |i, j| ((i * 7 + j * 3) % 23) as f64 / 23.0);
+    let cov = stats::covariance(&x).expect("non-empty");
+    group.bench_function("jacobi_eigen_48", |bch| {
+        bch.iter(|| eigen::symmetric_eigen(&cov, 1e-7).expect("symmetric"))
+    });
+
+    // K-Means k=16 on 1000x32.
+    let km_data = Matrix::from_fn(1000, 32, |i, j| ((i * 11 + j * 5) % 41) as f64 / 41.0);
+    group.bench_function("kmeans_k16_1000x32", |bch| {
+        bch.iter_batched(
+            || rand::rngs::StdRng::seed_from_u64(7),
+            |mut rng| KMeans::fit(&km_data, 16, 50, &mut rng).expect("fits"),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // PCA fit + scoring on 1000x48.
+    let pca_data = Matrix::from_fn(1000, 48, |i, j| ((i * 29 + j * 3) % 31) as f64 / 31.0);
+    group.bench_function("pca_fit_1000x48", |bch| {
+        bch.iter(|| Pca::fit(&pca_data, ComponentSelection::VarianceFraction(0.95)).expect("fits"))
+    });
+    let pca = Pca::fit(&pca_data, ComponentSelection::VarianceFraction(0.95)).expect("fits");
+    group.bench_function("pca_score_1000x48", |bch| {
+        bch.iter(|| pca.reconstruction_errors(&pca_data).expect("scores"))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = substrate
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! **Beyond-paper ablation:** the CFE embedding width.
+//!
+//! DESIGN.md §4 argues the CFE should be *overcomplete* (latent width
+//! ≥ input width): its job is reshaping the space, not compressing it,
+//! and a narrow bottleneck discards the off-manifold evidence the PCA
+//! stage scores. This sweep varies the latent width as a multiple of
+//! the input dimensionality and reports detection quality.
+
+use cnd_bench::{banner, row, standard_split, BENCH_SEED};
+use cnd_core::cfe::CfeConfig;
+use cnd_core::runner::evaluate_continual;
+use cnd_core::{CndIds, CndIdsConfig};
+use cnd_datasets::DatasetProfile;
+
+fn main() {
+    banner(
+        "Sweep — CFE latent width (fraction of input dim)",
+        "extension; justifies the overcomplete-embedding design decision",
+    );
+    let widths = [12, 9, 9, 9, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "dataset".into(),
+                "latent".into(),
+                "AVG".into(),
+                "FwdTr".into(),
+                "PR-AUC".into(),
+            ],
+            &widths
+        )
+    );
+    let mut narrow_avg = 0.0;
+    let mut wide_avg = 0.0;
+    for profile in [DatasetProfile::UnswNb15, DatasetProfile::XIiotId] {
+        let (_, split) = standard_split(profile);
+        let d = split.clean_normal.cols();
+        for mult in [0.25, 0.5, 1.0, 2.0, 3.0] {
+            let latent = ((d as f64 * mult).round() as usize).max(2);
+            let cfg = CndIdsConfig {
+                cfe: CfeConfig {
+                    latent_dim: latent,
+                    ..CfeConfig::fast(BENCH_SEED)
+                },
+                pca_variance: 0.95,
+            };
+            let mut model = CndIds::new(cfg, &split.clean_normal).expect("model builds");
+            let out = evaluate_continual(&mut model, &split).expect("run completes");
+            let s = out.f1_matrix.summary();
+            if mult == 0.25 {
+                narrow_avg += s.avg;
+            }
+            if mult == 2.0 {
+                wide_avg += s.avg;
+            }
+            println!(
+                "{}",
+                row(
+                    &[
+                        profile.name().into(),
+                        format!("{latent} ({mult}d)"),
+                        format!("{:.3}", s.avg),
+                        format!("{:.3}", s.fwd_trans),
+                        format!("{:.3}", out.final_pr_auc().unwrap_or(0.0)),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+    assert!(
+        wide_avg > narrow_avg,
+        "overcomplete embeddings must beat narrow bottlenecks ({wide_avg:.3} vs {narrow_avg:.3})"
+    );
+    println!("\nshape check passed: overcomplete (2d) beats narrow (d/4) embeddings");
+}

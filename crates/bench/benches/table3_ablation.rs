@@ -1,0 +1,118 @@
+//! Regenerates **Table III** (ablation of the CND-IDS loss terms):
+//! the full loss vs removing `L_CS`, removing `L_R`, and removing both
+//! `L_R` and `L_CL`, averaged across the four datasets.
+//!
+//! Paper reference (Table III):
+//!
+//! | strategy            | AVG    | BwdTrans | FwdTrans |
+//! |---------------------|--------|----------|----------|
+//! | CND-IDS             | 76.92% |  +0.87%  | 73.70%   |
+//! | w/o L_CS            | 66.23% |  +0.09%  | 70.26%   |
+//! | w/o L_R             | 72.86% |  −5.44%  | 67.82%   |
+//! | w/o L_R and L_CL    | 79.92% | −11.26%  | 71.01%   |
+//!
+//! Shape: removing `L_CS` hurts AVG the most; removing `L_R` (and
+//! especially `L_R` + `L_CL`) produces clearly worse BwdTrans
+//! (forgetting), even where the ablated AVG looks competitive.
+
+use cnd_bench::{banner, row, standard_split, BENCH_SEED};
+use cnd_core::cfe::{CfeConfig, LossConfig};
+use cnd_core::runner::evaluate_continual;
+use cnd_core::{CndIds, CndIdsConfig};
+use cnd_datasets::DatasetProfile;
+
+fn main() {
+    banner("Table III — loss-function ablation", "paper Table III");
+    let strategies: [(&str, LossConfig); 4] = [
+        ("CND-IDS", LossConfig::full()),
+        ("w/o L_CS", LossConfig::without_cluster_separation()),
+        ("w/o L_R", LossConfig::without_reconstruction()),
+        (
+            "w/o L_R+L_CL",
+            LossConfig::without_reconstruction_and_continual(),
+        ),
+    ];
+    let paper: [(f64, f64, f64); 4] = [
+        (76.92, 0.87, 73.70),
+        (66.23, 0.09, 70.26),
+        (72.86, -5.44, 67.82),
+        (79.92, -11.26, 71.01),
+    ];
+
+    let widths = [14, 9, 9, 9, 26];
+    println!(
+        "{}",
+        row(
+            &[
+                "strategy".into(),
+                "AVG%".into(),
+                "BwdTr%".into(),
+                "FwdTr%".into(),
+                "paper (AVG/Bwd/Fwd)".into(),
+            ],
+            &widths
+        )
+    );
+
+    let mut rows: Vec<(f64, f64, f64)> = Vec::new();
+    for (name, losses) in strategies {
+        let mut avg = 0.0;
+        let mut bwd = 0.0;
+        let mut fwd = 0.0;
+        for profile in DatasetProfile::ALL {
+            let (_, split) = standard_split(profile);
+            let cfg = CndIdsConfig {
+                cfe: CfeConfig {
+                    losses,
+                    ..CfeConfig::paper(BENCH_SEED)
+                },
+                pca_variance: 0.95,
+            };
+            let mut model = CndIds::new(cfg, &split.clean_normal).expect("model builds");
+            let out = evaluate_continual(&mut model, &split).expect("run completes");
+            let s = out.f1_matrix.summary();
+            avg += s.avg;
+            bwd += s.bwd_trans;
+            fwd += s.fwd_trans;
+        }
+        let n = DatasetProfile::ALL.len() as f64;
+        let (avg, bwd, fwd) = (100.0 * avg / n, 100.0 * bwd / n, 100.0 * fwd / n);
+        let p = paper[rows.len()];
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    format!("{avg:.2}"),
+                    format!("{bwd:+.2}"),
+                    format!("{fwd:.2}"),
+                    format!("{:.2}/{:+.2}/{:.2}", p.0, p.1, p.2),
+                ],
+                &widths
+            )
+        );
+        rows.push((avg, bwd, fwd));
+    }
+
+    // Shape checks against the paper's qualitative conclusions.
+    let (full, no_cs, no_r, no_r_cl) = (rows[0], rows[1], rows[2], rows[3]);
+    assert!(
+        full.0 > no_cs.0,
+        "removing L_CS must hurt AVG ({:.2} vs {:.2})",
+        full.0,
+        no_cs.0
+    );
+    assert!(
+        full.1 > no_r_cl.1,
+        "removing L_R and L_CL must hurt BwdTrans ({:+.2} vs {:+.2})",
+        full.1,
+        no_r_cl.1
+    );
+    assert!(
+        full.2 > no_r.2,
+        "removing L_R must hurt FwdTrans ({:.2} vs {:.2})",
+        full.2,
+        no_r.2
+    );
+    println!("\nshape check passed: L_CS drives AVG; L_R and L_CL protect Bwd/FwdTrans");
+}

@@ -1,0 +1,114 @@
+//! Shared helpers for the CND-IDS benchmark harness.
+//!
+//! Every bench target (`benches/fig*.rs`, `benches/table*.rs`)
+//! regenerates one table or figure of the paper. The helpers here fix the
+//! common experimental setup: the seeded standard-scale dataset replicas,
+//! the paper-configured models, and the table formatting used by all
+//! targets so outputs are easy to diff against `EXPERIMENTS.md`.
+
+use cnd_core::baselines::{UclBaseline, UclConfig, UclMethod};
+use cnd_core::{CndIds, CndIdsConfig};
+use cnd_datasets::continual::{self, ContinualSplit};
+use cnd_datasets::{Dataset, DatasetProfile, GeneratorConfig};
+
+/// The seed all bench targets use; change it to check seed-robustness.
+pub const BENCH_SEED: u64 = 42;
+
+/// Within-experience train fraction used throughout the harness.
+pub const TRAIN_FRACTION: f64 = 0.7;
+
+/// Generates the standard-scale replica of a profile and its continual
+/// split, both derived from [`BENCH_SEED`].
+///
+/// # Panics
+///
+/// Panics if generation fails (impossible with the standard config).
+pub fn standard_split(profile: DatasetProfile) -> (Dataset, ContinualSplit) {
+    let data = profile
+        .generate(&GeneratorConfig::standard(BENCH_SEED))
+        .expect("standard generator config is valid");
+    let split = continual::prepare(
+        &data,
+        profile.default_experiences(),
+        TRAIN_FRACTION,
+        BENCH_SEED,
+    )
+    .expect("standard split parameters are valid");
+    (data, split)
+}
+
+/// The paper-configured CND-IDS model for a given split.
+///
+/// # Panics
+///
+/// Panics if the clean-normal subset is degenerate (cannot happen with
+/// generated data).
+pub fn paper_cnd_ids(split: &ContinualSplit) -> CndIds {
+    CndIds::new(CndIdsConfig::paper(BENCH_SEED), &split.clean_normal)
+        .expect("paper config is valid")
+}
+
+/// A paper-capacity UCL baseline for a given split.
+///
+/// # Panics
+///
+/// Panics on degenerate input (cannot happen with generated data).
+pub fn paper_ucl(method: UclMethod, split: &ContinualSplit) -> UclBaseline {
+    UclBaseline::new(
+        method,
+        split.clean_normal.cols(),
+        UclConfig::paper(BENCH_SEED),
+    )
+    .expect("paper config is valid")
+}
+
+/// Prints a header banner for a bench target.
+pub fn banner(title: &str, paper_artifact: &str) {
+    println!("\n=====================================================================");
+    println!("{title}");
+    println!("reproduces: {paper_artifact}");
+    println!("seed: {BENCH_SEED}, scale: standard (~12k samples per dataset)");
+    println!("=====================================================================");
+}
+
+/// Formats one row of a fixed-width table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Formats a ratio as the paper's `N.NNx` improvement multipliers.
+pub fn ratio(ours: f64, baseline: f64) -> String {
+    match cnd_metrics::continual::improvement_ratio(ours, baseline) {
+        Some(r) => format!("{r:.2}x"),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_split_shapes() {
+        let (data, split) = standard_split(DatasetProfile::WustlIiot);
+        assert_eq!(split.len(), 4);
+        assert!(data.len() > 10_000);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(0.8, 0.4), "2.00x");
+        assert_eq!(ratio(0.8, 0.0), "n/a");
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

@@ -1,0 +1,239 @@
+//! The CND-IDS pipeline (paper Fig. 2 / Algorithm 1).
+//!
+//! Per training experience:
+//!
+//! 1. fit the [`ContinualFeatureExtractor`] to the unlabelled stream
+//!    `X_train` (with `N_c` guiding the pseudo-labels),
+//! 2. re-encode the clean normal subset `N_c` through the updated CFE,
+//! 3. fit the PCA novelty detector (95% explained variance) on the
+//!    encoded `N_c`.
+//!
+//! Scoring encodes the batch and returns the PCA feature reconstruction
+//! error `FRE = ‖h − T⁻¹(T(h))‖²`; the Best-F threshold in `cnd-metrics`
+//! converts scores into attack decisions.
+
+use cnd_linalg::Matrix;
+use cnd_ml::pca::{ComponentSelection, Pca};
+use cnd_ml::StandardScaler;
+
+use crate::cfe::{CfeConfig, ContinualFeatureExtractor, TrainStats};
+use crate::CoreError;
+
+/// Configuration of the full CND-IDS pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CndIdsConfig {
+    /// Feature-extractor hyper-parameters.
+    pub cfe: CfeConfig,
+    /// Explained-variance fraction kept by the PCA novelty detector
+    /// (paper: 0.95).
+    pub pca_variance: f64,
+}
+
+impl CndIdsConfig {
+    /// The paper's configuration.
+    pub fn paper(seed: u64) -> Self {
+        CndIdsConfig {
+            cfe: CfeConfig::paper(seed),
+            pca_variance: 0.95,
+        }
+    }
+
+    /// Reduced configuration for tests and quick examples.
+    pub fn fast(seed: u64) -> Self {
+        CndIdsConfig {
+            cfe: CfeConfig::fast(seed),
+            pca_variance: 0.95,
+        }
+    }
+}
+
+/// The CND-IDS model: continual feature extractor + PCA novelty detector.
+///
+/// Constructed from the clean normal subset `N_c` (which fixes the input
+/// scaling and feature dimensionality), then trained experience by
+/// experience on unlabelled streams.
+#[derive(Debug, Clone)]
+pub struct CndIds {
+    config: CndIdsConfig,
+    scaler: StandardScaler,
+    clean_normal_scaled: Matrix,
+    cfe: ContinualFeatureExtractor,
+    pca: Option<Pca>,
+}
+
+impl CndIds {
+    /// Builds an untrained CND-IDS model around the clean normal subset
+    /// `N_c`. The input scaler is fitted on `N_c` once and reused for
+    /// every experience (re-fitting it would silently invalidate the
+    /// CFE's past-model snapshots).
+    ///
+    /// # Errors
+    ///
+    /// Returns scaling/configuration errors; `N_c` must be non-empty.
+    pub fn new(config: CndIdsConfig, clean_normal: &Matrix) -> Result<Self, CoreError> {
+        if !(config.pca_variance > 0.0 && config.pca_variance <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "pca_variance",
+                constraint: "must be in (0, 1]",
+            });
+        }
+        let scaler = StandardScaler::fit(clean_normal)?;
+        let clean_normal_scaled = scaler.transform(clean_normal)?;
+        let cfe = ContinualFeatureExtractor::new(clean_normal.cols(), config.cfe)?;
+        Ok(CndIds {
+            config,
+            scaler,
+            clean_normal_scaled,
+            cfe,
+            pca: None,
+        })
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &CndIdsConfig {
+        &self.config
+    }
+
+    /// Number of experiences trained so far.
+    pub fn experiences_trained(&self) -> usize {
+        self.cfe.experiences_trained()
+    }
+
+    /// Borrow of the underlying feature extractor.
+    pub fn feature_extractor(&self) -> &ContinualFeatureExtractor {
+        &self.cfe
+    }
+
+    /// Borrow of the fitted input scaler.
+    pub fn scaler(&self) -> &cnd_ml::StandardScaler {
+        &self.scaler
+    }
+
+    /// Borrow of the fitted PCA novelty detector, if trained.
+    pub fn pca(&self) -> Option<&cnd_ml::Pca> {
+        self.pca.as_ref()
+    }
+
+    /// Number of PCA components currently in use (after training).
+    pub fn pca_components(&self) -> Option<usize> {
+        self.pca.as_ref().map(Pca::n_components)
+    }
+
+    /// Trains one experience (Algorithm 1 lines 3–5): CFE fit, `N_c`
+    /// re-encoding, PCA re-fit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CFE and PCA errors.
+    pub fn train_experience(&mut self, x_train: &Matrix) -> Result<TrainStats, CoreError> {
+        let xs = self.scaler.transform(x_train)?;
+        let stats = self.cfe.train_experience(&xs, &self.clean_normal_scaled)?;
+        let h_nc = self.cfe.encode(&self.clean_normal_scaled)?;
+        let pca = Pca::fit(
+            &h_nc,
+            ComponentSelection::VarianceFraction(self.config.pca_variance),
+        )?;
+        self.pca = Some(pca);
+        Ok(stats)
+    }
+
+    /// Anomaly scores for a batch (Algorithm 1 lines 7–8); higher means
+    /// more anomalous.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotTrained`] before the first experience.
+    pub fn anomaly_scores(&self, x: &Matrix) -> Result<Vec<f64>, CoreError> {
+        let pca = self.pca.as_ref().ok_or(CoreError::NotTrained)?;
+        let xs = self.scaler.transform(x)?;
+        let h = self.cfe.encode(&xs)?;
+        Ok(pca.reconstruction_errors(&h)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Normal data on a correlated manifold; attacks shifted off it.
+    fn scenario() -> (Matrix, Matrix, Matrix, Vec<u8>) {
+        let d = 10;
+        let normal = |i: usize, j: usize| {
+            let t = (i as f64 * 0.13).sin();
+            t * (j as f64 + 1.0) * 0.3 + ((i * 7 + j * 3) % 11) as f64 * 0.02
+        };
+        let n_c = Matrix::from_fn(60, d, normal);
+        let train = Matrix::from_fn(400, d, |i, j| {
+            if i < 320 {
+                normal(i + 200, j)
+            } else {
+                normal(i + 200, j) + if j % 2 == 0 { 3.0 } else { -3.0 }
+            }
+        });
+        let test = Matrix::from_fn(100, d, |i, j| {
+            if i < 70 {
+                normal(i + 900, j)
+            } else {
+                normal(i + 900, j) + if j % 2 == 0 { 3.0 } else { -3.0 }
+            }
+        });
+        let labels: Vec<u8> = (0..100).map(|i| u8::from(i >= 70)).collect();
+        (n_c, train, test, labels)
+    }
+
+    #[test]
+    fn scores_before_training_error() {
+        let (n_c, _, test, _) = scenario();
+        let model = CndIds::new(CndIdsConfig::fast(0), &n_c).unwrap();
+        assert!(matches!(
+            model.anomaly_scores(&test),
+            Err(CoreError::NotTrained)
+        ));
+    }
+
+    #[test]
+    fn detects_shifted_attacks_after_one_experience() {
+        let (n_c, train, test, labels) = scenario();
+        let mut model = CndIds::new(CndIdsConfig::fast(1), &n_c).unwrap();
+        model.train_experience(&train).unwrap();
+        assert_eq!(model.experiences_trained(), 1);
+        assert!(model.pca_components().is_some());
+        let scores = model.anomaly_scores(&test).unwrap();
+        let sel = cnd_metrics::threshold::best_f1_threshold(&scores, &labels).unwrap();
+        assert!(sel.f1 > 0.8, "F1 = {}", sel.f1);
+    }
+
+    #[test]
+    fn multiple_experiences_keep_working() {
+        let (n_c, train, test, labels) = scenario();
+        let mut model = CndIds::new(CndIdsConfig::fast(2), &n_c).unwrap();
+        model.train_experience(&train).unwrap();
+        let shifted = train.map(|v| v * 1.1 + 0.05);
+        model.train_experience(&shifted).unwrap();
+        assert_eq!(model.experiences_trained(), 2);
+        let scores = model.anomaly_scores(&test).unwrap();
+        let sel = cnd_metrics::threshold::best_f1_threshold(&scores, &labels).unwrap();
+        assert!(sel.f1 > 0.7, "F1 after second experience = {}", sel.f1);
+    }
+
+    #[test]
+    fn config_validation() {
+        let (n_c, ..) = scenario();
+        let mut cfg = CndIdsConfig::fast(0);
+        cfg.pca_variance = 0.0;
+        assert!(matches!(
+            CndIds::new(cfg, &n_c),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (n_c, train, test, _) = scenario();
+        let mut a = CndIds::new(CndIdsConfig::fast(5), &n_c).unwrap();
+        let mut b = CndIds::new(CndIdsConfig::fast(5), &n_c).unwrap();
+        a.train_experience(&train).unwrap();
+        b.train_experience(&train).unwrap();
+        assert_eq!(a.anomaly_scores(&test).unwrap(), b.anomaly_scores(&test).unwrap());
+    }
+}

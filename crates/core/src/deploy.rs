@@ -1,0 +1,317 @@
+//! Model persistence: freeze a trained [`CndIds`] into a
+//! [`DeployedScorer`] that can be saved, shipped, and loaded on a
+//! monitoring host without any training machinery.
+//!
+//! Deployment needs exactly three fitted components — the input scaler,
+//! the encoder, and the PCA novelty detector — so only those are
+//! serialized, in a small versioned line-oriented text format (the
+//! workspace intentionally has no serialization-format dependency).
+//! The decoder, optimizer state, past-model snapshots and RNG are
+//! training-time state and are not persisted; to continue training,
+//! keep the original [`CndIds`] value.
+
+use std::io::{BufRead, Write};
+
+use cnd_linalg::Matrix;
+use cnd_ml::pca::Pca;
+use cnd_ml::StandardScaler;
+use cnd_nn::{Activation, Layer, Linear, Sequential};
+
+use crate::{CndIds, CoreError};
+
+/// Magic first line of the persistence format.
+const MAGIC: &str = "CND-IDS-SCORER v1";
+
+/// A frozen, inference-only CND-IDS model.
+///
+/// # Example
+///
+/// ```no_run
+/// use cnd_core::deploy::DeployedScorer;
+/// use cnd_core::{CndIds, CndIdsConfig};
+/// # fn get_trained_model() -> CndIds { unimplemented!() }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model: CndIds = get_trained_model();
+/// let scorer = DeployedScorer::from_model(&model)?;
+/// let mut buf = Vec::new();
+/// scorer.save(&mut buf)?;
+/// let restored = DeployedScorer::load(&mut buf.as_slice())?;
+/// # let _ = restored;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeployedScorer {
+    scaler: StandardScaler,
+    encoder: Sequential,
+    pca: Pca,
+}
+
+impl DeployedScorer {
+    /// Freezes a trained model into a scorer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotTrained`] when the model has not finished
+    /// at least one training experience.
+    pub fn from_model(model: &CndIds) -> Result<Self, CoreError> {
+        let pca = model.pca().ok_or(CoreError::NotTrained)?.clone();
+        Ok(DeployedScorer {
+            scaler: model.scaler().clone(),
+            encoder: model.feature_extractor().encoder().clone(),
+            pca,
+        })
+    }
+
+    /// Anomaly scores for a batch; higher means more anomalous.
+    /// Identical to [`CndIds::anomaly_scores`] on the frozen state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn anomaly_scores(&self, x: &Matrix) -> Result<Vec<f64>, CoreError> {
+        let xs = self.scaler.transform(x)?;
+        let h = self.encoder.forward_inference(&xs);
+        Ok(self.pca.reconstruction_errors(&h)?)
+    }
+
+    /// Input feature dimensionality the scorer expects.
+    pub fn n_features(&self) -> usize {
+        self.scaler.mean().len()
+    }
+
+    /// Serializes the scorer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "{MAGIC}")?;
+        writeln!(w, "scaler {}", self.scaler.mean().len())?;
+        write_floats(&mut w, self.scaler.mean())?;
+        write_floats(&mut w, self.scaler.std())?;
+        writeln!(w, "encoder {}", self.encoder.layers().len())?;
+        for layer in self.encoder.layers() {
+            match layer {
+                Layer::Linear(lin) => {
+                    writeln!(w, "linear {} {}", lin.fan_in(), lin.fan_out())?;
+                    write_floats(&mut w, lin.weights().as_slice())?;
+                    write_floats(&mut w, lin.bias())?;
+                }
+                Layer::Activation { act, .. } => {
+                    writeln!(w, "act {}", act_name(*act))?;
+                }
+            }
+        }
+        writeln!(w, "pca {} {}", self.pca.n_features(), self.pca.n_components())?;
+        write_floats(&mut w, self.pca.mean())?;
+        write_floats(&mut w, self.pca.components().as_slice())?;
+        write_floats(&mut w, self.pca.explained_variance())?;
+        Ok(())
+    }
+
+    /// Deserializes a scorer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for malformed input and
+    /// propagates I/O failures as [`CoreError::Dataset`] wrappers.
+    pub fn load<R: BufRead>(r: R) -> Result<Self, CoreError> {
+        let mut lines = r.lines();
+        let mut next = || -> Result<String, CoreError> {
+            lines
+                .next()
+                .ok_or(parse_err("unexpected end of file"))?
+                .map_err(|_| parse_err("read failure"))
+        };
+        if next()? != MAGIC {
+            return Err(parse_err("bad magic line"));
+        }
+
+        // Scaler.
+        let header = next()?;
+        let d: usize = field(&header, "scaler", 1)?;
+        let mean = read_floats(&next()?, d)?;
+        let std = read_floats(&next()?, d)?;
+        let scaler = StandardScaler::from_parts(mean, std)?;
+
+        // Encoder.
+        let header = next()?;
+        let n_layers: usize = field(&header, "encoder", 1)?;
+        let mut encoder = Sequential::new();
+        for _ in 0..n_layers {
+            let line = next()?;
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.first().copied() {
+                Some("linear") => {
+                    let fan_in: usize = field(&line, "linear", 1)?;
+                    let fan_out: usize = field(&line, "linear", 2)?;
+                    let w = read_floats(&next()?, fan_in * fan_out)?;
+                    let b = read_floats(&next()?, fan_out)?;
+                    let weights = Matrix::from_vec(fan_in, fan_out, w)?;
+                    encoder.push_layer(Linear::from_parts(weights, b));
+                }
+                Some("act") => {
+                    let name = parts.get(1).copied().unwrap_or("");
+                    encoder.push_activation(act_from_name(name)?);
+                }
+                _ => return Err(parse_err("unknown layer kind")),
+            }
+        }
+
+        // PCA.
+        let header = next()?;
+        let features: usize = field(&header, "pca", 1)?;
+        let components_n: usize = field(&header, "pca", 2)?;
+        let mean = read_floats(&next()?, features)?;
+        let comp = read_floats(&next()?, features * components_n)?;
+        let variance = read_floats(&next()?, components_n)?;
+        let components = Matrix::from_vec(features, components_n, comp)?;
+        let pca = Pca::from_parts(mean, components, variance)?;
+
+        Ok(DeployedScorer {
+            scaler,
+            encoder,
+            pca,
+        })
+    }
+}
+
+fn parse_err(reason: &'static str) -> CoreError {
+    CoreError::InvalidConfig {
+        name: "scorer file",
+        constraint: reason,
+    }
+}
+
+fn act_name(a: Activation) -> &'static str {
+    match a {
+        Activation::Relu => "relu",
+        Activation::LeakyRelu(_) => "leaky_relu",
+        Activation::Tanh => "tanh",
+        Activation::Sigmoid => "sigmoid",
+        Activation::Identity => "identity",
+        _ => "identity",
+    }
+}
+
+fn act_from_name(name: &str) -> Result<Activation, CoreError> {
+    match name {
+        "relu" => Ok(Activation::Relu),
+        "leaky_relu" => Ok(Activation::LeakyRelu(0.01)),
+        "tanh" => Ok(Activation::Tanh),
+        "sigmoid" => Ok(Activation::Sigmoid),
+        "identity" => Ok(Activation::Identity),
+        _ => Err(parse_err("unknown activation")),
+    }
+}
+
+fn write_floats<W: Write>(w: &mut W, vals: &[f64]) -> std::io::Result<()> {
+    let mut line = String::with_capacity(vals.len() * 20);
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            line.push(' ');
+        }
+        // 17 significant digits round-trips f64 exactly.
+        line.push_str(&format!("{v:.17e}"));
+    }
+    writeln!(w, "{line}")
+}
+
+fn read_floats(line: &str, expect: usize) -> Result<Vec<f64>, CoreError> {
+    let vals: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
+    let vals = vals.map_err(|_| parse_err("malformed float"))?;
+    if vals.len() != expect {
+        return Err(parse_err("wrong number of values"));
+    }
+    Ok(vals)
+}
+
+fn field<T: std::str::FromStr>(line: &str, tag: &str, idx: usize) -> Result<T, CoreError> {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    if parts.first() != Some(&tag) {
+        return Err(parse_err("unexpected section header"));
+    }
+    parts
+        .get(idx)
+        .ok_or(parse_err("missing header field"))?
+        .parse()
+        .map_err(|_| parse_err("malformed header field"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CndIdsConfig;
+
+    fn trained_model() -> (CndIds, Matrix) {
+        let d = 6;
+        let normal = |i: usize, j: usize| ((i * 7 + j * 3) % 13) as f64 * 0.1;
+        let n_c = Matrix::from_fn(50, d, normal);
+        let train = Matrix::from_fn(300, d, |i, j| {
+            if i < 240 {
+                normal(i + 100, j)
+            } else {
+                normal(i + 100, j) + 2.5
+            }
+        });
+        let mut model = CndIds::new(CndIdsConfig::fast(3), &n_c).expect("builds");
+        model.train_experience(&train).expect("trains");
+        let test = Matrix::from_fn(40, d, |i, j| {
+            if i < 25 {
+                normal(i + 900, j)
+            } else {
+                normal(i + 900, j) + 2.5
+            }
+        });
+        (model, test)
+    }
+
+    #[test]
+    fn frozen_scorer_matches_live_model() {
+        let (model, test) = trained_model();
+        let scorer = DeployedScorer::from_model(&model).unwrap();
+        let live = model.anomaly_scores(&test).unwrap();
+        let frozen = scorer.anomaly_scores(&test).unwrap();
+        for (a, b) in live.iter().zip(&frozen) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(scorer.n_features(), 6);
+    }
+
+    #[test]
+    fn save_load_round_trip_is_exact() {
+        let (model, test) = trained_model();
+        let scorer = DeployedScorer::from_model(&model).unwrap();
+        let mut buf = Vec::new();
+        scorer.save(&mut buf).unwrap();
+        let restored = DeployedScorer::load(buf.as_slice()).unwrap();
+        let a = scorer.anomaly_scores(&test).unwrap();
+        let b = restored.anomaly_scores(&test).unwrap();
+        assert_eq!(a, b, "17-digit float round trip must be exact");
+    }
+
+    #[test]
+    fn untrained_model_cannot_be_frozen() {
+        let n_c = Matrix::from_fn(30, 4, |i, j| (i + j) as f64);
+        let model = CndIds::new(CndIdsConfig::fast(0), &n_c).unwrap();
+        assert!(matches!(
+            DeployedScorer::from_model(&model),
+            Err(CoreError::NotTrained)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(DeployedScorer::load("not a scorer".as_bytes()).is_err());
+        assert!(DeployedScorer::load("CND-IDS-SCORER v1\nbogus 3".as_bytes()).is_err());
+        let (model, _) = trained_model();
+        let scorer = DeployedScorer::from_model(&model).unwrap();
+        let mut buf = Vec::new();
+        scorer.save(&mut buf).unwrap();
+        // Truncate: must fail, not panic.
+        let truncated = &buf[..buf.len() / 2];
+        assert!(DeployedScorer::load(truncated).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+use std::error::Error;
+use std::fmt;
+
+use cnd_datasets::DatasetError;
+use cnd_detectors::DetectorError;
+use cnd_linalg::LinalgError;
+use cnd_metrics::MetricsError;
+use cnd_ml::MlError;
+use cnd_nn::NnError;
+
+/// Error type for the CND-IDS core pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Linear algebra failure.
+    Linalg(LinalgError),
+    /// Neural network failure.
+    Nn(NnError),
+    /// Classical-ML estimator failure.
+    Ml(MlError),
+    /// Detector failure.
+    Detector(DetectorError),
+    /// Dataset preparation failure.
+    Dataset(DatasetError),
+    /// Metric computation failure.
+    Metrics(MetricsError),
+    /// A model was used before any training experience.
+    NotTrained,
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        constraint: &'static str,
+    },
+    /// The labelled seed set granted to a UCL baseline was unusable
+    /// (e.g. contained a single class).
+    BadSeedSet {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::Nn(e) => write!(f, "neural network error: {e}"),
+            CoreError::Ml(e) => write!(f, "ml estimator error: {e}"),
+            CoreError::Detector(e) => write!(f, "detector error: {e}"),
+            CoreError::Dataset(e) => write!(f, "dataset error: {e}"),
+            CoreError::Metrics(e) => write!(f, "metrics error: {e}"),
+            CoreError::NotTrained => write!(f, "model used before training on any experience"),
+            CoreError::InvalidConfig { name, constraint } => {
+                write!(f, "config {name} violates constraint: {constraint}")
+            }
+            CoreError::BadSeedSet { reason } => write!(f, "bad labelled seed set: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            CoreError::Ml(e) => Some(e),
+            CoreError::Detector(e) => Some(e),
+            CoreError::Dataset(e) => Some(e),
+            CoreError::Metrics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+impl From<MlError> for CoreError {
+    fn from(e: MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+impl From<DetectorError> for CoreError {
+    fn from(e: DetectorError) -> Self {
+        CoreError::Detector(e)
+    }
+}
+impl From<DatasetError> for CoreError {
+    fn from(e: DatasetError) -> Self {
+        CoreError::Dataset(e)
+    }
+}
+impl From<MetricsError> for CoreError {
+    fn from(e: MetricsError) -> Self {
+        CoreError::Metrics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = CoreError::from(MlError::EmptyInput);
+        assert!(e.to_string().contains("ml estimator"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CoreError::NotTrained.to_string().contains("before training"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! # cnd-core
+//!
+//! The paper's primary contribution: **CND-IDS**, a continual
+//! novelty-detection framework for intrusion detection (Fig. 2 of the
+//! paper), together with the continual-learning baselines it is compared
+//! against and the experiment runner that reproduces the evaluation.
+//!
+//! ## Components
+//!
+//! * [`cfe`] — the Continual Feature Extractor: an MLP autoencoder
+//!   trained with the composite continual novelty-detection loss
+//!   `L_CND = L_CS + λ_R·L_R + λ_CL·L_CL` (Eq. 1): a K-Means
+//!   pseudo-label triplet cluster-separation loss, an MSE reconstruction
+//!   loss, and a latent-regularization continual-learning loss against
+//!   per-experience model snapshots.
+//! * [`CndIds`] — the full pipeline (Algorithm 1): train the CFE on each
+//!   experience's unlabelled stream, re-encode the clean normal subset
+//!   `N_c`, fit the PCA novelty detector on it, score test data by
+//!   feature reconstruction error.
+//! * [`baselines`] — the unsupervised continual-learning baselines ADCN
+//!   and LwF (autoencoder + latent clustering + labelled-cluster voting,
+//!   with their respective anti-forgetting losses).
+//! * [`supervised`] — a plain supervised MLP-IDS used to reproduce the
+//!   motivational Fig. 1 (high F1 on known attacks, collapse on unknown).
+//! * [`runner`] — drives any of the above through the continual split
+//!   and produces the result matrices / summaries behind every figure
+//!   and table of the paper.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use cnd_datasets::{DatasetProfile, GeneratorConfig, continual};
+//! use cnd_core::{CndIds, CndIdsConfig};
+//! use cnd_core::runner::evaluate_continual;
+//!
+//! let data = DatasetProfile::WustlIiot.generate(&GeneratorConfig::small(7))?;
+//! let split = continual::prepare(&data, 4, 0.7, 7)?;
+//! let mut model = CndIds::new(CndIdsConfig::fast(7), &split.clean_normal)?;
+//! let outcome = evaluate_continual(&mut model, &split)?;
+//! println!("AVG F1 = {:.3}", outcome.f1_matrix.avg());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod baselines;
+pub mod cfe;
+pub mod cnd_ids;
+pub mod deploy;
+pub mod runner;
+pub mod streaming;
+pub mod supervised;
+
+pub use cfe::{CfeConfig, ContinualFeatureExtractor, LossConfig};
+pub use cnd_ids::{CndIds, CndIdsConfig};
+pub use error::CoreError;

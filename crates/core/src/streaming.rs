@@ -1,0 +1,424 @@
+//! Streaming deployment of CND-IDS with automatic experience detection.
+//!
+//! The paper defines an experience as "a shift in the data stream
+//! distribution" (Section I) but assumes the experience boundaries are
+//! given. In a live deployment nobody announces them. This module closes
+//! that gap: [`StreamingCndIds`] buffers incoming flows, monitors the
+//! *model's own anomaly-score distribution* with a two-window drift
+//! detector, and triggers a training experience when the score
+//! distribution shifts (or when the buffer fills, whichever comes
+//! first). The underlying update is exactly Algorithm 1's per-experience
+//! step, so all of the paper's machinery — pseudo-labels, `L_CND`,
+//! snapshot regularization, PCA refit — is reused unchanged.
+
+use cnd_linalg::{vector, Matrix};
+
+use crate::cfe::TrainStats;
+use crate::{CndIds, CoreError};
+
+/// Two-window mean-shift drift detector over a scalar signal.
+///
+/// A *reference* window summarizes the signal right after the last
+/// (re)training; a rolling *current* window tracks the live signal.
+/// Drift fires when the current mean deviates from the reference mean by
+/// more than `threshold` reference standard deviations.
+///
+/// # Example
+///
+/// ```
+/// use cnd_core::streaming::DriftDetector;
+///
+/// let mut det = DriftDetector::new(50, 3.0);
+/// // Calibrate on a stationary signal...
+/// for i in 0..50 {
+///     assert!(!det.observe(((i * 7) % 10) as f64 * 0.1));
+/// }
+/// // ...a large sustained shift fires within one window.
+/// let fired = (0..50).any(|i| det.observe(10.0 + ((i * 3) % 10) as f64 * 0.1));
+/// assert!(fired);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    window: usize,
+    threshold: f64,
+    reference: Vec<f64>,
+    reference_mean: f64,
+    reference_std: f64,
+    calibrated: bool,
+    current: Vec<f64>,
+}
+
+impl DriftDetector {
+    /// Creates a detector with the given window length and threshold
+    /// (in reference standard deviations; `3.0` is a sensible default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2` or `threshold <= 0`.
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(window >= 2, "drift window must be >= 2");
+        assert!(threshold > 0.0, "drift threshold must be > 0");
+        DriftDetector {
+            window,
+            threshold,
+            reference: Vec::with_capacity(window),
+            reference_mean: 0.0,
+            reference_std: 0.0,
+            calibrated: false,
+            current: Vec::with_capacity(window),
+        }
+    }
+
+    /// `true` once the reference window is full.
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
+    }
+
+    /// Discards all state (called after retraining so the detector
+    /// re-calibrates on the new regime).
+    pub fn reset(&mut self) {
+        self.reference.clear();
+        self.current.clear();
+        self.calibrated = false;
+    }
+
+    /// Feeds one observation; returns `true` when drift fires. After a
+    /// firing the detector keeps reporting `true` until [`reset`](Self::reset).
+    pub fn observe(&mut self, value: f64) -> bool {
+        if !self.calibrated {
+            self.reference.push(value);
+            if self.reference.len() == self.window {
+                self.reference_mean = vector::mean(&self.reference);
+                self.reference_std = vector::std_dev(&self.reference).max(1e-9);
+                self.calibrated = true;
+            }
+            return false;
+        }
+        self.current.push(value);
+        if self.current.len() > self.window {
+            self.current.remove(0);
+        }
+        if self.current.len() < self.window / 2 {
+            return false;
+        }
+        let mean = vector::mean(&self.current);
+        (mean - self.reference_mean).abs() > self.threshold * self.reference_std
+    }
+}
+
+/// Why a streaming training step was triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// The score-distribution drift detector fired.
+    DriftDetected,
+    /// The buffer reached its configured capacity.
+    BufferFull,
+    /// The caller forced a flush ([`StreamingCndIds::flush`]).
+    Manual,
+}
+
+/// The outcome of pushing a batch of flows into the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// Flows were buffered; no training occurred.
+    Buffered {
+        /// Current buffer fill level.
+        buffered: usize,
+    },
+    /// A training experience was executed on the buffered flows.
+    ExperienceTrained {
+        /// Number of flows consumed by the experience.
+        samples: usize,
+        /// What triggered the training step.
+        trigger: Trigger,
+        /// CFE training diagnostics.
+        stats: TrainStats,
+    },
+}
+
+/// Configuration for [`StreamingCndIds`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingConfig {
+    /// Train at the latest when this many flows are buffered.
+    pub max_buffer: usize,
+    /// Train the *first* experience as soon as this many flows are
+    /// buffered (the model cannot score — and therefore cannot detect
+    /// drift — until it has trained once, so the bootstrap threshold is
+    /// smaller than `max_buffer`).
+    pub bootstrap_batch: usize,
+    /// Never train on fewer flows than this (drift firings on a nearly
+    /// empty buffer wait until the minimum accumulates).
+    pub min_batch: usize,
+    /// Drift-detector window length (scores).
+    pub drift_window: usize,
+    /// Drift threshold in reference standard deviations.
+    pub drift_threshold: f64,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            max_buffer: 2_000,
+            bootstrap_batch: 800,
+            min_batch: 200,
+            drift_window: 100,
+            drift_threshold: 3.0,
+        }
+    }
+}
+
+/// CND-IDS wrapped for online consumption of an unlabelled flow stream.
+///
+/// # Example
+///
+/// ```no_run
+/// use cnd_core::streaming::{StreamingCndIds, StreamEvent, StreamingConfig};
+/// use cnd_core::{CndIds, CndIdsConfig};
+/// use cnd_linalg::Matrix;
+/// # fn next_flows() -> Matrix { unimplemented!() }
+/// # fn clean_normal() -> Matrix { unimplemented!() }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = CndIds::new(CndIdsConfig::fast(7), &clean_normal())?;
+/// let mut stream = StreamingCndIds::new(model, StreamingConfig::default());
+/// loop {
+///     match stream.push_flows(&next_flows())? {
+///         StreamEvent::ExperienceTrained { samples, trigger, .. } => {
+///             eprintln!("retrained on {samples} flows ({trigger:?})");
+///         }
+///         StreamEvent::Buffered { .. } => {}
+///     }
+/// }
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingCndIds {
+    model: CndIds,
+    config: StreamingConfig,
+    buffer: Vec<Vec<f64>>,
+    drift: DriftDetector,
+}
+
+impl StreamingCndIds {
+    /// Wraps a (possibly untrained) model for streaming consumption.
+    pub fn new(model: CndIds, config: StreamingConfig) -> Self {
+        let drift = DriftDetector::new(config.drift_window.max(2), config.drift_threshold);
+        StreamingCndIds {
+            model,
+            config,
+            buffer: Vec::new(),
+            drift,
+        }
+    }
+
+    /// Borrow of the wrapped model (e.g. for scoring).
+    pub fn model(&self) -> &CndIds {
+        &self.model
+    }
+
+    /// Flows currently buffered and not yet trained on.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Pushes a batch of flows into the stream.
+    ///
+    /// Flows are buffered; if the model is already trained they are also
+    /// scored and fed to the drift detector. Training triggers when the
+    /// detector fires (with at least `min_batch` flows buffered) or the
+    /// buffer reaches `max_buffer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring/training failures.
+    pub fn push_flows(&mut self, x: &Matrix) -> Result<StreamEvent, CoreError> {
+        let mut drifted = false;
+        if self.model.experiences_trained() > 0 {
+            let scores = self.model.anomaly_scores(x)?;
+            for s in scores {
+                // FRE scores are heavy-tailed; the log transform keeps a
+                // few extreme flows from swamping the window means.
+                drifted |= self.drift.observe((1.0 + s.max(0.0)).ln());
+            }
+        }
+        for row in x.iter_rows() {
+            self.buffer.push(row.to_vec());
+        }
+        let bootstrap = self.model.experiences_trained() == 0
+            && self.buffer.len() >= self.config.bootstrap_batch;
+        let full = self.buffer.len() >= self.config.max_buffer;
+        let drift_ready = drifted && self.buffer.len() >= self.config.min_batch;
+        if bootstrap || full || drift_ready {
+            let trigger = if drift_ready && !full {
+                Trigger::DriftDetected
+            } else {
+                Trigger::BufferFull
+            };
+            self.train_on_buffer(trigger)
+        } else {
+            Ok(StreamEvent::Buffered {
+                buffered: self.buffer.len(),
+            })
+        }
+    }
+
+    /// Forces a training experience on whatever is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the buffer is empty;
+    /// propagates training failures.
+    pub fn flush(&mut self) -> Result<StreamEvent, CoreError> {
+        if self.buffer.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                name: "buffer",
+                constraint: "cannot flush an empty stream buffer",
+            });
+        }
+        self.train_on_buffer(Trigger::Manual)
+    }
+
+    fn train_on_buffer(&mut self, trigger: Trigger) -> Result<StreamEvent, CoreError> {
+        let x = Matrix::from_rows(&self.buffer)?;
+        let stats = self.model.train_experience(&x)?;
+        let samples = self.buffer.len();
+        self.buffer.clear();
+        self.drift.reset();
+        Ok(StreamEvent::ExperienceTrained {
+            samples,
+            trigger,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CndIdsConfig;
+
+    fn flows(n: usize, offset: f64, phase: usize) -> Matrix {
+        Matrix::from_fn(n, 6, |i, j| {
+            offset + (((i + phase) * 13 + j * 7) % 17) as f64 / 17.0
+        })
+    }
+
+    fn stream(max_buffer: usize) -> StreamingCndIds {
+        let n_c = flows(60, 0.0, 900);
+        let model = CndIds::new(CndIdsConfig::fast(5), &n_c).expect("builds");
+        StreamingCndIds::new(
+            model,
+            StreamingConfig {
+                max_buffer,
+                bootstrap_batch: max_buffer,
+                min_batch: 50,
+                drift_window: 40,
+                drift_threshold: 3.0,
+            },
+        )
+    }
+
+    #[test]
+    fn drift_detector_fires_on_shift_not_on_stationary() {
+        let mut det = DriftDetector::new(30, 3.0);
+        let mut fired_stationary = false;
+        for i in 0..200 {
+            fired_stationary |= det.observe(((i * 7) % 13) as f64 * 0.1);
+        }
+        assert!(!fired_stationary, "stationary signal must not fire");
+        let mut fired_shift = false;
+        for i in 0..60 {
+            fired_shift |= det.observe(5.0 + ((i * 7) % 13) as f64 * 0.1);
+        }
+        assert!(fired_shift, "sustained large shift must fire");
+    }
+
+    #[test]
+    fn drift_detector_reset_recalibrates() {
+        let mut det = DriftDetector::new(10, 3.0);
+        for i in 0..10 {
+            det.observe(i as f64 * 0.01);
+        }
+        assert!(det.is_calibrated());
+        det.reset();
+        assert!(!det.is_calibrated());
+        // New regime becomes the reference after reset.
+        for i in 0..10 {
+            assert!(!det.observe(100.0 + (i % 5) as f64 * 0.2));
+        }
+        assert!(det.is_calibrated());
+        let fired = (0..10).any(|i| det.observe(100.0 + (i % 5) as f64 * 0.2));
+        assert!(!fired, "same regime after recalibration must not fire");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be >= 2")]
+    fn drift_detector_validates_window() {
+        DriftDetector::new(1, 3.0);
+    }
+
+    #[test]
+    fn buffer_full_triggers_training() {
+        let mut s = stream(100);
+        let mut trained = false;
+        for phase in 0..5 {
+            match s.push_flows(&flows(30, 0.0, phase * 30)).unwrap() {
+                StreamEvent::ExperienceTrained { trigger, samples, .. } => {
+                    assert_eq!(trigger, Trigger::BufferFull);
+                    assert!(samples >= 100);
+                    trained = true;
+                    break;
+                }
+                StreamEvent::Buffered { .. } => {}
+            }
+        }
+        assert!(trained);
+        assert_eq!(s.model().experiences_trained(), 1);
+        assert_eq!(s.buffered(), 0);
+    }
+
+    #[test]
+    fn drift_triggers_training_before_buffer_full() {
+        let mut s = stream(100_000); // effectively no buffer limit
+        // First experience: bootstrap via manual flush.
+        s.push_flows(&flows(300, 0.0, 0)).unwrap();
+        matches!(s.flush().unwrap(), StreamEvent::ExperienceTrained { .. });
+
+        // Same regime: no drift trigger.
+        for phase in 0..4 {
+            let ev = s.push_flows(&flows(50, 0.0, phase * 50)).unwrap();
+            assert!(matches!(ev, StreamEvent::Buffered { .. }), "{ev:?}");
+        }
+
+        // Shifted regime: anomaly scores jump, drift fires once enough
+        // samples accumulate.
+        let mut drift_trained = false;
+        for phase in 0..10 {
+            if let StreamEvent::ExperienceTrained { trigger, .. } =
+                s.push_flows(&flows(50, 8.0, phase * 50)).unwrap()
+            {
+                assert_eq!(trigger, Trigger::DriftDetected);
+                drift_trained = true;
+                break;
+            }
+        }
+        assert!(drift_trained, "drift should trigger a training experience");
+    }
+
+    #[test]
+    fn flush_empty_is_an_error() {
+        let mut s = stream(100);
+        assert!(matches!(
+            s.flush(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn scores_available_after_first_experience() {
+        let mut s = stream(100);
+        s.push_flows(&flows(120, 0.0, 0)).unwrap();
+        let q = flows(10, 0.0, 500);
+        assert!(s.model().anomaly_scores(&q).is_ok());
+    }
+}

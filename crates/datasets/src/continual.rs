@@ -1,0 +1,326 @@
+//! Continual-learning data preparation (paper Section III-A).
+//!
+//! Given a labelled dataset, the protocol is:
+//!
+//! 1. Remove 10% of the normal data as the clean subset `N_c` used to
+//!    fit the PCA novelty detector. (The paper does not specify how the
+//!    10% is chosen; we take the *first* 10% of the benign stream —
+//!    clean, verified-normal data is realistically collected before
+//!    deployment, so `N_c` reflects only the initial traffic regime and
+//!    later drift must be absorbed by the model, not the data split.)
+//! 2. Split the remaining normal data into `m` contiguous stream
+//!    segments of size `0.9·|N| / m` (contiguity preserves the benign
+//!    drift ordering).
+//! 3. Distribute the attack classes so each experience receives
+//!    `|C| / m` classes unique to it — future experiences therefore
+//!    contain zero-day attacks relative to earlier training.
+//! 4. Split every experience into an **unlabelled** training part
+//!    (`X_train` only) and a labelled test part (`X_test`, `Y_test`).
+
+use cnd_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Dataset, DatasetError};
+
+/// One experience of the continual stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experience {
+    /// Unlabelled training data (mixed normal + this experience's
+    /// attacks), as the deployment stream would present it.
+    pub train_x: Matrix,
+    /// Ground-truth class per training row, **withheld from unsupervised
+    /// methods**. It exists only so the experiment runner can grant the
+    /// UCL baselines (ADCN, LwF) the small labelled seed set the paper
+    /// concedes them (Section IV-A); CND-IDS never reads it.
+    pub train_class: Vec<usize>,
+    /// Test features.
+    pub test_x: Matrix,
+    /// Binary test labels (`0` normal / `1` attack).
+    pub test_y: Vec<u8>,
+    /// Fine-grained class id per test row (`0` normal).
+    pub test_class: Vec<usize>,
+    /// The attack classes assigned (unique) to this experience.
+    pub attack_classes: Vec<usize>,
+}
+
+/// The full continual split: clean normal subset plus experiences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinualSplit {
+    /// `N_c` — the clean normal subset used to fit the novelty detector.
+    pub clean_normal: Matrix,
+    /// The experience sequence `E_0 … E_{m−1}`.
+    pub experiences: Vec<Experience>,
+}
+
+impl ContinualSplit {
+    /// Number of experiences `m`.
+    pub fn len(&self) -> usize {
+        self.experiences.len()
+    }
+
+    /// `true` if there are no experiences.
+    pub fn is_empty(&self) -> bool {
+        self.experiences.is_empty()
+    }
+}
+
+/// Fraction of normal data reserved as `N_c` (paper: 10%).
+pub const CLEAN_NORMAL_FRACTION: f64 = 0.10;
+
+/// Prepares the continual split per Section III-A.
+///
+/// `train_fraction` is the within-experience train/test split (the paper
+/// does not state a number; `0.7` is our default throughout).
+///
+/// # Errors
+///
+/// * [`DatasetError::InvalidConfig`] for `m == 0`, `m == 1`, or a train
+///   fraction outside `(0, 1)`.
+/// * [`DatasetError::BadSplit`] when the dataset has fewer attack
+///   classes than experiences, or not enough normal data.
+///
+/// # Example
+///
+/// ```
+/// use cnd_datasets::{DatasetProfile, GeneratorConfig, continual};
+///
+/// let data = DatasetProfile::WustlIiot.generate(&GeneratorConfig::small(1))?;
+/// let split = continual::prepare(&data, 4, 0.7, 1)?;
+/// assert_eq!(split.len(), 4);
+/// // WUSTL has exactly 4 attack classes: one per experience.
+/// for e in &split.experiences {
+///     assert_eq!(e.attack_classes.len(), 1);
+/// }
+/// # Ok::<(), cnd_datasets::DatasetError>(())
+/// ```
+pub fn prepare(
+    dataset: &Dataset,
+    m: usize,
+    train_fraction: f64,
+    seed: u64,
+) -> Result<ContinualSplit, DatasetError> {
+    if m < 2 {
+        return Err(DatasetError::InvalidConfig {
+            name: "m",
+            constraint: "need at least 2 experiences",
+        });
+    }
+    if !(train_fraction > 0.0 && train_fraction < 1.0) {
+        return Err(DatasetError::InvalidConfig {
+            name: "train_fraction",
+            constraint: "must be in (0, 1)",
+        });
+    }
+    let n_classes = dataset.n_attack_classes();
+    if n_classes < m {
+        return Err(DatasetError::BadSplit {
+            reason: format!("{n_classes} attack classes cannot fill {m} experiences"),
+        });
+    }
+    let normals = dataset.normal_indices();
+    if normals.len() < m * 20 {
+        return Err(DatasetError::BadSplit {
+            reason: format!(
+                "{} normal samples are too few for {m} experiences",
+                normals.len()
+            ),
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // 1. N_c: the first 10% of the benign stream (pre-deployment
+    // collection; later drift regimes are never part of N_c).
+    let n_clean = ((normals.len() as f64) * CLEAN_NORMAL_FRACTION).round().max(1.0) as usize;
+    let clean_idx: Vec<usize> = normals[..n_clean].to_vec();
+    let rest_idx: Vec<usize> = normals[n_clean..].to_vec();
+    let clean_normal = dataset.x.select_rows(&clean_idx)?;
+
+    // 2. Contiguous normal segments per experience.
+    let seg = rest_idx.len() / m;
+    let mut normal_chunks: Vec<Vec<usize>> = Vec::with_capacity(m);
+    for e in 0..m {
+        let start = e * seg;
+        let end = if e == m - 1 { rest_idx.len() } else { (e + 1) * seg };
+        normal_chunks.push(rest_idx[start..end].to_vec());
+    }
+
+    // 3. Attack classes shuffled then dealt round-robin.
+    let mut classes: Vec<usize> = (1..=n_classes).collect();
+    for i in (1..classes.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        classes.swap(i, j);
+    }
+    let mut class_assignment: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (pos, c) in classes.into_iter().enumerate() {
+        class_assignment[pos % m].push(c);
+    }
+
+    // 4. Build experiences.
+    let mut experiences = Vec::with_capacity(m);
+    for e in 0..m {
+        let mut idx = normal_chunks[e].clone();
+        for &c in &class_assignment[e] {
+            idx.extend(dataset.class_indices(c));
+        }
+        // Shuffle the experience so train/test are exchangeable.
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        let n_train = ((idx.len() as f64) * train_fraction).round() as usize;
+        let n_train = n_train.clamp(1, idx.len().saturating_sub(1));
+        let (train_ids, test_ids) = idx.split_at(n_train);
+        let train_x = dataset.x.select_rows(train_ids)?;
+        let train_class: Vec<usize> = train_ids.iter().map(|&i| dataset.class[i]).collect();
+        let test_x = dataset.x.select_rows(test_ids)?;
+        let test_class: Vec<usize> = test_ids.iter().map(|&i| dataset.class[i]).collect();
+        let test_y: Vec<u8> = test_class.iter().map(|&c| u8::from(c != 0)).collect();
+        experiences.push(Experience {
+            train_x,
+            train_class,
+            test_x,
+            test_y,
+            test_class,
+            attack_classes: class_assignment[e].clone(),
+        });
+    }
+
+    Ok(ContinualSplit {
+        clean_normal,
+        experiences,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetProfile, GeneratorConfig};
+
+    fn data() -> Dataset {
+        DatasetProfile::UnswNb15
+            .generate(&GeneratorConfig::small(11))
+            .unwrap()
+    }
+
+    #[test]
+    fn produces_m_experiences_with_disjoint_classes() {
+        let d = data();
+        let split = prepare(&d, 5, 0.7, 3).unwrap();
+        assert_eq!(split.len(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for e in &split.experiences {
+            assert_eq!(e.attack_classes.len(), 2); // 10 classes / 5 exps
+            for &c in &e.attack_classes {
+                assert!(seen.insert(c), "class {c} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn clean_normal_is_ten_percent() {
+        let d = data();
+        let split = prepare(&d, 5, 0.7, 3).unwrap();
+        let expected = (d.normal_count() as f64 * CLEAN_NORMAL_FRACTION).round();
+        let got = split.clean_normal.rows() as f64;
+        assert!(
+            (got - expected).abs() <= expected * 0.05 + 2.0,
+            "got {got}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn train_test_fractions() {
+        let d = data();
+        let split = prepare(&d, 5, 0.7, 3).unwrap();
+        for e in &split.experiences {
+            let total = e.train_x.rows() + e.test_x.rows();
+            let frac = e.train_x.rows() as f64 / total as f64;
+            assert!((frac - 0.7).abs() < 0.02, "train fraction = {frac}");
+            assert_eq!(e.test_x.rows(), e.test_y.len());
+            assert_eq!(e.test_x.rows(), e.test_class.len());
+        }
+    }
+
+    #[test]
+    fn test_labels_match_classes() {
+        let d = data();
+        let split = prepare(&d, 5, 0.7, 3).unwrap();
+        for e in &split.experiences {
+            for (y, c) in e.test_y.iter().zip(&e.test_class) {
+                assert_eq!(*y != 0, *c != 0);
+            }
+            // Test classes limited to this experience's attacks + normal.
+            for &c in &e.test_class {
+                assert!(c == 0 || e.attack_classes.contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn every_experience_contains_both_kinds() {
+        let d = data();
+        let split = prepare(&d, 5, 0.7, 3).unwrap();
+        for e in &split.experiences {
+            assert!(e.test_y.iter().any(|&y| y == 0));
+            assert!(e.test_y.iter().any(|&y| y == 1));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = data();
+        let a = prepare(&d, 5, 0.7, 9).unwrap();
+        let b = prepare(&d, 5, 0.7, 9).unwrap();
+        assert_eq!(a, b);
+        let c = prepare(&d, 5, 0.7, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wustl_one_class_per_experience() {
+        let d = DatasetProfile::WustlIiot
+            .generate(&GeneratorConfig::small(2))
+            .unwrap();
+        let split = prepare(&d, 4, 0.7, 1).unwrap();
+        for e in &split.experiences {
+            assert_eq!(e.attack_classes.len(), 1);
+        }
+    }
+
+    #[test]
+    fn uneven_division_spreads_remainder() {
+        // X-IIoTID: 18 classes over 5 experiences -> sizes 4,4,4,3,3.
+        let d = DatasetProfile::XIiotId
+            .generate(&GeneratorConfig::small(2))
+            .unwrap();
+        let split = prepare(&d, 5, 0.7, 1).unwrap();
+        let mut sizes: Vec<usize> = split
+            .experiences
+            .iter()
+            .map(|e| e.attack_classes.len())
+            .collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let d = data();
+        assert!(matches!(
+            prepare(&d, 1, 0.7, 0),
+            Err(DatasetError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            prepare(&d, 5, 1.0, 0),
+            Err(DatasetError::InvalidConfig { .. })
+        ));
+        // More experiences than classes.
+        assert!(matches!(
+            prepare(&d, 11, 0.7, 0),
+            Err(DatasetError::BadSplit { .. })
+        ));
+    }
+}

@@ -1,0 +1,110 @@
+use cnd_linalg::Matrix;
+
+/// A labelled intrusion dataset: one flow per row.
+///
+/// `class` identifies the traffic type per row: `0` is benign/normal,
+/// `1..=n_attack_classes` are attack classes. The binary label used by
+/// the detectors is derived as `class != 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature matrix, one flow per row.
+    pub x: Matrix,
+    /// Traffic class per row: `0` = normal, `c >= 1` = attack class `c`.
+    pub class: Vec<usize>,
+    /// Human-readable class names; index 0 is `"normal"`.
+    pub class_names: Vec<String>,
+    /// Name of the source profile or file.
+    pub name: String,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// Feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Number of distinct attack classes present in `class_names`
+    /// (excluding normal).
+    pub fn n_attack_classes(&self) -> usize {
+        self.class_names.len().saturating_sub(1)
+    }
+
+    /// Binary labels: `0` normal, `1` attack.
+    pub fn binary_labels(&self) -> Vec<u8> {
+        self.class.iter().map(|&c| u8::from(c != 0)).collect()
+    }
+
+    /// Row indices of normal samples, in stream order.
+    pub fn normal_indices(&self) -> Vec<usize> {
+        self.class
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Row indices of samples belonging to attack class `c`.
+    pub fn class_indices(&self, c: usize) -> Vec<usize> {
+        self.class
+            .iter()
+            .enumerate()
+            .filter(|(_, &cls)| cls == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Count of normal samples.
+    pub fn normal_count(&self) -> usize {
+        self.class.iter().filter(|&&c| c == 0).count()
+    }
+
+    /// Count of attack samples.
+    pub fn attack_count(&self) -> usize {
+        self.len() - self.normal_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset {
+            x: Matrix::from_fn(5, 2, |i, j| (i * 2 + j) as f64),
+            class: vec![0, 1, 0, 2, 1],
+            class_names: vec!["normal".into(), "dos".into(), "scan".into()],
+            name: "tiny".into(),
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let d = tiny();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_attack_classes(), 2);
+        assert_eq!(d.normal_count(), 2);
+        assert_eq!(d.attack_count(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn labels_and_indices() {
+        let d = tiny();
+        assert_eq!(d.binary_labels(), vec![0, 1, 0, 1, 1]);
+        assert_eq!(d.normal_indices(), vec![0, 2]);
+        assert_eq!(d.class_indices(1), vec![1, 4]);
+        assert_eq!(d.class_indices(2), vec![3]);
+    }
+}

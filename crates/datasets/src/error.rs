@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+use cnd_linalg::LinalgError;
+
+/// Error type for dataset generation, loading and preparation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// An underlying matrix operation failed.
+    Linalg(LinalgError),
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        constraint: &'static str,
+    },
+    /// The continual split cannot be formed (e.g. more experiences than
+    /// attack classes).
+    BadSplit {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// CSV parsing failed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An I/O error while reading a dataset file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            DatasetError::InvalidConfig { name, constraint } => {
+                write!(f, "config {name} violates constraint: {constraint}")
+            }
+            DatasetError::BadSplit { reason } => write!(f, "cannot split dataset: {reason}"),
+            DatasetError::Parse { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+            DatasetError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Linalg(e) => Some(e),
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for DatasetError {
+    fn from(e: LinalgError) -> Self {
+        DatasetError::Linalg(e)
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = DatasetError::BadSplit {
+            reason: "too many experiences".into(),
+        };
+        assert!(e.to_string().contains("too many experiences"));
+        let p = DatasetError::Parse {
+            line: 3,
+            message: "bad float".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatasetError>();
+    }
+}

@@ -1,0 +1,558 @@
+//! Seeded synthetic flow-feature generator.
+//!
+//! The generative model (one instance per [`DatasetProfile`]):
+//!
+//! * **Benign manifold.** Benign flows live near a rank-`r` linear
+//!   manifold: `x = z·W + μ + ε` with `z ~ N(0, I_r)`, a fixed mixing
+//!   matrix `W`, and small isotropic noise `ε`. Real flow features are
+//!   strongly correlated (bytes ≈ packets × size, duration ↔ counts),
+//!   which is exactly what makes PCA-reconstruction novelty detection
+//!   viable; the low-rank model reproduces that property.
+//! * **Covariate drift.** The benign mean drifts linearly along the
+//!   stream in a fixed random direction, scaled by
+//!   [`GeneratorConfig::drift_strength`] — the "changing data stream" the
+//!   paper's continual learner must track.
+//! * **Heavy-tailed volume features.** Three designated features receive
+//!   log-normal bursts, mimicking byte/packet counters.
+//! * **Duplicate flows.** Real flow corpora contain large numbers of
+//!   byte-identical flows (retransmissions, floods, periodic telemetry).
+//!   A replay buffer re-emits recent rows verbatim with configurable
+//!   probability. Duplicates degenerate the reachability densities of
+//!   LOF-style local-density methods — a failure mode documented for
+//!   these exact datasets — while leaving reconstruction- and
+//!   isolation-based methods essentially unaffected.
+//! * **Attack classes with graded separability.** Attack class `c`
+//!   shifts the benign manifold along a class-specific direction with
+//!   severity spread over `[1.0, 4.5]` via the golden-ratio
+//!   low-discrepancy sequence (so every dataset contains both subtle and
+//!   blatant attacks), inflates variance on a class-specific feature
+//!   subset, and breaks part of the latent correlation structure.
+//!   Crucially, each class's shift direction is a graded mix of a
+//!   **within-manifold** component (a latent-space shift mapped through
+//!   the mixing matrix — invisible to linear PCA reconstruction error on
+//!   raw features, since it stays inside the principal subspace) and an
+//!   **off-manifold** component. Real attacks exhibit both flavours;
+//!   this is what gives *learned* feature spaces their edge over raw
+//!   PCA, the paper's central mechanism.
+//!
+//! Everything is deterministic given `(profile, seed)`.
+
+use cnd_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Dataset, DatasetError, DatasetProfile};
+
+/// Configuration for the synthetic generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Total number of samples (normal + attack) to generate. The
+    /// normal : attack ratio follows the profile's Table I fraction.
+    pub total_samples: usize,
+    /// Master RNG seed; all randomness derives from it.
+    pub seed: u64,
+    /// Magnitude of the benign-mean drift across the stream (in feature
+    /// standard deviations end-to-end). The paper's scenario implies
+    /// mild drift; default `2.0` end-to-end.
+    pub drift_strength: f64,
+    /// Isotropic noise standard deviation around the benign manifold.
+    pub noise_level: f64,
+    /// Probability that a flow carries a large volume burst (flash
+    /// crowds, retransmission storms). Bursts are heavy-tailed,
+    /// off-manifold and *benign* — the classic false-positive source for
+    /// linear reconstruction detectors.
+    pub burst_probability: f64,
+    /// Probability that a flow is a verbatim duplicate of a recent flow
+    /// of the same class (retransmissions, floods, periodic telemetry —
+    /// ubiquitous in real flow corpora).
+    pub duplicate_probability: f64,
+}
+
+impl GeneratorConfig {
+    /// Default scale used by the benchmark harness (~12k samples).
+    pub fn standard(seed: u64) -> Self {
+        GeneratorConfig {
+            total_samples: 12_000,
+            seed,
+            drift_strength: 3.0,
+            noise_level: 0.3,
+            burst_probability: 0.05,
+            duplicate_probability: 0.25,
+        }
+    }
+
+    /// Small scale for unit tests (~3k samples).
+    pub fn small(seed: u64) -> Self {
+        GeneratorConfig {
+            total_samples: 3_000,
+            seed,
+            drift_strength: 3.0,
+            noise_level: 0.3,
+            burst_probability: 0.05,
+            duplicate_probability: 0.25,
+        }
+    }
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig::standard(0)
+    }
+}
+
+/// Draws one standard-normal value (Box–Muller).
+fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Random unit vector of dimension `d`.
+fn rand_unit<R: Rng + ?Sized>(d: usize, rng: &mut R) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..d).map(|_| randn(rng)).collect();
+    let n = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+    for x in &mut v {
+        *x /= n;
+    }
+    v
+}
+
+/// Fractional part of `x` (used for the golden-ratio severity spread).
+fn frac(x: f64) -> f64 {
+    x - x.floor()
+}
+
+/// Per-class attack parameters, derived deterministically.
+struct AttackClassModel {
+    /// Mean-shift direction (unit vector in feature space).
+    direction: Vec<f64>,
+    /// Shift magnitude — graded separability across classes.
+    severity: f64,
+    /// Feature indices with inflated variance.
+    noisy_features: Vec<usize>,
+    /// Latent dimensions whose scale is perturbed (structure break).
+    broken_latents: Vec<usize>,
+}
+
+/// Generates a scaled synthetic replica of `profile`.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] when `total_samples` is too
+/// small to give every attack class at least a handful of samples, or
+/// when noise/drift are negative.
+pub fn generate(profile: DatasetProfile, config: &GeneratorConfig) -> Result<Dataset, DatasetError> {
+    let n_classes = profile.n_attack_classes();
+    if config.total_samples < n_classes * 20 + 100 {
+        return Err(DatasetError::InvalidConfig {
+            name: "total_samples",
+            constraint: "must allow >= 20 samples per attack class plus 100 normals",
+        });
+    }
+    if config.noise_level < 0.0 || config.drift_strength < 0.0 {
+        return Err(DatasetError::InvalidConfig {
+            name: "noise_level/drift_strength",
+            constraint: "must be non-negative",
+        });
+    }
+    if !(0.0..=1.0).contains(&config.burst_probability)
+        || !(0.0..=1.0).contains(&config.duplicate_probability)
+    {
+        return Err(DatasetError::InvalidConfig {
+            name: "burst_probability/duplicate_probability",
+            constraint: "must be in [0, 1]",
+        });
+    }
+    let d = profile.n_features();
+    let r = profile.latent_rank();
+    // Derive a profile-specific stream so the four datasets differ even
+    // with the same seed.
+    let profile_salt = match profile {
+        DatasetProfile::XIiotId => 0x1107,
+        DatasetProfile::WustlIiot => 0x2211,
+        DatasetProfile::Cicids2017 => 0x3017,
+        DatasetProfile::UnswNb15 => 0x4015,
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(profile_salt));
+
+    // Benign model.
+    let mixing = Matrix::from_fn(r, d, |_, _| randn(&mut rng) / (r as f64).sqrt());
+    let mean: Vec<f64> = (0..d).map(|_| randn(&mut rng) * 2.0).collect();
+    let drift_dir = rand_unit(d, &mut rng);
+    let volume_features: Vec<usize> = (0..3).map(|_| rng.gen_range(0..d)).collect();
+
+    // Attack class models with golden-ratio graded severity and a graded
+    // within-manifold / off-manifold shift mix.
+    const GOLDEN: f64 = 0.618_033_988_749_894_9;
+    const SILVER: f64 = 0.414_213_562_373_095_0; // sqrt(2) − 1
+    let attack_models: Vec<AttackClassModel> = (1..=n_classes)
+        .map(|c| {
+            let severity = 1.0 + 3.5 * frac(c as f64 * GOLDEN);
+            // Within-manifold direction: a latent shift mapped through W.
+            let u = rand_unit(r, &mut rng);
+            let mut dir_in = vec![0.0; d];
+            for (k, &uk) in u.iter().enumerate() {
+                for j in 0..d {
+                    dir_in[j] += uk * mixing[(k, j)];
+                }
+            }
+            let norm_in = dir_in.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+            for v in &mut dir_in {
+                *v /= norm_in;
+            }
+            let dir_off = rand_unit(d, &mut rng);
+            // α ⇒ within-manifold fraction of the shift. Attacks are
+            // mostly off-manifold (they break feature correlations) but
+            // each class keeps a within-manifold component that linear
+            // PCA reconstruction cannot see.
+            let alpha = frac(c as f64 * SILVER);
+            let mut direction: Vec<f64> = dir_in
+                .iter()
+                .zip(&dir_off)
+                .map(|(i, o)| alpha * i + (1.0 - alpha) * o)
+                .collect();
+            let n_dir = direction.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+            for v in &mut direction {
+                *v /= n_dir;
+            }
+            let n_noisy = 2 + (c % 5);
+            let noisy_features = (0..n_noisy).map(|_| rng.gen_range(0..d)).collect();
+            let n_broken = 1 + (c % 3);
+            let broken_latents = (0..n_broken).map(|_| rng.gen_range(0..r)).collect();
+            AttackClassModel {
+                direction,
+                severity,
+                noisy_features,
+                broken_latents,
+            }
+        })
+        .collect();
+
+    // Sample counts: Table I imbalance, skewed class sizes.
+    let attack_total =
+        ((config.total_samples as f64) * profile.attack_fraction()).round() as usize;
+    let normal_total = config.total_samples - attack_total;
+    let raw_weights: Vec<f64> = (1..=n_classes)
+        .map(|c| 0.3 + 1.7 * frac(c as f64 * GOLDEN * GOLDEN))
+        .collect();
+    let weight_sum: f64 = raw_weights.iter().sum();
+    let mut class_counts: Vec<usize> = raw_weights
+        .iter()
+        .map(|w| ((w / weight_sum) * attack_total as f64).round().max(10.0) as usize)
+        .collect();
+    // Adjust the largest class so totals match exactly.
+    let assigned: usize = class_counts.iter().sum();
+    if assigned != attack_total {
+        let (largest, _) = class_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("non-empty");
+        let diff = attack_total as i64 - assigned as i64;
+        let new = (class_counts[largest] as i64 + diff).max(10) as usize;
+        class_counts[largest] = new;
+    }
+
+    let total = normal_total + class_counts.iter().sum::<usize>();
+    let mut x = Matrix::zeros(total, d);
+    let mut class = Vec::with_capacity(total);
+
+    // Benign stream (drift ordered). Recent rows are re-emitted verbatim
+    // with `duplicate_probability` (retransmissions, telemetry beacons).
+    const REPLAY_WINDOW: usize = 50;
+    for i in 0..normal_total {
+        if i > 0 && rng.gen_range(0.0..1.0) < config.duplicate_probability {
+            let back = rng.gen_range(1..=REPLAY_WINDOW.min(i));
+            let src = x.row(i - back).to_vec();
+            x.row_mut(i).copy_from_slice(&src);
+            class.push(0);
+            continue;
+        }
+        let t = i as f64 / normal_total.max(1) as f64;
+        let row = x.row_mut(i);
+        sample_benign(
+            row,
+            &mixing,
+            &mean,
+            &drift_dir,
+            config.drift_strength * t,
+            config.noise_level,
+            &volume_features,
+            config.burst_probability,
+            &mut rng,
+        );
+        class.push(0);
+    }
+
+    // Attack samples, grouped by class. Shifts are 2–9 standard
+    // deviations along the class direction: separable by direction-aware
+    // methods (K-Means centroids, learned features, PCA residuals for
+    // the off-manifold part) yet small against the ~sqrt(2d)·σ
+    // nearest-neighbour distances that plain kNN density methods see.
+    let shift_scale = 2.0;
+    let mut row_idx = normal_total;
+    for (ci, model) in attack_models.iter().enumerate() {
+        let class_start = row_idx;
+        for _ in 0..class_counts[ci] {
+            // Floods and scans duplicate even more aggressively than
+            // benign traffic.
+            if row_idx > class_start && rng.gen_range(0.0..1.0) < config.duplicate_probability {
+                let span = (row_idx - class_start).min(REPLAY_WINDOW);
+                let back = rng.gen_range(1..=span);
+                let src = x.row(row_idx - back).to_vec();
+                x.row_mut(row_idx).copy_from_slice(&src);
+                class.push(ci + 1);
+                row_idx += 1;
+                continue;
+            }
+            // Attacks appear throughout the stream; give them a random
+            // drift phase so they are not trivially separable by drift.
+            let t = rng.gen_range(0.0..1.0);
+            let row = x.row_mut(row_idx);
+            sample_attack(
+                row,
+                &mixing,
+                &mean,
+                &drift_dir,
+                config.drift_strength * t,
+                config.noise_level,
+                &volume_features,
+                model,
+                shift_scale,
+                config.burst_probability,
+                &mut rng,
+            );
+            class.push(ci + 1);
+            row_idx += 1;
+        }
+    }
+
+    let mut class_names = vec!["normal".to_string()];
+    for c in 1..=n_classes {
+        class_names.push(format!("{}-attack-{c:02}", profile.name().to_lowercase()));
+    }
+
+    Ok(Dataset {
+        x,
+        class,
+        class_names,
+        name: profile.name().to_string(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sample_benign<R: Rng + ?Sized>(
+    row: &mut [f64],
+    mixing: &Matrix,
+    mean: &[f64],
+    drift_dir: &[f64],
+    drift: f64,
+    noise: f64,
+    volume_features: &[usize],
+    burst_prob: f64,
+    rng: &mut R,
+) {
+    let r = mixing.rows();
+    let z: Vec<f64> = (0..r).map(|_| randn(rng)).collect();
+    for (j, out) in row.iter_mut().enumerate() {
+        let mut v = mean[j] + drift * drift_dir[j];
+        for (k, &zk) in z.iter().enumerate() {
+            v += zk * mixing[(k, j)];
+        }
+        v += noise * randn(rng);
+        *out = v;
+    }
+    // Heavy-tailed volume counters.
+    for &f in volume_features {
+        let burst = (0.5 * randn(rng)).exp() * 0.5;
+        row[f] += burst;
+    }
+    apply_heavy_burst(row, volume_features, burst_prob, rng);
+}
+
+/// Occasionally superimposes a large, heavy-tailed volume burst (flash
+/// crowd / retransmission storm). These events are benign but lie far
+/// off the low-rank manifold — the canonical false-positive source for
+/// linear reconstruction detectors, and the reason bounded learned
+/// features are more robust.
+fn apply_heavy_burst<R: Rng + ?Sized>(
+    row: &mut [f64],
+    volume_features: &[usize],
+    burst_prob: f64,
+    rng: &mut R,
+) {
+    if rng.gen_range(0.0..1.0) < burst_prob {
+        for &f in volume_features {
+            row[f] += (1.0 + randn(rng).abs()).exp();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sample_attack<R: Rng + ?Sized>(
+    row: &mut [f64],
+    mixing: &Matrix,
+    mean: &[f64],
+    drift_dir: &[f64],
+    drift: f64,
+    noise: f64,
+    volume_features: &[usize],
+    model: &AttackClassModel,
+    shift_scale: f64,
+    burst_prob: f64,
+    rng: &mut R,
+) {
+    let r = mixing.rows();
+    let mut z: Vec<f64> = (0..r).map(|_| randn(rng)).collect();
+    // Structure break: some latent dimensions inflate with severity —
+    // a *within-manifold* variance burst that linear PCA reconstruction
+    // cannot see but density/isolation methods and learned features can.
+    for &k in &model.broken_latents {
+        z[k] *= 1.5 + 0.5 * model.severity;
+    }
+    for (j, out) in row.iter_mut().enumerate() {
+        let mut v = mean[j] + drift * drift_dir[j];
+        for (k, &zk) in z.iter().enumerate() {
+            v += zk * mixing[(k, j)];
+        }
+        v += model.severity * shift_scale * model.direction[j];
+        v += noise * randn(rng);
+        *out = v;
+    }
+    // Mild per-feature jitter on a class-specific subset — kept of the
+    // same order as the benign manifold noise so raw-feature PCA cannot
+    // trivially separate attacks by off-manifold energy alone.
+    for &f in &model.noisy_features {
+        row[f] += 0.4 * randn(rng);
+    }
+    for &f in volume_features {
+        let burst = (0.5 * randn(rng)).exp() * 0.5;
+        row[f] += burst;
+    }
+    apply_heavy_burst(row, volume_features, burst_prob, rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnd_linalg::stats;
+
+    #[test]
+    fn generates_requested_structure() {
+        let d = generate(DatasetProfile::UnswNb15, &GeneratorConfig::small(1)).unwrap();
+        assert_eq!(d.n_features(), 42);
+        assert_eq!(d.n_attack_classes(), 10);
+        assert!(d.len() >= 2_900 && d.len() <= 3_200, "len = {}", d.len());
+        assert!(d.x.is_finite());
+    }
+
+    #[test]
+    fn imbalance_follows_profile() {
+        let d = generate(DatasetProfile::WustlIiot, &GeneratorConfig::standard(2)).unwrap();
+        let frac = d.attack_count() as f64 / d.len() as f64;
+        let expect = DatasetProfile::WustlIiot.attack_fraction();
+        assert!((frac - expect).abs() < 0.05, "frac = {frac}, expected {expect}");
+    }
+
+    #[test]
+    fn every_class_represented() {
+        for p in DatasetProfile::ALL {
+            let d = generate(p, &GeneratorConfig::small(3)).unwrap();
+            for c in 1..=p.n_attack_classes() {
+                assert!(
+                    d.class_indices(c).len() >= 10,
+                    "{p}: class {c} has too few samples"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(DatasetProfile::XIiotId, &GeneratorConfig::small(9)).unwrap();
+        let b = generate(DatasetProfile::XIiotId, &GeneratorConfig::small(9)).unwrap();
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.class, b.class);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(DatasetProfile::XIiotId, &GeneratorConfig::small(1)).unwrap();
+        let b = generate(DatasetProfile::XIiotId, &GeneratorConfig::small(2)).unwrap();
+        assert_ne!(a.x, b.x);
+    }
+
+    #[test]
+    fn profiles_differ_with_same_seed() {
+        let a = generate(DatasetProfile::UnswNb15, &GeneratorConfig::small(1)).unwrap();
+        let b = generate(DatasetProfile::WustlIiot, &GeneratorConfig::small(1)).unwrap();
+        assert_ne!(a.x.shape(), b.x.shape());
+    }
+
+    #[test]
+    fn benign_data_is_low_rank() {
+        // Most benign variance should concentrate in ~latent_rank dims.
+        let p = DatasetProfile::UnswNb15;
+        let d = generate(p, &GeneratorConfig::small(4)).unwrap();
+        let normals = d.x.select_rows(&d.normal_indices()).unwrap();
+        let cov = stats::covariance(&normals).unwrap();
+        let eig = cnd_linalg::eigen::symmetric_eigen(&cov, 1e-6).unwrap();
+        let total: f64 = eig.eigenvalues.iter().sum();
+        let top: f64 = eig.eigenvalues[..p.latent_rank()].iter().sum();
+        assert!(
+            top / total > 0.75,
+            "top-{} explain only {:.2}",
+            p.latent_rank(),
+            top / total
+        );
+    }
+
+    #[test]
+    fn drift_moves_benign_mean() {
+        let p = DatasetProfile::UnswNb15;
+        let cfg = GeneratorConfig {
+            drift_strength: 3.0,
+            ..GeneratorConfig::small(5)
+        };
+        let d = generate(p, &cfg).unwrap();
+        let normals = d.normal_indices();
+        let early = d.x.select_rows(&normals[..200]).unwrap();
+        let late = d.x.select_rows(&normals[normals.len() - 200..]).unwrap();
+        let me = stats::column_means(&early).unwrap();
+        let ml = stats::column_means(&late).unwrap();
+        let shift = cnd_linalg::vector::distance(&me, &ml);
+        assert!(shift > 1.0, "drift shift = {shift}");
+    }
+
+    #[test]
+    fn severity_grading_spreads_classes() {
+        // With golden-ratio spacing there must exist both a subtle class
+        // (severity < 1.5) and a blatant one (severity > 3.5) among 10.
+        const GOLDEN: f64 = 0.618_033_988_749_894_9;
+        let severities: Vec<f64> = (1..=10)
+            .map(|c| 1.0 + 3.5 * frac(c as f64 * GOLDEN))
+            .collect();
+        assert!(severities.iter().any(|&s| s < 1.5));
+        assert!(severities.iter().any(|&s| s > 3.5));
+    }
+
+    #[test]
+    fn config_validation() {
+        let tiny = GeneratorConfig {
+            total_samples: 50,
+            ..GeneratorConfig::small(0)
+        };
+        assert!(matches!(
+            generate(DatasetProfile::XIiotId, &tiny),
+            Err(DatasetError::InvalidConfig { .. })
+        ));
+        let neg = GeneratorConfig {
+            noise_level: -1.0,
+            ..GeneratorConfig::small(0)
+        };
+        assert!(matches!(
+            generate(DatasetProfile::UnswNb15, &neg),
+            Err(DatasetError::InvalidConfig { .. })
+        ));
+    }
+}

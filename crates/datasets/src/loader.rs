@@ -1,0 +1,184 @@
+//! Minimal CSV loader so the pipeline can run on the *real* intrusion
+//! datasets when a user has them on disk.
+//!
+//! Expected layout: numeric feature columns with the class label in the
+//! last column. Labels equal (case-insensitively) to `normal`, `benign`
+//! or `0` map to class `0`; every other distinct label becomes an attack
+//! class in order of first appearance.
+
+use std::io::BufRead;
+use std::path::Path;
+
+use cnd_linalg::Matrix;
+
+use crate::{Dataset, DatasetError};
+
+/// Reads a dataset from a CSV file.
+///
+/// # Errors
+///
+/// * [`DatasetError::Io`] on file-system failures.
+/// * [`DatasetError::Parse`] on non-numeric features, ragged rows, or an
+///   empty file.
+pub fn read_csv<P: AsRef<Path>>(path: P, has_header: bool) -> Result<Dataset, DatasetError> {
+    let file = std::fs::File::open(&path)?;
+    let name = path
+        .as_ref()
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "csv".to_string());
+    read_csv_from(std::io::BufReader::new(file), has_header, name)
+}
+
+/// Reads a dataset from any [`BufRead`] source (pass `&mut reader` if you
+/// need the reader back afterwards).
+///
+/// # Errors
+///
+/// See [`read_csv`].
+pub fn read_csv_from<R: BufRead>(
+    reader: R,
+    has_header: bool,
+    name: String,
+) -> Result<Dataset, DatasetError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut class: Vec<usize> = Vec::new();
+    let mut class_names: Vec<String> = vec!["normal".to_string()];
+    let mut width: Option<usize> = None;
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let human_line = line_no + 1;
+        if line_no == 0 && has_header {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(DatasetError::Parse {
+                line: human_line,
+                message: "need at least one feature and a label".into(),
+            });
+        }
+        let (feat_fields, label_field) = fields.split_at(fields.len() - 1);
+        match width {
+            None => width = Some(feat_fields.len()),
+            Some(w) if w != feat_fields.len() => {
+                return Err(DatasetError::Parse {
+                    line: human_line,
+                    message: format!("expected {w} features, found {}", feat_fields.len()),
+                })
+            }
+            _ => {}
+        }
+        let mut row = Vec::with_capacity(feat_fields.len());
+        for f in feat_fields {
+            let v: f64 = f.parse().map_err(|_| DatasetError::Parse {
+                line: human_line,
+                message: format!("non-numeric feature {f:?}"),
+            })?;
+            row.push(v);
+        }
+        let label = label_field[0];
+        let cls = if label.eq_ignore_ascii_case("normal")
+            || label.eq_ignore_ascii_case("benign")
+            || label == "0"
+        {
+            0
+        } else {
+            match class_names.iter().position(|n| n == label) {
+                Some(p) => p,
+                None => {
+                    class_names.push(label.to_string());
+                    class_names.len() - 1
+                }
+            }
+        };
+        rows.push(row);
+        class.push(cls);
+    }
+    if rows.is_empty() {
+        return Err(DatasetError::Parse {
+            line: 0,
+            message: "file contained no data rows".into(),
+        });
+    }
+    let x = Matrix::from_rows(&rows)?;
+    Ok(Dataset {
+        x,
+        class,
+        class_names,
+        name,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn load(s: &str, header: bool) -> Result<Dataset, DatasetError> {
+        read_csv_from(Cursor::new(s.to_string()), header, "test".into())
+    }
+
+    #[test]
+    fn parses_basic_file() {
+        let d = load("1.0,2.0,normal\n3.0,4.0,dos\n5.0,6.0,dos\n", false).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.class, vec![0, 1, 1]);
+        assert_eq!(d.class_names, vec!["normal", "dos"]);
+    }
+
+    #[test]
+    fn skips_header_and_blank_lines() {
+        let d = load("f1,f2,label\n1,2,benign\n\n3,4,scan\n", true).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.binary_labels(), vec![0, 1]);
+    }
+
+    #[test]
+    fn numeric_zero_label_is_normal() {
+        let d = load("1,2,0\n3,4,1\n", false).unwrap();
+        assert_eq!(d.class, vec![0, 1]);
+    }
+
+    #[test]
+    fn multiple_attack_classes_ordered_by_appearance() {
+        let d = load("1,a_x\n2,normal\n3,b_y\n4,a_x\n", false).unwrap();
+        assert_eq!(d.class, vec![1, 0, 2, 1]);
+        assert_eq!(d.class_names, vec!["normal", "a_x", "b_y"]);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let e = load("1,2,normal\n1,normal\n", false);
+        assert!(matches!(e, Err(DatasetError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn rejects_non_numeric_feature() {
+        let e = load("abc,2,normal\n", false);
+        assert!(matches!(e, Err(DatasetError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(load("", false), Err(DatasetError::Parse { .. })));
+        assert!(matches!(
+            load("header,only\n", true),
+            Err(DatasetError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_single_column() {
+        assert!(matches!(
+            load("justlabel\n", false),
+            Err(DatasetError::Parse { .. })
+        ));
+    }
+}

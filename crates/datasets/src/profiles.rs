@@ -1,0 +1,160 @@
+//! The four dataset profiles of the paper's Table I.
+//!
+//! Each profile records the structure of one real intrusion dataset —
+//! feature dimensionality, attack-class count, class-imbalance ratio and
+//! the experience count used in the paper's split — and knows how to
+//! instantiate a scaled synthetic replica via [`crate::generator`].
+
+use crate::generator::{self, GeneratorConfig};
+use crate::{Dataset, DatasetError};
+
+/// One of the paper's four intrusion datasets (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetProfile {
+    /// X-IIoTID (Al-Hawawreh et al.): industrial IoT, 18 attack types,
+    /// near-balanced (421k normal / 399k attack).
+    XIiotId,
+    /// WUSTL-IIoT 2021: industrial IoT, 4 attack types, heavily
+    /// imbalanced (1.1M normal / 87k attack).
+    WustlIiot,
+    /// CICIDS2017: enterprise network, 15 attack types,
+    /// 2.27M normal / 558k attack.
+    Cicids2017,
+    /// UNSW-NB15: enterprise network, 10 attack types (9 attack
+    /// categories + variants in the paper's counting),
+    /// 165k normal / 93k attack.
+    UnswNb15,
+}
+
+impl DatasetProfile {
+    /// All four profiles in the paper's Table I order.
+    pub const ALL: [DatasetProfile; 4] = [
+        DatasetProfile::XIiotId,
+        DatasetProfile::WustlIiot,
+        DatasetProfile::Cicids2017,
+        DatasetProfile::UnswNb15,
+    ];
+
+    /// Dataset name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetProfile::XIiotId => "X-IIoTID",
+            DatasetProfile::WustlIiot => "WUSTL-IIoT",
+            DatasetProfile::Cicids2017 => "CICIDS2017",
+            DatasetProfile::UnswNb15 => "UNSW-NB15",
+        }
+    }
+
+    /// Feature dimensionality of the synthetic replica (close to the
+    /// numeric-feature count of the real dataset).
+    pub fn n_features(self) -> usize {
+        match self {
+            DatasetProfile::XIiotId => 58,
+            DatasetProfile::WustlIiot => 41,
+            DatasetProfile::Cicids2017 => 78,
+            DatasetProfile::UnswNb15 => 42,
+        }
+    }
+
+    /// Number of attack classes (paper Table I "Attack Types").
+    pub fn n_attack_classes(self) -> usize {
+        match self {
+            DatasetProfile::XIiotId => 18,
+            DatasetProfile::WustlIiot => 4,
+            DatasetProfile::Cicids2017 => 15,
+            DatasetProfile::UnswNb15 => 10,
+        }
+    }
+
+    /// Attack fraction of the full dataset (from the paper's Table I
+    /// sample counts).
+    pub fn attack_fraction(self) -> f64 {
+        match self {
+            DatasetProfile::XIiotId => 399_417.0 / 820_502.0,
+            DatasetProfile::WustlIiot => 87_016.0 / 1_194_464.0,
+            DatasetProfile::Cicids2017 => 557_646.0 / 2_830_743.0,
+            DatasetProfile::UnswNb15 => 93_000.0 / 257_673.0,
+        }
+    }
+
+    /// Full-size sample count reported in the paper's Table I.
+    pub fn paper_size(self) -> usize {
+        match self {
+            DatasetProfile::XIiotId => 820_502,
+            DatasetProfile::WustlIiot => 1_194_464,
+            DatasetProfile::Cicids2017 => 2_830_743,
+            DatasetProfile::UnswNb15 => 257_673,
+        }
+    }
+
+    /// Number of experiences used by the paper's split (Section IV-A):
+    /// 5 for all datasets except WUSTL-IIoT (4, one attack each).
+    pub fn default_experiences(self) -> usize {
+        match self {
+            DatasetProfile::WustlIiot => 4,
+            _ => 5,
+        }
+    }
+
+    /// Latent manifold rank of the benign traffic model — a fraction of
+    /// the feature count, reflecting the strong correlations among real
+    /// flow features.
+    pub fn latent_rank(self) -> usize {
+        (self.n_features() / 5).max(3)
+    }
+
+    /// Generates the scaled synthetic replica.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration.
+    pub fn generate(self, config: &GeneratorConfig) -> Result<Dataset, DatasetError> {
+        generator::generate(self, config)
+    }
+}
+
+impl std::fmt::Display for DatasetProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_structure() {
+        assert_eq!(DatasetProfile::XIiotId.n_attack_classes(), 18);
+        assert_eq!(DatasetProfile::WustlIiot.n_attack_classes(), 4);
+        assert_eq!(DatasetProfile::Cicids2017.n_attack_classes(), 15);
+        assert_eq!(DatasetProfile::UnswNb15.n_attack_classes(), 10);
+    }
+
+    #[test]
+    fn attack_fractions_match_table_one() {
+        // X-IIoTID is near balanced, WUSTL heavily imbalanced.
+        assert!((DatasetProfile::XIiotId.attack_fraction() - 0.487).abs() < 0.01);
+        assert!((DatasetProfile::WustlIiot.attack_fraction() - 0.0729).abs() < 0.001);
+    }
+
+    #[test]
+    fn experience_counts() {
+        assert_eq!(DatasetProfile::WustlIiot.default_experiences(), 4);
+        assert_eq!(DatasetProfile::Cicids2017.default_experiences(), 5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DatasetProfile::UnswNb15.to_string(), "UNSW-NB15");
+        assert_eq!(DatasetProfile::ALL.len(), 4);
+    }
+
+    #[test]
+    fn latent_rank_reasonable() {
+        for p in DatasetProfile::ALL {
+            let r = p.latent_rank();
+            assert!(r >= 3 && r < p.n_features());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for dataset generation and continual splitting.
+
+use cnd_datasets::{continual, DatasetProfile, GeneratorConfig};
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = DatasetProfile> {
+    prop::sample::select(DatasetProfile::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generation_is_finite_and_complete(profile in profile_strategy(), seed in 0u64..1000) {
+        let data = profile.generate(&GeneratorConfig::small(seed)).unwrap();
+        prop_assert!(data.x.is_finite());
+        prop_assert_eq!(data.n_features(), profile.n_features());
+        prop_assert_eq!(data.n_attack_classes(), profile.n_attack_classes());
+        prop_assert_eq!(data.class.len(), data.len());
+        // Every class id is valid.
+        prop_assert!(data.class.iter().all(|&c| c <= profile.n_attack_classes()));
+    }
+
+    #[test]
+    fn imbalance_tracks_profile(profile in profile_strategy(), seed in 0u64..100) {
+        let data = profile.generate(&GeneratorConfig::small(seed)).unwrap();
+        let frac = data.attack_count() as f64 / data.len() as f64;
+        prop_assert!((frac - profile.attack_fraction()).abs() < 0.08,
+            "{profile}: attack fraction {frac} vs table {}", profile.attack_fraction());
+    }
+
+    #[test]
+    fn split_partitions_attack_classes(seed in 0u64..50) {
+        let profile = DatasetProfile::UnswNb15;
+        let data = profile.generate(&GeneratorConfig::small(seed)).unwrap();
+        let split = continual::prepare(&data, 5, 0.7, seed).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for e in &split.experiences {
+            for &c in &e.attack_classes {
+                prop_assert!(seen.insert(c), "class {c} in two experiences");
+            }
+        }
+        prop_assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn split_train_sets_have_no_label_leakage(seed in 0u64..50) {
+        // Train classes exist only as withheld ground truth; every test
+        // label is consistent with its class id.
+        let profile = DatasetProfile::WustlIiot;
+        let data = profile.generate(&GeneratorConfig::small(seed)).unwrap();
+        let split = continual::prepare(&data, 4, 0.7, seed).unwrap();
+        for e in &split.experiences {
+            prop_assert_eq!(e.train_x.rows(), e.train_class.len());
+            for (y, c) in e.test_y.iter().zip(&e.test_class) {
+                prop_assert_eq!(*y != 0, *c != 0);
+            }
+        }
+    }
+
+    #[test]
+    fn split_sample_conservation(seed in 0u64..50) {
+        // N_c plus all experience train/test parts account for every
+        // sample exactly once.
+        let profile = DatasetProfile::UnswNb15;
+        let data = profile.generate(&GeneratorConfig::small(seed)).unwrap();
+        let split = continual::prepare(&data, 5, 0.7, seed).unwrap();
+        let total: usize = split.clean_normal.rows()
+            + split
+                .experiences
+                .iter()
+                .map(|e| e.train_x.rows() + e.test_x.rows())
+                .sum::<usize>();
+        prop_assert_eq!(total, data.len());
+    }
+
+    #[test]
+    fn duplicates_present_at_configured_rate(seed in 0u64..20) {
+        let cfg = GeneratorConfig {
+            duplicate_probability: 0.3,
+            ..GeneratorConfig::small(seed)
+        };
+        let data = DatasetProfile::WustlIiot.generate(&cfg).unwrap();
+        // Count exact consecutive-window duplicates among normals.
+        let normals = data.normal_indices();
+        let mut dups = 0;
+        for w in normals.windows(51) {
+            let last = w[w.len() - 1];
+            if w[..w.len() - 1]
+                .iter()
+                .any(|&i| data.x.row(i) == data.x.row(last))
+            {
+                dups += 1;
+            }
+        }
+        let rate = dups as f64 / normals.len() as f64;
+        prop_assert!(rate > 0.15, "duplicate rate {rate} too low");
+    }
+
+    #[test]
+    fn zero_duplicate_probability_gives_unique_rows(seed in 0u64..10) {
+        let cfg = GeneratorConfig {
+            duplicate_probability: 0.0,
+            ..GeneratorConfig::small(seed)
+        };
+        let data = DatasetProfile::UnswNb15.generate(&cfg).unwrap();
+        let normals = data.normal_indices();
+        for w in normals.windows(2) {
+            prop_assert_ne!(data.x.row(w[0]), data.x.row(w[1]));
+        }
+    }
+}

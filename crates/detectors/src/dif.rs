@@ -1,0 +1,233 @@
+//! Deep Isolation Forest (Xu et al., TKDE 2023).
+//!
+//! DIF replaces iForest's axis-parallel splits with splits in the
+//! representation spaces of an ensemble of *randomly initialized* (never
+//! trained) neural networks: each network provides a non-linear view of
+//! the data, an isolation forest is grown per view, and the final anomaly
+//! score averages over views. Random representations are the paper's key
+//! trick — they give the isolation mechanism oblique, non-linear
+//! partitions at negligible cost.
+
+use cnd_linalg::Matrix;
+use cnd_nn::{Activation, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{DetectorError, IsolationForest, NoveltyDetector};
+
+/// Configuration for [`DeepIsolationForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeepIsolationForestConfig {
+    /// Number of random-representation networks (the DIF paper uses 50
+    /// representations by default; we default lower for CPU budgets).
+    pub n_representations: usize,
+    /// Trees per representation's isolation forest.
+    pub trees_per_representation: usize,
+    /// Subsample size per tree.
+    pub subsample: usize,
+    /// Hidden width of each random MLP.
+    pub hidden_dim: usize,
+    /// Output (representation) dimensionality.
+    pub repr_dim: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeepIsolationForestConfig {
+    fn default() -> Self {
+        DeepIsolationForestConfig {
+            n_representations: 12,
+            trees_per_representation: 15,
+            subsample: 256,
+            hidden_dim: 48,
+            repr_dim: 12,
+            seed: 0,
+        }
+    }
+}
+
+/// Deep Isolation Forest novelty detector.
+///
+/// # Example
+///
+/// ```
+/// use cnd_linalg::Matrix;
+/// use cnd_detectors::{DeepIsolationForest, NoveltyDetector};
+///
+/// let train = Matrix::from_fn(256, 3, |i, j| ((i * 29 + j * 13) % 64) as f64 / 64.0);
+/// let mut dif = DeepIsolationForest::new(Default::default());
+/// dif.fit(&train)?;
+/// let s = dif.anomaly_scores(&Matrix::from_rows(&[vec![0.5, 0.5, 0.5], vec![30.0, -30.0, 30.0]])?)?;
+/// assert!(s[1] > s[0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeepIsolationForest {
+    config: DeepIsolationForestConfig,
+    representations: Vec<Sequential>,
+    forests: Vec<IsolationForest>,
+    n_input: usize,
+}
+
+impl DeepIsolationForest {
+    /// Creates an unfitted DIF model.
+    pub fn new(config: DeepIsolationForestConfig) -> Self {
+        DeepIsolationForest {
+            config,
+            representations: Vec::new(),
+            forests: Vec::new(),
+            n_input: 0,
+        }
+    }
+
+    /// The configuration this model was constructed with.
+    pub fn config(&self) -> &DeepIsolationForestConfig {
+        &self.config
+    }
+}
+
+impl NoveltyDetector for DeepIsolationForest {
+    fn fit(&mut self, x: &Matrix) -> Result<(), DetectorError> {
+        if x.rows() == 0 {
+            return Err(DetectorError::EmptyInput);
+        }
+        let c = self.config;
+        if c.n_representations == 0 || c.repr_dim == 0 || c.trees_per_representation == 0 {
+            return Err(DetectorError::InvalidParameter {
+                name: "n_representations/repr_dim/trees_per_representation",
+                constraint: "must be >= 1",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let mut representations = Vec::with_capacity(c.n_representations);
+        let mut forests = Vec::with_capacity(c.n_representations);
+        for r in 0..c.n_representations {
+            // Random, untrained representation network.
+            let net = Sequential::mlp(
+                &[x.cols(), c.hidden_dim, c.repr_dim],
+                Activation::Tanh,
+                &mut rng,
+            );
+            let projected = net.forward_inference(x);
+            let mut forest = IsolationForest::new(
+                c.trees_per_representation,
+                c.subsample,
+                c.seed.wrapping_add(r as u64 + 1),
+            );
+            forest.fit(&projected)?;
+            representations.push(net);
+            forests.push(forest);
+        }
+        self.representations = representations;
+        self.forests = forests;
+        self.n_input = x.cols();
+        Ok(())
+    }
+
+    fn anomaly_scores(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
+        if self.representations.is_empty() {
+            return Err(DetectorError::NotFitted);
+        }
+        if x.cols() != self.n_input {
+            return Err(DetectorError::DimensionMismatch {
+                fitted: self.n_input,
+                given: x.cols(),
+            });
+        }
+        let mut acc = vec![0.0; x.rows()];
+        for (net, forest) in self.representations.iter().zip(&self.forests) {
+            let projected = net.forward_inference(x);
+            let s = forest.anomaly_scores(&projected)?;
+            for (a, v) in acc.iter_mut().zip(s) {
+                *a += v;
+            }
+        }
+        let n = self.representations.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        Ok(acc)
+    }
+
+    fn name(&self) -> &'static str {
+        "DIF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_data() -> Matrix {
+        Matrix::from_fn(300, 3, |i, j| ((i * 17 + j * 5) % 50) as f64 / 50.0)
+    }
+
+    #[test]
+    fn detects_far_outliers() {
+        let mut dif = DeepIsolationForest::new(Default::default());
+        dif.fit(&train_data()).unwrap();
+        let q = Matrix::from_rows(&[vec![0.5, 0.5, 0.5], vec![25.0, -25.0, 25.0]]).unwrap();
+        let s = dif.anomaly_scores(&q).unwrap();
+        assert!(s[1] > s[0], "{s:?}");
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let mut dif = DeepIsolationForest::new(Default::default());
+        let x = train_data();
+        dif.fit(&x).unwrap();
+        let s = dif.anomaly_scores(&x).unwrap();
+        assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = train_data();
+        let mut a = DeepIsolationForest::new(Default::default());
+        let mut b = DeepIsolationForest::new(Default::default());
+        a.fit(&x).unwrap();
+        b.fit(&x).unwrap();
+        assert_eq!(a.anomaly_scores(&x).unwrap(), b.anomaly_scores(&x).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let x = train_data();
+        let mut a = DeepIsolationForest::new(DeepIsolationForestConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let mut b = DeepIsolationForest::new(DeepIsolationForestConfig {
+            seed: 2,
+            ..Default::default()
+        });
+        a.fit(&x).unwrap();
+        b.fit(&x).unwrap();
+        assert_ne!(a.anomaly_scores(&x).unwrap(), b.anomaly_scores(&x).unwrap());
+    }
+
+    #[test]
+    fn error_paths() {
+        let dif = DeepIsolationForest::new(Default::default());
+        assert_eq!(
+            dif.anomaly_scores(&Matrix::zeros(1, 3)),
+            Err(DetectorError::NotFitted)
+        );
+        let mut bad = DeepIsolationForest::new(DeepIsolationForestConfig {
+            n_representations: 0,
+            ..Default::default()
+        });
+        assert!(matches!(
+            bad.fit(&train_data()),
+            Err(DetectorError::InvalidParameter { .. })
+        ));
+        let mut fitted = DeepIsolationForest::new(Default::default());
+        fitted.fit(&train_data()).unwrap();
+        assert!(matches!(
+            fitted.anomaly_scores(&Matrix::zeros(1, 7)),
+            Err(DetectorError::DimensionMismatch { .. })
+        ));
+        let mut empty = DeepIsolationForest::new(Default::default());
+        assert_eq!(empty.fit(&Matrix::zeros(0, 3)), Err(DetectorError::EmptyInput));
+    }
+}

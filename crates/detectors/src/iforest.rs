@@ -1,0 +1,302 @@
+//! Isolation Forest (Liu, Ting & Zhou, ICDM 2008).
+//!
+//! Each isolation tree recursively splits a random subsample on a random
+//! feature at a random threshold; anomalous points isolate in few splits.
+//! The anomaly score is `2^(−E[h(x)] / c(ψ))` where `E[h(x)]` is the
+//! average path length across trees and `c(ψ)` the expected path length
+//! of an unsuccessful BST search over the subsample size `ψ`.
+
+use cnd_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{DetectorError, NoveltyDetector};
+
+/// One node of an isolation tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    Leaf {
+        /// Number of training samples that reached this leaf; path
+        /// lengths are extended by `c(size)` per the original paper.
+        size: usize,
+    },
+}
+
+/// Expected path length of an unsuccessful search in a BST of `n` nodes,
+/// `c(n) = 2 H(n−1) − 2(n−1)/n`, with `H` approximated via `ln + γ`.
+fn average_path_length(n: usize) -> f64 {
+    match n {
+        0 | 1 => 0.0,
+        2 => 1.0,
+        _ => {
+            let nf = n as f64;
+            // Euler–Mascheroni constant (std's EGAMMA is still unstable).
+            const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+            let harmonic = (nf - 1.0).ln() + EULER_GAMMA;
+            2.0 * harmonic - 2.0 * (nf - 1.0) / nf
+        }
+    }
+}
+
+fn build_tree<R: Rng + ?Sized>(
+    x: &Matrix,
+    indices: &[usize],
+    depth: usize,
+    max_depth: usize,
+    rng: &mut R,
+) -> Node {
+    if indices.len() <= 1 || depth >= max_depth {
+        return Node::Leaf {
+            size: indices.len(),
+        };
+    }
+    // Pick a feature with spread; give up after a few attempts (constant
+    // data region).
+    for _ in 0..8 {
+        let feature = rng.gen_range(0..x.cols());
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &i in indices {
+            let v = x[(i, feature)];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi - lo <= 1e-15 {
+            continue;
+        }
+        let threshold = rng.gen_range(lo..hi);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x[(i, feature)] < threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            continue;
+        }
+        let left = build_tree(x, &left_idx, depth + 1, max_depth, rng);
+        let right = build_tree(x, &right_idx, depth + 1, max_depth, rng);
+        return Node::Internal {
+            feature,
+            threshold,
+            left: Box::new(left),
+            right: Box::new(right),
+        };
+    }
+    Node::Leaf {
+        size: indices.len(),
+    }
+}
+
+fn path_length(node: &Node, row: &[f64], depth: f64) -> f64 {
+    match node {
+        Node::Leaf { size } => depth + average_path_length(*size),
+        Node::Internal {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            if row[*feature] < *threshold {
+                path_length(left, row, depth + 1.0)
+            } else {
+                path_length(right, row, depth + 1.0)
+            }
+        }
+    }
+}
+
+/// An isolation-forest novelty detector.
+///
+/// # Example
+///
+/// ```
+/// use cnd_linalg::Matrix;
+/// use cnd_detectors::{IsolationForest, NoveltyDetector};
+///
+/// let x = Matrix::from_fn(200, 2, |i, j| ((i * 13 + j * 7) % 50) as f64 / 50.0);
+/// let mut f = IsolationForest::new(100, 128, 7);
+/// f.fit(&x)?;
+/// let s = f.anomaly_scores(&Matrix::from_rows(&[vec![0.5, 0.5], vec![9.0, 9.0]])?)?;
+/// assert!(s[1] > s[0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IsolationForest {
+    n_trees: usize,
+    subsample: usize,
+    seed: u64,
+    trees: Vec<Node>,
+    /// Normalizer c(ψ) for the fitted subsample size.
+    c_psi: f64,
+    n_features: usize,
+}
+
+impl IsolationForest {
+    /// Creates an unfitted forest.
+    ///
+    /// `n_trees` trees are grown on subsamples of size `subsample`
+    /// (clamped to the dataset size at fit time); the canonical values
+    /// are 100 trees of 256 samples.
+    pub fn new(n_trees: usize, subsample: usize, seed: u64) -> Self {
+        IsolationForest {
+            n_trees,
+            subsample,
+            seed,
+            trees: Vec::new(),
+            c_psi: 0.0,
+            n_features: 0,
+        }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.n_trees
+    }
+}
+
+impl NoveltyDetector for IsolationForest {
+    fn fit(&mut self, x: &Matrix) -> Result<(), DetectorError> {
+        if x.rows() == 0 {
+            return Err(DetectorError::EmptyInput);
+        }
+        if self.n_trees == 0 || self.subsample < 2 {
+            return Err(DetectorError::InvalidParameter {
+                name: "n_trees/subsample",
+                constraint: "n_trees >= 1 and subsample >= 2",
+            });
+        }
+        let psi = self.subsample.min(x.rows());
+        let max_depth = (psi as f64).log2().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trees = Vec::with_capacity(self.n_trees);
+        for _ in 0..self.n_trees {
+            // Sample ψ distinct indices (partial Fisher–Yates).
+            let mut pool: Vec<usize> = (0..x.rows()).collect();
+            for i in 0..psi {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            let sample = &pool[..psi];
+            trees.push(build_tree(x, sample, 0, max_depth.max(1), &mut rng));
+        }
+        self.trees = trees;
+        self.c_psi = average_path_length(psi).max(1e-12);
+        self.n_features = x.cols();
+        Ok(())
+    }
+
+    fn anomaly_scores(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
+        if self.trees.is_empty() {
+            return Err(DetectorError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(DetectorError::DimensionMismatch {
+                fitted: self.n_features,
+                given: x.cols(),
+            });
+        }
+        let mut out = Vec::with_capacity(x.rows());
+        for row in x.iter_rows() {
+            let mean_path: f64 = self
+                .trees
+                .iter()
+                .map(|t| path_length(t, row, 0.0))
+                .sum::<f64>()
+                / self.trees.len() as f64;
+            out.push(2f64.powf(-mean_path / self.c_psi));
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "IsolationForest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_square(n: usize) -> Matrix {
+        Matrix::from_fn(n, 2, |i, j| {
+            // Deterministic low-discrepancy-ish fill of [0,1]^2.
+            let v = ((i * 2654435761 + j * 40503) % 10007) as f64 / 10007.0;
+            v
+        })
+    }
+
+    #[test]
+    fn outlier_scores_higher_than_inliers() {
+        let x = uniform_square(300);
+        let mut f = IsolationForest::new(100, 128, 3);
+        f.fit(&x).unwrap();
+        let q = Matrix::from_rows(&[vec![0.5, 0.5], vec![10.0, 10.0]]).unwrap();
+        let s = f.anomaly_scores(&q).unwrap();
+        assert!(s[1] > s[0] + 0.1, "{s:?}");
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let x = uniform_square(200);
+        let mut f = IsolationForest::new(50, 64, 1);
+        f.fit(&x).unwrap();
+        let s = f.anomaly_scores(&x).unwrap();
+        assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn average_path_length_values() {
+        assert_eq!(average_path_length(0), 0.0);
+        assert_eq!(average_path_length(1), 0.0);
+        assert_eq!(average_path_length(2), 1.0);
+        // c(256) ≈ 10.24 (known reference value).
+        assert!((average_path_length(256) - 10.24).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = uniform_square(100);
+        let mut a = IsolationForest::new(20, 32, 9);
+        let mut b = IsolationForest::new(20, 32, 9);
+        a.fit(&x).unwrap();
+        b.fit(&x).unwrap();
+        assert_eq!(a.anomaly_scores(&x).unwrap(), b.anomaly_scores(&x).unwrap());
+    }
+
+    #[test]
+    fn unfitted_and_bad_params() {
+        let f = IsolationForest::new(10, 32, 0);
+        assert_eq!(
+            f.anomaly_scores(&Matrix::zeros(1, 2)),
+            Err(DetectorError::NotFitted)
+        );
+        let mut g = IsolationForest::new(0, 32, 0);
+        assert!(matches!(
+            g.fit(&Matrix::zeros(5, 2)),
+            Err(DetectorError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let x = uniform_square(50);
+        let mut f = IsolationForest::new(10, 16, 0);
+        f.fit(&x).unwrap();
+        assert!(matches!(
+            f.anomaly_scores(&Matrix::zeros(1, 5)),
+            Err(DetectorError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_data_scores_uniformly() {
+        let x = Matrix::filled(64, 3, 1.0);
+        let mut f = IsolationForest::new(20, 32, 0);
+        f.fit(&x).unwrap();
+        let s = f.anomaly_scores(&x).unwrap();
+        let first = s[0];
+        assert!(s.iter().all(|&v| (v - first).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,166 @@
+//! k-nearest-neighbour distance novelty detection.
+//!
+//! The simplest distance-based detector: the anomaly score of a query is
+//! the (mean) distance to its `k` nearest training points. Included as
+//! an extension baseline beyond the paper's roster — it isolates the
+//! "raw distance" signal that LOF normalizes, which makes the LOF
+//! comparison in the extended benches interpretable.
+
+use cnd_linalg::{stats, Matrix};
+
+use crate::{DetectorError, NoveltyDetector};
+
+/// How the k nearest distances are aggregated into one score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnAggregation {
+    /// Distance to the k-th neighbour (classic kNN score).
+    Kth,
+    /// Mean of the k nearest distances (smoother).
+    Mean,
+}
+
+/// kNN-distance novelty detector (exact, brute force).
+///
+/// # Example
+///
+/// ```
+/// use cnd_linalg::Matrix;
+/// use cnd_detectors::{KnnDetector, NoveltyDetector};
+///
+/// let train = Matrix::from_fn(100, 2, |i, j| ((i * 7 + j * 3) % 10) as f64 * 0.1);
+/// let mut det = KnnDetector::new(5, cnd_detectors::KnnAggregation::Mean);
+/// det.fit(&train)?;
+/// let s = det.anomaly_scores(&Matrix::from_rows(&[vec![0.5, 0.5], vec![9.0, 9.0]])?)?;
+/// assert!(s[1] > s[0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnDetector {
+    k: usize,
+    aggregation: KnnAggregation,
+    train: Option<Matrix>,
+}
+
+impl KnnDetector {
+    /// Creates an unfitted detector with neighbourhood size `k`.
+    pub fn new(k: usize, aggregation: KnnAggregation) -> Self {
+        KnnDetector {
+            k,
+            aggregation,
+            train: None,
+        }
+    }
+
+    /// Neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl NoveltyDetector for KnnDetector {
+    fn fit(&mut self, x: &Matrix) -> Result<(), DetectorError> {
+        if x.rows() == 0 {
+            return Err(DetectorError::EmptyInput);
+        }
+        if self.k == 0 || self.k > x.rows() {
+            return Err(DetectorError::InvalidParameter {
+                name: "k",
+                constraint: "must satisfy 1 <= k <= n_samples",
+            });
+        }
+        self.train = Some(x.clone());
+        Ok(())
+    }
+
+    fn anomaly_scores(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
+        let train = self.train.as_ref().ok_or(DetectorError::NotFitted)?;
+        if x.cols() != train.cols() {
+            return Err(DetectorError::DimensionMismatch {
+                fitted: train.cols(),
+                given: x.cols(),
+            });
+        }
+        let d = stats::pairwise_sq_distances(x, train)?;
+        let mut out = Vec::with_capacity(x.rows());
+        for i in 0..x.rows() {
+            let mut dists: Vec<f64> = d.row(i).to_vec();
+            dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let score = match self.aggregation {
+                KnnAggregation::Kth => dists[self.k - 1].sqrt(),
+                KnnAggregation::Mean => {
+                    dists[..self.k].iter().map(|v| v.sqrt()).sum::<f64>() / self.k as f64
+                }
+            };
+            out.push(score);
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "kNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Matrix {
+        Matrix::from_fn(64, 2, |i, _| (i % 8) as f64)
+    }
+
+    #[test]
+    fn outliers_score_higher() {
+        for agg in [KnnAggregation::Kth, KnnAggregation::Mean] {
+            let mut det = KnnDetector::new(4, agg);
+            det.fit(&grid()).unwrap();
+            let q = Matrix::from_rows(&[vec![3.0, 3.0], vec![40.0, 40.0]]).unwrap();
+            let s = det.anomaly_scores(&q).unwrap();
+            assert!(s[1] > s[0], "{agg:?}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn training_points_score_near_zero_kth() {
+        // With duplicates in the grid, the 4th NN of a training point is
+        // another duplicate at distance 0.
+        let mut det = KnnDetector::new(4, KnnAggregation::Kth);
+        det.fit(&grid()).unwrap();
+        let s = det.anomaly_scores(&grid().slice_rows(0, 4).unwrap()).unwrap();
+        assert!(s.iter().all(|&v| v < 1e-9));
+    }
+
+    #[test]
+    fn error_paths() {
+        let det = KnnDetector::new(3, KnnAggregation::Mean);
+        assert_eq!(
+            det.anomaly_scores(&Matrix::zeros(1, 2)),
+            Err(DetectorError::NotFitted)
+        );
+        let mut bad = KnnDetector::new(0, KnnAggregation::Mean);
+        assert!(matches!(
+            bad.fit(&grid()),
+            Err(DetectorError::InvalidParameter { .. })
+        ));
+        let mut fitted = KnnDetector::new(3, KnnAggregation::Mean);
+        fitted.fit(&grid()).unwrap();
+        assert!(matches!(
+            fitted.anomaly_scores(&Matrix::zeros(1, 3)),
+            Err(DetectorError::DimensionMismatch { .. })
+        ));
+        let mut empty = KnnDetector::new(3, KnnAggregation::Mean);
+        assert_eq!(empty.fit(&Matrix::zeros(0, 2)), Err(DetectorError::EmptyInput));
+    }
+
+    #[test]
+    fn mean_aggregation_smooths() {
+        let mut kth = KnnDetector::new(8, KnnAggregation::Kth);
+        let mut mean = KnnDetector::new(8, KnnAggregation::Mean);
+        kth.fit(&grid()).unwrap();
+        mean.fit(&grid()).unwrap();
+        let q = Matrix::from_rows(&[vec![3.5, 3.5]]).unwrap();
+        let sk = kth.anomaly_scores(&q).unwrap()[0];
+        let sm = mean.anomaly_scores(&q).unwrap()[0];
+        assert!(sm <= sk + 1e-12, "mean of k nearest <= kth distance");
+    }
+}

@@ -1,0 +1,226 @@
+//! Local Outlier Factor in novelty mode (Breunig et al., SIGMOD 2000).
+//!
+//! The model memorizes the training set, precomputing each training
+//! point's k-distance and local reachability density (lrd). A query point
+//! is scored as the ratio of its neighbours' lrd to its own — values well
+//! above 1 indicate the point sits in a sparser region than its
+//! neighbourhood, i.e. an outlier.
+
+use cnd_linalg::{stats, Matrix};
+
+use crate::{DetectorError, NoveltyDetector};
+
+/// LOF novelty detector with brute-force exact neighbour search.
+///
+/// Suitable for the few-thousand-sample training sets used in this
+/// reproduction; complexity is `O(n²)` at fit time and `O(n·m)` for
+/// scoring `m` queries.
+#[derive(Debug, Clone)]
+pub struct LocalOutlierFactor {
+    k: usize,
+    train: Option<Matrix>,
+    /// k-distance of each training point.
+    k_dist: Vec<f64>,
+    /// Local reachability density of each training point.
+    lrd: Vec<f64>,
+    /// Indices of each training point's k nearest neighbours.
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl LocalOutlierFactor {
+    /// Creates an unfitted LOF model with neighbourhood size `k`
+    /// (the classical default is 20).
+    pub fn new(k: usize) -> Self {
+        LocalOutlierFactor {
+            k,
+            train: None,
+            k_dist: Vec::new(),
+            lrd: Vec::new(),
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Returns the `k` nearest training indices and distances for each
+    /// row of `dist` (a query-by-train distance matrix).
+    fn knn_from_rows(dist_row: &[f64], k: usize, skip: Option<usize>) -> Vec<(usize, f64)> {
+        let mut idx: Vec<(usize, f64)> = dist_row
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != skip)
+            .map(|(i, &d)| (i, d.sqrt()))
+            .collect();
+        idx.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl NoveltyDetector for LocalOutlierFactor {
+    fn fit(&mut self, x: &Matrix) -> Result<(), DetectorError> {
+        if x.rows() == 0 {
+            return Err(DetectorError::EmptyInput);
+        }
+        if self.k == 0 || self.k >= x.rows() {
+            return Err(DetectorError::InvalidParameter {
+                name: "k",
+                constraint: "must satisfy 1 <= k < n_samples",
+            });
+        }
+        let d = stats::pairwise_sq_distances(x, x)?;
+        let n = x.rows();
+        let mut k_dist = vec![0.0; n];
+        let mut neighbors = Vec::with_capacity(n);
+        for i in 0..n {
+            let nn = Self::knn_from_rows(d.row(i), self.k, Some(i));
+            k_dist[i] = nn.last().map(|&(_, d)| d).unwrap_or(0.0);
+            neighbors.push(nn.iter().map(|&(j, _)| j).collect::<Vec<_>>());
+        }
+        // Local reachability density per training point.
+        let mut lrd = vec![0.0; n];
+        for i in 0..n {
+            let mut reach_sum = 0.0;
+            for &j in &neighbors[i] {
+                let dist_ij = d[(i, j)].sqrt();
+                reach_sum += dist_ij.max(k_dist[j]);
+            }
+            let mean_reach = reach_sum / self.k as f64;
+            lrd[i] = if mean_reach > 1e-12 {
+                1.0 / mean_reach
+            } else {
+                // Duplicated points: treat density as very high.
+                1e12
+            };
+        }
+        self.train = Some(x.clone());
+        self.k_dist = k_dist;
+        self.lrd = lrd;
+        self.neighbors = neighbors;
+        Ok(())
+    }
+
+    fn anomaly_scores(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
+        let train = self.train.as_ref().ok_or(DetectorError::NotFitted)?;
+        if x.cols() != train.cols() {
+            return Err(DetectorError::DimensionMismatch {
+                fitted: train.cols(),
+                given: x.cols(),
+            });
+        }
+        let d = stats::pairwise_sq_distances(x, train)?;
+        let mut scores = Vec::with_capacity(x.rows());
+        for i in 0..x.rows() {
+            let nn = Self::knn_from_rows(d.row(i), self.k, None);
+            // lrd of the query point.
+            let mut reach_sum = 0.0;
+            for &(j, dist) in &nn {
+                reach_sum += dist.max(self.k_dist[j]);
+            }
+            let mean_reach = reach_sum / self.k as f64;
+            let lrd_q = if mean_reach > 1e-12 {
+                1.0 / mean_reach
+            } else {
+                1e12
+            };
+            // LOF = mean neighbour lrd / own lrd.
+            let neigh_lrd: f64 =
+                nn.iter().map(|&(j, _)| self.lrd[j]).sum::<f64>() / self.k as f64;
+            scores.push(neigh_lrd / lrd_q);
+        }
+        Ok(scores)
+    }
+
+    fn name(&self) -> &'static str {
+        "LOF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Matrix {
+        // 7x7 grid with spacing 1.
+        let mut rows = Vec::new();
+        for i in 0..7 {
+            for j in 0..7 {
+                rows.push(vec![i as f64, j as f64]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn inlier_scores_near_one_outlier_large() {
+        let x = cluster();
+        let mut lof = LocalOutlierFactor::new(5);
+        lof.fit(&x).unwrap();
+        let queries = Matrix::from_rows(&[
+            vec![3.0, 3.0],   // center of the grid
+            vec![50.0, 50.0], // far outlier
+        ])
+        .unwrap();
+        let s = lof.anomaly_scores(&queries).unwrap();
+        assert!(s[0] < 1.3, "inlier LOF = {}", s[0]);
+        assert!(s[1] > 3.0, "outlier LOF = {}", s[1]);
+    }
+
+    #[test]
+    fn score_monotone_in_distance() {
+        let x = cluster();
+        let mut lof = LocalOutlierFactor::new(5);
+        lof.fit(&x).unwrap();
+        let q = Matrix::from_rows(&[vec![3.0, 8.0], vec![3.0, 20.0], vec![3.0, 60.0]]).unwrap();
+        let s = lof.anomaly_scores(&q).unwrap();
+        assert!(s[0] < s[1] && s[1] < s[2], "{s:?}");
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let lof = LocalOutlierFactor::new(3);
+        assert_eq!(
+            lof.anomaly_scores(&Matrix::zeros(1, 2)),
+            Err(DetectorError::NotFitted)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let x = Matrix::zeros(5, 2);
+        let mut a = LocalOutlierFactor::new(0);
+        assert!(matches!(a.fit(&x), Err(DetectorError::InvalidParameter { .. })));
+        let mut b = LocalOutlierFactor::new(5);
+        assert!(matches!(b.fit(&x), Err(DetectorError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_and_dim_mismatch() {
+        let mut lof = LocalOutlierFactor::new(2);
+        assert_eq!(lof.fit(&Matrix::zeros(0, 2)), Err(DetectorError::EmptyInput));
+        lof.fit(&cluster()).unwrap();
+        assert!(matches!(
+            lof.anomaly_scores(&Matrix::zeros(1, 3)),
+            Err(DetectorError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn handles_duplicates_without_nan() {
+        let mut rows = vec![vec![0.0, 0.0]; 10];
+        rows.push(vec![5.0, 5.0]);
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut lof = LocalOutlierFactor::new(3);
+        lof.fit(&x).unwrap();
+        let s = lof.anomaly_scores(&x).unwrap();
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(LocalOutlierFactor::new(5).name(), "LOF");
+    }
+}

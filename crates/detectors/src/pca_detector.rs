@@ -1,0 +1,142 @@
+//! PCA reconstruction-error novelty detection — the static (non-continual)
+//! baseline from Rios et al. that CND-IDS builds on.
+
+use cnd_linalg::Matrix;
+use cnd_ml::pca::{ComponentSelection, Pca};
+use cnd_ml::StandardScaler;
+
+use crate::{DetectorError, NoveltyDetector};
+
+/// PCA-FRE novelty detector: standardize, fit PCA on normal training
+/// data keeping a variance fraction (paper: 95%), score by squared
+/// reconstruction error.
+///
+/// # Example
+///
+/// ```
+/// use cnd_linalg::Matrix;
+/// use cnd_detectors::{NoveltyDetector, PcaDetector};
+///
+/// // Train on a 1-D manifold inside 3-D space.
+/// let train = Matrix::from_fn(100, 3, |i, j| (i as f64 / 10.0) * (j + 1) as f64);
+/// let mut det = PcaDetector::new(0.95);
+/// det.fit(&train)?;
+/// let s = det.anomaly_scores(&Matrix::from_rows(&[
+///     vec![5.0, 10.0, 15.0],  // on-manifold
+///     vec![5.0, -10.0, 15.0], // off-manifold
+/// ])?)?;
+/// assert!(s[1] > s[0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcaDetector {
+    variance_fraction: f64,
+    scaler: Option<StandardScaler>,
+    pca: Option<Pca>,
+}
+
+impl PcaDetector {
+    /// Creates an unfitted detector keeping the given explained-variance
+    /// fraction (the paper uses `0.95`).
+    pub fn new(variance_fraction: f64) -> Self {
+        PcaDetector {
+            variance_fraction,
+            scaler: None,
+            pca: None,
+        }
+    }
+
+    /// Number of retained components (after fitting).
+    pub fn n_components(&self) -> Option<usize> {
+        self.pca.as_ref().map(Pca::n_components)
+    }
+}
+
+impl NoveltyDetector for PcaDetector {
+    fn fit(&mut self, x: &Matrix) -> Result<(), DetectorError> {
+        if x.rows() == 0 {
+            return Err(DetectorError::EmptyInput);
+        }
+        if !(self.variance_fraction > 0.0 && self.variance_fraction <= 1.0) {
+            return Err(DetectorError::InvalidParameter {
+                name: "variance_fraction",
+                constraint: "must be in (0, 1]",
+            });
+        }
+        let scaler = StandardScaler::fit(x)?;
+        let z = scaler.transform(x)?;
+        let pca = Pca::fit(&z, ComponentSelection::VarianceFraction(self.variance_fraction))?;
+        self.scaler = Some(scaler);
+        self.pca = Some(pca);
+        Ok(())
+    }
+
+    fn anomaly_scores(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
+        let scaler = self.scaler.as_ref().ok_or(DetectorError::NotFitted)?;
+        let pca = self.pca.as_ref().ok_or(DetectorError::NotFitted)?;
+        let z = scaler.transform(x)?;
+        Ok(pca.reconstruction_errors(&z)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "PCA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifold_data() -> Matrix {
+        Matrix::from_fn(80, 4, |i, j| {
+            let t = i as f64 * 0.1;
+            match j {
+                0 => t,
+                1 => 2.0 * t,
+                2 => -t,
+                _ => 0.5 * t,
+            }
+        })
+    }
+
+    #[test]
+    fn off_manifold_scores_higher() {
+        let mut det = PcaDetector::new(0.95);
+        det.fit(&manifold_data()).unwrap();
+        let q = Matrix::from_rows(&[
+            vec![4.0, 8.0, -4.0, 2.0],
+            vec![4.0, 8.0, 4.0, 2.0],
+        ])
+        .unwrap();
+        let s = det.anomaly_scores(&q).unwrap();
+        assert!(s[1] > s[0] * 10.0, "{s:?}");
+    }
+
+    #[test]
+    fn keeps_one_component_for_line() {
+        let mut det = PcaDetector::new(0.95);
+        det.fit(&manifold_data()).unwrap();
+        assert_eq!(det.n_components(), Some(1));
+    }
+
+    #[test]
+    fn error_paths() {
+        let det = PcaDetector::new(0.95);
+        assert_eq!(
+            det.anomaly_scores(&Matrix::zeros(1, 4)),
+            Err(DetectorError::NotFitted)
+        );
+        let mut bad = PcaDetector::new(0.0);
+        assert!(matches!(
+            bad.fit(&manifold_data()),
+            Err(DetectorError::InvalidParameter { .. })
+        ));
+        let mut empty = PcaDetector::new(0.95);
+        assert_eq!(empty.fit(&Matrix::zeros(0, 4)), Err(DetectorError::EmptyInput));
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(PcaDetector::new(0.95).name(), "PCA");
+    }
+}

@@ -1,0 +1,141 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+///
+/// Every public function in `cnd-linalg` that can fail returns
+/// `Result<_, LinalgError>`; indexing-style accessors that panic document
+/// their panics instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// Carries the two offending shapes as `(rows, cols)` pairs.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+        /// Name of the operation that was attempted.
+        op: &'static str,
+    },
+    /// A constructor was given data whose length does not match the
+    /// requested dimensions.
+    BadDimensions {
+        /// Number of elements provided.
+        len: usize,
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+    },
+    /// The rows passed to [`crate::Matrix::from_rows`] had unequal lengths.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Index of the first row with a different length.
+        row: usize,
+        /// Length of that row.
+        found: usize,
+    },
+    /// An operation that requires a non-empty matrix received an empty one.
+    Empty {
+        /// Name of the operation that was attempted.
+        op: &'static str,
+    },
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Name of the algorithm.
+        op: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input matrix was expected to be symmetric but is not.
+    NotSymmetric,
+    /// A row or column index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The axis length it was checked against.
+        len: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::BadDimensions { len, rows, cols } => write!(
+                f,
+                "data of length {len} cannot form a {rows}x{cols} matrix"
+            ),
+            LinalgError::RaggedRows {
+                expected,
+                row,
+                found,
+            } => write!(
+                f,
+                "ragged rows: row 0 has {expected} elements but row {row} has {found}"
+            ),
+            LinalgError::Empty { op } => write!(f, "{op} requires a non-empty matrix"),
+            LinalgError::NoConvergence { op, iterations } => {
+                write!(f, "{op} did not converge after {iterations} iterations")
+            }
+            LinalgError::NotSymmetric => write!(f, "matrix is not symmetric"),
+            LinalgError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for axis of length {len}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "matmul",
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: left is 2x3, right is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_bad_dimensions() {
+        let e = LinalgError::BadDimensions {
+            len: 5,
+            rows: 2,
+            cols: 3,
+        };
+        assert_eq!(e.to_string(), "data of length 5 cannot form a 2x3 matrix");
+    }
+
+    #[test]
+    fn display_ragged() {
+        let e = LinalgError::RaggedRows {
+            expected: 3,
+            row: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("ragged"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! # cnd-linalg
+//!
+//! Dense linear-algebra substrate for the CND-IDS reproduction.
+//!
+//! Everything in this workspace that touches numeric data — the MLP
+//! autoencoder in `cnd-nn`, K-Means and PCA in `cnd-ml`, the novelty
+//! detectors, and the synthetic dataset generators — is built on the
+//! row-major [`Matrix`] type defined here. The crate deliberately has **no
+//! external dependencies**: the goal of the reproduction is an auditable,
+//! self-contained implementation of the paper's numerical stack.
+//!
+//! Provided functionality:
+//!
+//! * [`Matrix`] — owned, row-major, `f64` dense matrix with the usual
+//!   elementwise and matrix products, slicing, stacking and reductions.
+//! * [`eigen::symmetric_eigen`] — cyclic Jacobi eigendecomposition of
+//!   symmetric matrices (used by PCA on covariance matrices).
+//! * [`stats`] — column means/variances, covariance matrices, pairwise
+//!   distances.
+//! * [`vector`] — free functions on `&[f64]` slices (dot products, norms,
+//!   distances) shared by the higher-level crates.
+//!
+//! # Example
+//!
+//! ```
+//! use cnd_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c, a);
+//! # Ok::<(), cnd_linalg::LinalgError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+
+pub mod eigen;
+pub mod stats;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;

@@ -1,0 +1,189 @@
+//! Statistical reductions over data matrices (one sample per row).
+
+use crate::{LinalgError, Matrix};
+
+/// Per-column means of a data matrix.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for a matrix with zero rows.
+///
+/// # Example
+///
+/// ```
+/// use cnd_linalg::{Matrix, stats::column_means};
+/// let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]])?;
+/// assert_eq!(column_means(&x)?, vec![2.0, 20.0]);
+/// # Ok::<(), cnd_linalg::LinalgError>(())
+/// ```
+pub fn column_means(x: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    if x.rows() == 0 {
+        return Err(LinalgError::Empty { op: "column_means" });
+    }
+    let n = x.rows() as f64;
+    Ok(x.col_sums().into_iter().map(|s| s / n).collect())
+}
+
+/// Per-column population variances.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for a matrix with zero rows.
+pub fn column_variances(x: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    let means = column_means(x)?;
+    let n = x.rows() as f64;
+    let mut acc = vec![0.0; x.cols()];
+    for row in x.iter_rows() {
+        for ((a, &v), &m) in acc.iter_mut().zip(row).zip(&means) {
+            let d = v - m;
+            *a += d * d;
+        }
+    }
+    for a in &mut acc {
+        *a /= n;
+    }
+    Ok(acc)
+}
+
+/// Per-column population standard deviations.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for a matrix with zero rows.
+pub fn column_stds(x: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    Ok(column_variances(x)?.into_iter().map(f64::sqrt).collect())
+}
+
+/// Sample covariance matrix (divides by `n - 1`; by `n` when `n == 1`).
+///
+/// Rows of `x` are observations, columns are variables. The result is a
+/// symmetric `cols × cols` matrix suitable for
+/// [`crate::eigen::symmetric_eigen`].
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for a matrix with zero rows.
+pub fn covariance(x: &Matrix) -> Result<Matrix, LinalgError> {
+    if x.rows() == 0 {
+        return Err(LinalgError::Empty { op: "covariance" });
+    }
+    let means = column_means(x)?;
+    let centered = x.sub_row_broadcast(&means)?;
+    let denom = if x.rows() > 1 {
+        (x.rows() - 1) as f64
+    } else {
+        1.0
+    };
+    let cov = centered.transpose().matmul(&centered)?.scale(1.0 / denom);
+    Ok(cov)
+}
+
+/// Pairwise squared Euclidean distances between the rows of `a` and `b`.
+///
+/// Output is `a.rows() × b.rows()` with entry `(i, j)` equal to
+/// `‖a_i − b_j‖²` (clamped at zero against rounding).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if column counts differ.
+pub fn pairwise_sq_distances(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.cols() != b.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "pairwise_sq_distances",
+        });
+    }
+    // ‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b, computed via one matmul for speed.
+    let a_sq: Vec<f64> = a.iter_rows().map(|r| r.iter().map(|v| v * v).sum()).collect();
+    let b_sq: Vec<f64> = b.iter_rows().map(|r| r.iter().map(|v| v * v).sum()).collect();
+    let cross = a.matmul(&b.transpose())?;
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            let d = a_sq[i] + b_sq[j] - 2.0 * cross[(i, j)];
+            out[(i, j)] = d.max(0.0);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    #[test]
+    fn means_and_variances() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 6.0]]).unwrap();
+        assert_eq!(column_means(&x).unwrap(), vec![2.0, 4.0]);
+        assert_eq!(column_variances(&x).unwrap(), vec![1.0, 4.0]);
+        assert_eq!(column_stds(&x).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let x = Matrix::zeros(0, 3);
+        assert!(column_means(&x).is_err());
+        assert!(covariance(&x).is_err());
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        // Second column is 2x the first: cov = [[v, 2v], [2v, 4v]].
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ])
+        .unwrap();
+        let c = covariance(&x).unwrap();
+        assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((c[(0, 1)] - 2.0).abs() < 1e-12);
+        assert!((c[(1, 0)] - 2.0).abs() < 1e-12);
+        assert!((c[(1, 1)] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_is_symmetric() {
+        let x = Matrix::from_fn(12, 5, |i, j| ((i * 3 + j * 7) % 13) as f64);
+        let c = covariance(&x).unwrap();
+        assert!(c.max_abs_diff(&c.transpose()) < 1e-12);
+    }
+
+    #[test]
+    fn covariance_single_row_is_zero() {
+        let x = Matrix::from_rows(&[vec![5.0, -1.0]]).unwrap();
+        let c = covariance(&x).unwrap();
+        assert_eq!(c, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn pairwise_matches_direct_computation() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i * 2 + j) as f64 * 0.5);
+        let b = Matrix::from_fn(5, 3, |i, j| (i + j * 3) as f64 * 0.25);
+        let d = pairwise_sq_distances(&a, &b).unwrap();
+        for i in 0..4 {
+            for j in 0..5 {
+                let direct = vector::sq_distance(a.row(i), b.row(j));
+                assert!((d[(i, j)] - direct).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_self_diagonal_zero() {
+        let a = Matrix::from_fn(6, 4, |i, j| (i * 5 + j) as f64);
+        let d = pairwise_sq_distances(&a, &a).unwrap();
+        for i in 0..6 {
+            assert!(d[(i, i)].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pairwise_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        assert!(pairwise_sq_distances(&a, &b).is_err());
+    }
+}

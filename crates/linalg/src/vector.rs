@@ -1,0 +1,171 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! Distance computations appear in nearly every component of the
+//! reproduction (K-Means assignment, triplet margin loss, LOF, latent
+//! regularization), so they live here in one audited place.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(cnd_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sq_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sq_distance: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    sq_distance(a, b).sqrt()
+}
+
+/// Arithmetic mean of a slice; `0.0` when empty.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance of a slice; `0.0` when fewer than two elements.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(a: &[f64]) -> f64 {
+    variance(a).sqrt()
+}
+
+/// Index and value of the minimum element; `None` when empty or all-NaN.
+///
+/// NaN elements are skipped.
+pub fn argmin(a: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v >= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best
+}
+
+/// Index and value of the maximum element; `None` when empty or all-NaN.
+///
+/// NaN elements are skipped.
+pub fn argmax(a: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best
+}
+
+/// In-place `a += s * b` (axpy).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "axpy: length mismatch");
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += s * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(sq_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_variance_std() {
+        let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&a), 5.0);
+        assert_eq!(variance(&a), 4.0);
+        assert_eq!(std_dev(&a), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn argmin_argmax() {
+        let a = [3.0, 1.0, 4.0, 1.5];
+        assert_eq!(argmin(&a), Some((1, 1.0)));
+        assert_eq!(argmax(&a), Some((2, 4.0)));
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn argmin_skips_nan() {
+        let a = [f64::NAN, 2.0, 1.0];
+        assert_eq!(argmin(&a), Some((2, 1.0)));
+        assert_eq!(argmin(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = vec![1.0, 1.0];
+        axpy(&mut a, 2.0, &[3.0, 4.0]);
+        assert_eq!(a, vec![7.0, 9.0]);
+    }
+}

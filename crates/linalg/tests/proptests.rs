@@ -1,0 +1,113 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use cnd_linalg::eigen::symmetric_eigen;
+use cnd_linalg::{stats, Matrix};
+use proptest::prelude::*;
+
+/// Strategy producing a matrix with bounded dimensions and finite values.
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0..100.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized"))
+    })
+}
+
+/// Strategy producing a square matrix.
+fn square_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim).prop_flat_map(|n| {
+        prop::collection::vec(-10.0..10.0f64, n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data).expect("sized"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn add_commutes(a in matrix(8), b in matrix(8)) {
+        if a.shape() == b.shape() {
+            let l = a.add(&b).unwrap();
+            let r = b.add(&a).unwrap();
+            prop_assert!(l.max_abs_diff(&r) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in matrix(6), s in -5.0..5.0f64) {
+        let b = a.map(|v| v + 1.0);
+        let left = a.add(&b).unwrap().scale(s);
+        let right = a.scale(s).add(&b.scale(s)).unwrap();
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn matmul_identity_left_right(m in square_matrix(8)) {
+        let i = Matrix::identity(m.rows());
+        prop_assert!(m.matmul(&i).unwrap().max_abs_diff(&m) < 1e-12);
+        prop_assert!(i.matmul(&m).unwrap().max_abs_diff(&m) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(6), b in matrix(6)) {
+        // (AB)^T = B^T A^T whenever the product is defined.
+        if a.cols() == b.rows() {
+            let left = a.matmul(&b).unwrap().transpose();
+            let right = b.transpose().matmul(&a.transpose()).unwrap();
+            prop_assert!(left.max_abs_diff(&right) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vstack_preserves_rows(a in matrix(6), b in matrix(6)) {
+        if a.cols() == b.cols() {
+            let v = a.vstack(&b).unwrap();
+            prop_assert_eq!(v.rows(), a.rows() + b.rows());
+            prop_assert_eq!(v.row(0), a.row(0));
+            prop_assert_eq!(v.row(a.rows()), b.row(0));
+        }
+    }
+
+    #[test]
+    fn covariance_symmetric_psd_diag(m in matrix(8)) {
+        if m.rows() >= 2 {
+            let c = stats::covariance(&m).unwrap();
+            prop_assert!(c.max_abs_diff(&c.transpose()) < 1e-9);
+            for j in 0..c.cols() {
+                prop_assert!(c[(j, j)] >= -1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(sq in square_matrix(7)) {
+        let a = sq.add(&sq.transpose()).unwrap();
+        let e = symmetric_eigen(&a, 1e-6).unwrap();
+        // Rebuild V diag(l) V^T.
+        let n = a.rows();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n { d[(i, i)] = e.eigenvalues[i]; }
+        let r = e.eigenvectors.matmul(&d).unwrap()
+            .matmul(&e.eigenvectors.transpose()).unwrap();
+        prop_assert!(r.max_abs_diff(&a) < 1e-6, "diff = {}", r.max_abs_diff(&a));
+    }
+
+    #[test]
+    fn eigen_trace_preserved(sq in square_matrix(7)) {
+        let a = sq.add(&sq.transpose()).unwrap();
+        let e = symmetric_eigen(&a, 1e-6).unwrap();
+        let trace: f64 = (0..a.rows()).map(|i| a[(i, i)]).sum();
+        let eig_sum: f64 = e.eigenvalues.iter().sum();
+        prop_assert!((trace - eig_sum).abs() < 1e-6 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn pairwise_distances_nonnegative(a in matrix(6), b in matrix(6)) {
+        if a.cols() == b.cols() {
+            let d = stats::pairwise_sq_distances(&a, &b).unwrap();
+            prop_assert!(d.iter().all(|&v| v >= 0.0));
+        }
+    }
+}

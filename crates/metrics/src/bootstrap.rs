@@ -1,0 +1,244 @@
+//! Bootstrap confidence intervals for scored metrics.
+//!
+//! The paper reports point estimates; when comparing methods on scaled
+//! replicas the sampling noise matters, so the extended benches attach
+//! percentile-bootstrap intervals to F1 and PR-AUC. The resampler is
+//! deterministic given a seed, like everything else in the workspace.
+
+use crate::classification::f1_score;
+use crate::curve::pr_auc;
+use crate::MetricsError;
+
+/// A two-sided percentile confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// The metric on the full sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// Nominal coverage (e.g. `0.95`).
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// `true` when `other`'s point estimate falls outside this interval
+    /// — a quick significance screen for method comparisons.
+    pub fn excludes(&self, other: f64) -> bool {
+        other < self.lower || other > self.upper
+    }
+}
+
+/// Deterministic splitmix64 generator — enough for index resampling
+/// without dragging `rand` into this otherwise dependency-free crate.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_index(&mut self, n: usize) -> usize {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % n as u64) as usize
+    }
+}
+
+/// Generic percentile bootstrap over paired `(value, label)` samples.
+///
+/// `metric` receives the resampled pairs and may fail on degenerate
+/// resamples (single class); such resamples are skipped, which is the
+/// standard practical treatment.
+///
+/// # Errors
+///
+/// * Malformed input errors from the first full-sample evaluation.
+/// * [`MetricsError::EmptyInput`] when every resample was degenerate.
+fn bootstrap<F>(
+    values: &[f64],
+    labels: &[u8],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+    metric: F,
+) -> Result<ConfidenceInterval, MetricsError>
+where
+    F: Fn(&[f64], &[u8]) -> Result<f64, MetricsError>,
+{
+    if !(0.0 < confidence && confidence < 1.0) {
+        return Err(MetricsError::BadMatrix {
+            reason: "confidence must be in (0, 1)",
+        });
+    }
+    let point = metric(values, labels)?;
+    let n = values.len();
+    let mut rng = SplitMix(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut v = vec![0.0; n];
+    let mut l = vec![0u8; n];
+    for _ in 0..resamples.max(1) {
+        for i in 0..n {
+            let j = rng.next_index(n);
+            v[i] = values[j];
+            l[i] = labels[j];
+        }
+        if let Ok(s) = metric(&v, &l) {
+            stats.push(s);
+        }
+    }
+    if stats.is_empty() {
+        return Err(MetricsError::EmptyInput);
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - confidence) / 2.0;
+    let idx = |q: f64| -> f64 {
+        let pos = q * (stats.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        stats[lo] * (1.0 - frac) + stats[hi] * frac
+    };
+    Ok(ConfidenceInterval {
+        point,
+        lower: idx(alpha),
+        upper: idx(1.0 - alpha),
+        confidence,
+    })
+}
+
+/// Bootstrap CI for PR-AUC of anomaly scores against binary labels.
+///
+/// # Errors
+///
+/// See [`crate::curve::pr_auc`] for input requirements.
+///
+/// # Example
+///
+/// ```
+/// use cnd_metrics::bootstrap::pr_auc_ci;
+/// let scores: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let labels: Vec<u8> = (0..100).map(|i| u8::from(i >= 60)).collect();
+/// let ci = pr_auc_ci(&scores, &labels, 200, 0.95, 7)?;
+/// assert!(ci.lower <= ci.point && ci.point <= ci.upper);
+/// assert!(ci.point > 0.99); // perfectly ranked
+/// # Ok::<(), cnd_metrics::MetricsError>(())
+/// ```
+pub fn pr_auc_ci(
+    scores: &[f64],
+    labels: &[u8],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval, MetricsError> {
+    bootstrap(scores, labels, resamples, confidence, seed, |s, l| {
+        pr_auc(s, l)
+    })
+}
+
+/// Bootstrap CI for the F1 of fixed binary predictions against labels.
+///
+/// `predictions` are resampled jointly with the labels (case resampling).
+///
+/// # Errors
+///
+/// See [`crate::classification::f1_score`] for input requirements.
+pub fn f1_ci(
+    predictions: &[u8],
+    labels: &[u8],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval, MetricsError> {
+    let as_f: Vec<f64> = predictions.iter().map(|&p| f64::from(p)).collect();
+    bootstrap(&as_f, labels, resamples, confidence, seed, |p, l| {
+        let preds: Vec<u8> = p.iter().map(|&v| u8::from(v != 0.0)).collect();
+        f1_score(&preds, l)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scored(n: usize, sep: f64) -> (Vec<f64>, Vec<u8>) {
+        let scores: Vec<f64> = (0..n)
+            .map(|i| {
+                let base = if i % 3 == 0 { sep } else { 0.0 };
+                base + ((i * 17) % 13) as f64 / 13.0
+            })
+            .collect();
+        let labels: Vec<u8> = (0..n).map(|i| u8::from(i % 3 == 0)).collect();
+        (scores, labels)
+    }
+
+    #[test]
+    fn interval_brackets_point() {
+        let (s, l) = scored(200, 2.0);
+        let ci = pr_auc_ci(&s, &l, 300, 0.95, 1).unwrap();
+        assert!(ci.lower <= ci.point && ci.point <= ci.upper);
+        assert!(ci.upper <= 1.0 + 1e-12);
+        assert!(ci.lower >= 0.0);
+    }
+
+    #[test]
+    fn wider_interval_at_higher_confidence() {
+        let (s, l) = scored(150, 1.0);
+        let narrow = pr_auc_ci(&s, &l, 400, 0.80, 2).unwrap();
+        let wide = pr_auc_ci(&s, &l, 400, 0.99, 2).unwrap();
+        assert!(wide.upper - wide.lower >= narrow.upper - narrow.lower);
+    }
+
+    #[test]
+    fn interval_shrinks_with_sample_size() {
+        // Use a weakly separated problem so the CI sits in the interior
+        // of [0, 1] where the 1/sqrt(n) shrinkage is visible.
+        let (s_small, l_small) = scored(60, 0.4);
+        let (s_big, l_big) = scored(1200, 0.4);
+        let small = pr_auc_ci(&s_small, &l_small, 400, 0.95, 3).unwrap();
+        let big = pr_auc_ci(&s_big, &l_big, 400, 0.95, 3).unwrap();
+        assert!(
+            big.upper - big.lower < small.upper - small.lower,
+            "more data must tighten the interval: small [{:.3},{:.3}], big [{:.3},{:.3}]",
+            small.lower,
+            small.upper,
+            big.lower,
+            big.upper
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (s, l) = scored(100, 1.5);
+        let a = pr_auc_ci(&s, &l, 100, 0.95, 9).unwrap();
+        let b = pr_auc_ci(&s, &l, 100, 0.95, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn f1_ci_perfect_predictions() {
+        let labels: Vec<u8> = (0..100).map(|i| u8::from(i % 4 == 0)).collect();
+        let ci = f1_ci(&labels.clone(), &labels, 200, 0.95, 4).unwrap();
+        assert_eq!(ci.point, 1.0);
+        assert_eq!(ci.lower, 1.0);
+    }
+
+    #[test]
+    fn excludes_screen() {
+        let ci = ConfidenceInterval {
+            point: 0.8,
+            lower: 0.7,
+            upper: 0.9,
+            confidence: 0.95,
+        };
+        assert!(ci.excludes(0.65));
+        assert!(!ci.excludes(0.85));
+    }
+
+    #[test]
+    fn validates_confidence() {
+        let (s, l) = scored(50, 1.0);
+        assert!(pr_auc_ci(&s, &l, 100, 1.0, 0).is_err());
+        assert!(pr_auc_ci(&s, &l, 100, 0.0, 0).is_err());
+    }
+}

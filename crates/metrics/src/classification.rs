@@ -1,0 +1,186 @@
+//! Binary classification metrics (attack = positive class `1`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::MetricsError;
+
+/// Confusion-matrix counts for a binary problem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionCounts {
+    /// Attacks predicted as attacks.
+    pub true_positives: usize,
+    /// Normals predicted as attacks.
+    pub false_positives: usize,
+    /// Normals predicted as normals.
+    pub true_negatives: usize,
+    /// Attacks predicted as normals.
+    pub false_negatives: usize,
+}
+
+impl ConfusionCounts {
+    /// Tallies predictions against ground truth (`0` normal / `1` attack;
+    /// any non-zero value counts as attack).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::LengthMismatch`] on differing lengths and
+    /// [`MetricsError::EmptyInput`] when both are empty.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cnd_metrics::classification::ConfusionCounts;
+    /// let c = ConfusionCounts::from_predictions(&[1, 0, 1, 0], &[1, 0, 0, 1])?;
+    /// assert_eq!(c.true_positives, 1);
+    /// assert_eq!(c.false_positives, 1);
+    /// assert_eq!(c.false_negatives, 1);
+    /// assert_eq!(c.true_negatives, 1);
+    /// # Ok::<(), cnd_metrics::MetricsError>(())
+    /// ```
+    pub fn from_predictions(pred: &[u8], truth: &[u8]) -> Result<Self, MetricsError> {
+        if pred.len() != truth.len() {
+            return Err(MetricsError::LengthMismatch {
+                scores: pred.len(),
+                labels: truth.len(),
+            });
+        }
+        if pred.is_empty() {
+            return Err(MetricsError::EmptyInput);
+        }
+        let mut c = ConfusionCounts::default();
+        for (&p, &t) in pred.iter().zip(truth) {
+            match (p != 0, t != 0) {
+                (true, true) => c.true_positives += 1,
+                (true, false) => c.false_positives += 1,
+                (false, false) => c.true_negatives += 1,
+                (false, true) => c.false_negatives += 1,
+            }
+        }
+        Ok(c)
+    }
+
+    /// Precision `TP / (TP + FP)`; `0` when the denominator is zero.
+    pub fn precision(&self) -> f64 {
+        let d = self.true_positives + self.false_positives;
+        if d == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / d as f64
+        }
+    }
+
+    /// Recall `TP / (TP + FN)`; `0` when the denominator is zero.
+    pub fn recall(&self) -> f64 {
+        let d = self.true_positives + self.false_negatives;
+        if d == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / d as f64
+        }
+    }
+
+    /// F1 score, the harmonic mean of precision and recall; `0` when both
+    /// are zero.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all samples.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives;
+        if total == 0 {
+            0.0
+        } else {
+            (self.true_positives + self.true_negatives) as f64 / total as f64
+        }
+    }
+
+    /// Total number of samples tallied.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+}
+
+/// Convenience: F1 directly from predictions and truth.
+///
+/// # Errors
+///
+/// See [`ConfusionCounts::from_predictions`].
+pub fn f1_score(pred: &[u8], truth: &[u8]) -> Result<f64, MetricsError> {
+    Ok(ConfusionCounts::from_predictions(pred, truth)?.f1())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let c = ConfusionCounts::from_predictions(&[1, 0, 1], &[1, 0, 1]).unwrap();
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let c = ConfusionCounts::from_predictions(&[0, 1], &[1, 0]).unwrap();
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // TP=2, FP=1, FN=1 -> P=2/3, R=2/3, F1=2/3.
+        let c = ConfusionCounts::from_predictions(&[1, 1, 1, 0, 0], &[1, 1, 0, 1, 0]).unwrap();
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_positives_predicted() {
+        let c = ConfusionCounts::from_predictions(&[0, 0], &[1, 1]).unwrap();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_and_empty() {
+        assert!(matches!(
+            ConfusionCounts::from_predictions(&[1], &[1, 0]),
+            Err(MetricsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            ConfusionCounts::from_predictions(&[], &[]),
+            Err(MetricsError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn f1_helper_matches() {
+        let pred = [1, 0, 1, 1];
+        let truth = [1, 0, 0, 1];
+        let via_counts = ConfusionCounts::from_predictions(&pred, &truth)
+            .unwrap()
+            .f1();
+        assert_eq!(f1_score(&pred, &truth).unwrap(), via_counts);
+    }
+
+    #[test]
+    fn total_counts() {
+        let c = ConfusionCounts::from_predictions(&[1, 0, 1, 0], &[1, 1, 0, 0]).unwrap();
+        assert_eq!(c.total(), 4);
+    }
+}

@@ -1,0 +1,250 @@
+//! Continual-learning metrics over the result matrix `R_ij`.
+//!
+//! After training on experience `i`, a continual learner is evaluated on
+//! the test split of every experience `j`, producing an `m × m` matrix of
+//! F1 scores. The paper (Section IV-A) derives three summary metrics:
+//!
+//! * `AVG = Σ_{i=j} R_ij / m` — performance on the *current* experience
+//!   (seen attacks).
+//! * `FwdTrans = Σ_{j>i} R_ij / (m(m−1)/2)` — performance on *future*
+//!   experiences (zero-day attacks).
+//! * `BwdTrans = Σ_i (R_{m,i} − R_{i,i}) / (m(m−1)/2)` — change on *past*
+//!   experiences after finishing training; negative values indicate
+//!   catastrophic forgetting.
+//!
+//! The divisor of `BwdTrans` follows the paper's formula verbatim (it
+//! differs from the more common `1/(m−1)` normalization of
+//! Díaz-Rodríguez et al. by a factor of `2/m`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::MetricsError;
+
+/// An `m × m` continual-learning result matrix.
+///
+/// Entry `(i, j)` is the metric (F1 in the paper) measured on test
+/// experience `j` after training through experience `i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultMatrix {
+    m: usize,
+    values: Vec<f64>,
+}
+
+impl ResultMatrix {
+    /// Creates a zero-initialized `m × m` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::BadMatrix`] for `m < 2` (the CL metrics
+    /// are undefined for fewer than two experiences).
+    pub fn new(m: usize) -> Result<Self, MetricsError> {
+        if m < 2 {
+            return Err(MetricsError::BadMatrix {
+                reason: "need at least 2 experiences",
+            });
+        }
+        Ok(ResultMatrix {
+            m,
+            values: vec![0.0; m * m],
+        })
+    }
+
+    /// Builds a matrix from rows (training experience major).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::BadMatrix`] if the rows do not form a
+    /// square matrix with `m >= 2`.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, MetricsError> {
+        let m = rows.len();
+        if m < 2 || rows.iter().any(|r| r.len() != m) {
+            return Err(MetricsError::BadMatrix {
+                reason: "rows must form a square matrix with m >= 2",
+            });
+        }
+        let mut values = Vec::with_capacity(m * m);
+        for r in rows {
+            values.extend_from_slice(r);
+        }
+        Ok(ResultMatrix { m, values })
+    }
+
+    /// Number of experiences.
+    pub fn experiences(&self) -> usize {
+        self.m
+    }
+
+    /// Gets entry `(train_exp, test_exp)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is `>= experiences()`.
+    pub fn get(&self, train_exp: usize, test_exp: usize) -> f64 {
+        assert!(train_exp < self.m && test_exp < self.m, "index out of bounds");
+        self.values[train_exp * self.m + test_exp]
+    }
+
+    /// Sets entry `(train_exp, test_exp)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is `>= experiences()`.
+    pub fn set(&mut self, train_exp: usize, test_exp: usize, value: f64) {
+        assert!(train_exp < self.m && test_exp < self.m, "index out of bounds");
+        self.values[train_exp * self.m + test_exp] = value;
+    }
+
+    /// `AVG`: mean of the diagonal — performance on the experience just
+    /// trained on (seen attacks).
+    pub fn avg(&self) -> f64 {
+        (0..self.m).map(|i| self.get(i, i)).sum::<f64>() / self.m as f64
+    }
+
+    /// `FwdTrans`: mean over the strict upper triangle — performance on
+    /// experiences not yet trained on (zero-day attacks).
+    pub fn fwd_trans(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.m {
+            for j in (i + 1)..self.m {
+                s += self.get(i, j);
+            }
+        }
+        s / (self.m * (self.m - 1) / 2) as f64
+    }
+
+    /// `BwdTrans`: paper formula `Σ_i (R_{m,i} − R_{i,i}) / (m(m−1)/2)`.
+    /// Positive values mean past experiences *improved* after later
+    /// training; negative values indicate forgetting.
+    pub fn bwd_trans(&self) -> f64 {
+        let last = self.m - 1;
+        let s: f64 = (0..self.m)
+            .map(|i| self.get(last, i) - self.get(i, i))
+            .sum();
+        s / (self.m * (self.m - 1) / 2) as f64
+    }
+
+    /// All three summary metrics at once.
+    pub fn summary(&self) -> ContinualSummary {
+        ContinualSummary {
+            avg: self.avg(),
+            fwd_trans: self.fwd_trans(),
+            bwd_trans: self.bwd_trans(),
+        }
+    }
+}
+
+/// The three continual-learning summary metrics of the paper's Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContinualSummary {
+    /// Diagonal mean (seen attacks).
+    pub avg: f64,
+    /// Upper-triangle mean (zero-day attacks).
+    pub fwd_trans: f64,
+    /// Backward transfer (forgetting when negative).
+    pub bwd_trans: f64,
+}
+
+/// Improvement multiplier used in Table II: `ours / baseline`.
+///
+/// Returns `None` when the baseline is non-positive (a proportional
+/// increase is meaningless — the reason the paper excludes BwdTrans from
+/// Table II).
+pub fn improvement_ratio(ours: f64, baseline: f64) -> Option<f64> {
+    if baseline > 0.0 {
+        Some(ours / baseline)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 3x3 example used throughout:
+    /// rows = after training exp i, cols = test exp j.
+    fn example() -> ResultMatrix {
+        ResultMatrix::from_rows(&[
+            vec![0.9, 0.5, 0.4],
+            vec![0.8, 0.7, 0.5],
+            vec![0.7, 0.6, 0.8],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn avg_is_diagonal_mean() {
+        let r = example();
+        assert!((r.avg() - (0.9 + 0.7 + 0.8) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fwd_trans_upper_triangle() {
+        let r = example();
+        // (0.5 + 0.4 + 0.5) / 3
+        assert!((r.fwd_trans() - 1.4 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bwd_trans_paper_formula() {
+        let r = example();
+        // Σ_i (R_{2,i} − R_{i,i}) = (0.7−0.9) + (0.6−0.7) + (0.8−0.8) = −0.3
+        // divisor m(m−1)/2 = 3.
+        assert!((r.bwd_trans() - (-0.3 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_forgetting_gives_zero_bwd() {
+        let r = ResultMatrix::from_rows(&[vec![0.8, 0.1], vec![0.8, 0.9]]).unwrap();
+        assert!((r.bwd_trans() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_bwd_when_past_improves() {
+        let r = ResultMatrix::from_rows(&[vec![0.5, 0.1], vec![0.9, 0.9]]).unwrap();
+        assert!(r.bwd_trans() > 0.0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut r = ResultMatrix::new(4).unwrap();
+        r.set(2, 3, 0.42);
+        assert_eq!(r.get(2, 3), 0.42);
+        assert_eq!(r.get(3, 2), 0.0);
+        assert_eq!(r.experiences(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        example().get(3, 0);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(matches!(
+            ResultMatrix::new(1),
+            Err(MetricsError::BadMatrix { .. })
+        ));
+        assert!(matches!(
+            ResultMatrix::from_rows(&[vec![1.0], vec![1.0]]),
+            Err(MetricsError::BadMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn summary_bundles_metrics() {
+        let r = example();
+        let s = r.summary();
+        assert_eq!(s.avg, r.avg());
+        assert_eq!(s.fwd_trans, r.fwd_trans());
+        assert_eq!(s.bwd_trans, r.bwd_trans());
+    }
+
+    #[test]
+    fn improvement_ratio_handles_nonpositive() {
+        assert_eq!(improvement_ratio(0.8, 0.4), Some(2.0));
+        assert_eq!(improvement_ratio(0.8, 0.0), None);
+        assert_eq!(improvement_ratio(0.8, -0.1), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! Threshold-free evaluation curves: PR-AUC and ROC-AUC.
+//!
+//! The paper reports PR-AUC (Fig. 5) and explicitly prefers it to
+//! ROC-AUC under class imbalance (citing Davis & Goadrich, 2006). PR-AUC
+//! here is *average precision* — the step-wise integral
+//! `AP = Σ (Rₙ − Rₙ₋₁) Pₙ` over descending-score tie groups — which is
+//! the standard non-interpolated estimator. ROC-AUC is computed as the
+//! Mann–Whitney U statistic with tie correction.
+
+use crate::MetricsError;
+
+fn validate(scores: &[f64], labels: &[u8]) -> Result<(usize, usize), MetricsError> {
+    if scores.len() != labels.len() {
+        return Err(MetricsError::LengthMismatch {
+            scores: scores.len(),
+            labels: labels.len(),
+        });
+    }
+    if scores.is_empty() {
+        return Err(MetricsError::EmptyInput);
+    }
+    let pos = labels.iter().filter(|&&l| l != 0).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return Err(MetricsError::SingleClass);
+    }
+    Ok((pos, neg))
+}
+
+/// Precision-Recall area under the curve (average precision).
+///
+/// Ties in score are handled as a group: precision is evaluated after
+/// absorbing the entire tie level, which makes the result independent of
+/// the input order.
+///
+/// # Errors
+///
+/// [`MetricsError::LengthMismatch`], [`MetricsError::EmptyInput`], or
+/// [`MetricsError::SingleClass`] on malformed input.
+///
+/// # Example
+///
+/// ```
+/// let ap = cnd_metrics::curve::pr_auc(&[0.9, 0.8, 0.2, 0.1], &[1, 1, 0, 0])?;
+/// assert_eq!(ap, 1.0);
+/// # Ok::<(), cnd_metrics::MetricsError>(())
+/// ```
+pub fn pr_auc(scores: &[f64], labels: &[u8]) -> Result<f64, MetricsError> {
+    let (total_pos, _) = validate(scores, labels)?;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut prev_recall = 0.0;
+    let mut ap = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let level = scores[order[i]];
+        while i < order.len() && scores[order[i]] == level {
+            if labels[order[i]] != 0 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let recall = tp as f64 / total_pos as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        ap += (recall - prev_recall) * precision;
+        prev_recall = recall;
+    }
+    Ok(ap)
+}
+
+/// ROC area under the curve via the rank-sum (Mann–Whitney U) statistic
+/// with midrank tie handling: the probability that a random attack
+/// scores above a random normal sample.
+///
+/// # Errors
+///
+/// Same conditions as [`pr_auc`].
+///
+/// # Example
+///
+/// ```
+/// let auc = cnd_metrics::curve::roc_auc(&[0.9, 0.8, 0.2, 0.1], &[1, 1, 0, 0])?;
+/// assert_eq!(auc, 1.0);
+/// # Ok::<(), cnd_metrics::MetricsError>(())
+/// ```
+pub fn roc_auc(scores: &[f64], labels: &[u8]) -> Result<f64, MetricsError> {
+    let (pos, neg) = validate(scores, labels)?;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Midranks.
+    let n = scores.len();
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let level = scores[order[i]];
+        let start = i;
+        while i < n && scores[order[i]] == level {
+            i += 1;
+        }
+        let midrank = (start + i + 1) as f64 / 2.0; // 1-based average rank
+        for &idx in &order[start..i] {
+            ranks[idx] = midrank;
+        }
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l != 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - pos as f64 * (pos as f64 + 1.0) / 2.0;
+    Ok(u / (pos as f64 * neg as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let s = [0.9, 0.8, 0.7, 0.2, 0.1];
+        let l = [1, 1, 1, 0, 0];
+        assert_eq!(pr_auc(&s, &l).unwrap(), 1.0);
+        assert_eq!(roc_auc(&s, &l).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn inverted_separation() {
+        let s = [0.1, 0.2, 0.9, 0.8];
+        let l = [1, 1, 0, 0];
+        assert_eq!(roc_auc(&s, &l).unwrap(), 0.0);
+        // AP for completely inverted ranking = average of k/(n_neg+k).
+        let ap = pr_auc(&s, &l).unwrap();
+        assert!((ap - 0.5 * (1.0 / 3.0 + 2.0 / 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_give_base_rate_ap_and_half_auc() {
+        // All scores tied: one tie group, precision = base rate.
+        let s = [0.5; 10];
+        let l = [1, 0, 1, 0, 0, 0, 0, 1, 0, 0];
+        let ap = pr_auc(&s, &l).unwrap();
+        assert!((ap - 0.3).abs() < 1e-12);
+        let auc = roc_auc(&s, &l).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_auc_known_mixed_case() {
+        // Ranking: 1, 0, 1, 0 (descending score).
+        let s = [0.9, 0.8, 0.7, 0.6];
+        let l = [1, 0, 1, 0];
+        // AP = 1.0 * 0.5 + (2/3) * 0.5 = 0.8333...
+        let ap = pr_auc(&s, &l).unwrap();
+        assert!((ap - (0.5 + 0.5 * 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_auc_known_mixed_case() {
+        let s = [0.9, 0.8, 0.7, 0.6];
+        let l = [1, 0, 1, 0];
+        // Pairs: (1st pos beats both negs) + (2nd pos beats one neg) = 3 of 4.
+        assert!((roc_auc(&s, &l).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_independence() {
+        let s1 = [0.9, 0.1, 0.8, 0.3, 0.5];
+        let l1 = [1, 0, 1, 0, 1];
+        let s2 = [0.5, 0.3, 0.1, 0.8, 0.9];
+        let l2 = [1, 0, 0, 1, 1];
+        assert!((pr_auc(&s1, &l1).unwrap() - pr_auc(&s2, &l2).unwrap()).abs() < 1e-12);
+        assert!((roc_auc(&s1, &l1).unwrap() - roc_auc(&s2, &l2).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        assert!(matches!(
+            pr_auc(&[0.1, 0.2], &[1, 1]),
+            Err(MetricsError::SingleClass)
+        ));
+        assert!(matches!(
+            roc_auc(&[0.1, 0.2], &[0, 0]),
+            Err(MetricsError::SingleClass)
+        ));
+    }
+
+    #[test]
+    fn malformed_input() {
+        assert!(pr_auc(&[0.1], &[0, 1]).is_err());
+        assert!(roc_auc(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn imbalance_shows_prauc_stricter_than_rocauc() {
+        // 2 attacks, 98 normals; attacks ranked ~10th and ~20th.
+        let mut scores = vec![0.0; 100];
+        let mut labels = vec![0u8; 100];
+        for (i, s) in scores.iter_mut().enumerate() {
+            *s = 1.0 - i as f64 / 100.0;
+        }
+        labels[9] = 1;
+        labels[19] = 1;
+        let ap = pr_auc(&scores, &labels).unwrap();
+        let auc = roc_auc(&scores, &labels).unwrap();
+        // ROC-AUC looks great, PR-AUC exposes the poor precision.
+        assert!(auc > 0.85, "auc = {auc}");
+        assert!(ap < 0.12, "ap = {ap}");
+    }
+}

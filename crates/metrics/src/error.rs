@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for metric computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MetricsError {
+    /// Scores and labels have different lengths.
+    LengthMismatch {
+        /// Number of scores.
+        scores: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// The input was empty.
+    EmptyInput,
+    /// The labels contain only one class where both are required.
+    SingleClass,
+    /// A result matrix was not square or had fewer than 2 experiences.
+    BadMatrix {
+        /// Human-readable description.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::LengthMismatch { scores, labels } => {
+                write!(f, "{scores} scores but {labels} labels")
+            }
+            MetricsError::EmptyInput => write!(f, "metric requires non-empty input"),
+            MetricsError::SingleClass => {
+                write!(f, "metric requires both positive and negative labels")
+            }
+            MetricsError::BadMatrix { reason } => write!(f, "bad result matrix: {reason}"),
+        }
+    }
+}
+
+impl Error for MetricsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(MetricsError::EmptyInput.to_string().contains("non-empty"));
+        assert!(MetricsError::LengthMismatch { scores: 3, labels: 2 }
+            .to_string()
+            .contains("3 scores"));
+    }
+}

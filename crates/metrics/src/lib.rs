@@ -1,0 +1,45 @@
+//! # cnd-metrics
+//!
+//! Evaluation metrics for the CND-IDS reproduction (paper Section IV-A):
+//!
+//! * [`classification`] — confusion counts, precision, recall, F1.
+//! * [`threshold`] — the *Best-F* threshold-selection rule (Su et al.,
+//!   KDD 2019): pick the score threshold maximizing F1.
+//! * [`curve`] — threshold-free metrics: PR-AUC (average precision) and
+//!   ROC-AUC (rank statistic with tie handling). The paper reports
+//!   PR-AUC because ROC-AUC is misleading under class imbalance.
+//! * [`bootstrap`] — percentile-bootstrap confidence intervals for F1
+//!   and PR-AUC (extension; used by the extended benches).
+//! * [`continual`] — the continual-learning result matrix `R_ij`
+//!   (`i` = training experience, `j` = test experience) and the derived
+//!   metrics AVG, FwdTrans and BwdTrans (Díaz-Rodríguez et al., 2018, as
+//!   specialized by the paper), plus the improvement multipliers used in
+//!   Table II.
+//!
+//! Labels follow the paper's convention: `0` = normal, `1` = attack;
+//! anomaly scores are oriented so that **higher means more anomalous**.
+//!
+//! # Example
+//!
+//! ```
+//! use cnd_metrics::threshold::best_f1_threshold;
+//!
+//! let scores = [0.1, 0.2, 0.8, 0.9];
+//! let labels = [0, 0, 1, 1];
+//! let sel = best_f1_threshold(&scores, &labels)?;
+//! assert_eq!(sel.f1, 1.0);
+//! # Ok::<(), cnd_metrics::MetricsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod bootstrap;
+pub mod classification;
+pub mod continual;
+pub mod curve;
+pub mod threshold;
+
+pub use error::MetricsError;

@@ -1,0 +1,105 @@
+//! Property-based tests for the metric implementations.
+
+use cnd_metrics::classification::{f1_score, ConfusionCounts};
+use cnd_metrics::continual::ResultMatrix;
+use cnd_metrics::curve::{pr_auc, roc_auc};
+use cnd_metrics::threshold::{apply_threshold, best_f1_threshold};
+use proptest::prelude::*;
+
+fn scored_labels() -> impl Strategy<Value = (Vec<f64>, Vec<u8>)> {
+    prop::collection::vec((0.0..1.0f64, 0u8..2), 4..60).prop_map(|pairs| {
+        let (s, l): (Vec<f64>, Vec<u8>) = pairs.into_iter().unzip();
+        (s, l)
+    })
+}
+
+fn both_classes(labels: &[u8]) -> bool {
+    labels.iter().any(|&l| l == 0) && labels.iter().any(|&l| l != 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn f1_bounded((_s, l) in scored_labels(), (_s2, p) in scored_labels()) {
+        let n = l.len().min(p.len());
+        if n > 0 {
+            let f1 = f1_score(&p[..n], &l[..n]).unwrap();
+            prop_assert!((0.0..=1.0).contains(&f1));
+        }
+    }
+
+    #[test]
+    fn best_f_threshold_achieves_reported_f1((s, l) in scored_labels()) {
+        if l.iter().any(|&x| x != 0) {
+            let sel = best_f1_threshold(&s, &l).unwrap();
+            let pred = apply_threshold(&s, sel.threshold);
+            let f1 = f1_score(&pred, &l).unwrap();
+            prop_assert!((f1 - sel.f1).abs() < 1e-9, "reported {} actual {}", sel.f1, f1);
+        }
+    }
+
+    #[test]
+    fn best_f_dominates_uniform_grid((s, l) in scored_labels()) {
+        if l.iter().any(|&x| x != 0) {
+            let sel = best_f1_threshold(&s, &l).unwrap();
+            for i in 0..=20 {
+                let t = i as f64 / 20.0;
+                let pred = apply_threshold(&s, t);
+                let f1 = f1_score(&pred, &l).unwrap();
+                prop_assert!(sel.f1 >= f1 - 1e-9, "t={t} gives {f1} > best {}", sel.f1);
+            }
+        }
+    }
+
+    #[test]
+    fn aucs_bounded((s, l) in scored_labels()) {
+        if both_classes(&l) {
+            let ap = pr_auc(&s, &l).unwrap();
+            let auc = roc_auc(&s, &l).unwrap();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&auc));
+        }
+    }
+
+    #[test]
+    fn roc_auc_complement_under_score_negation((s, l) in scored_labels()) {
+        if both_classes(&l) {
+            let auc = roc_auc(&s, &l).unwrap();
+            let neg: Vec<f64> = s.iter().map(|v| -v).collect();
+            let auc_neg = roc_auc(&neg, &l).unwrap();
+            prop_assert!((auc + auc_neg - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pr_auc_at_least_base_rate_for_perfect_ranking(n_pos in 1usize..10, n_neg in 1usize..30) {
+        // Perfect ranking always yields AP = 1.
+        let mut s = Vec::new();
+        let mut l = Vec::new();
+        for i in 0..n_pos { s.push(10.0 + i as f64); l.push(1u8); }
+        for i in 0..n_neg { s.push(-(i as f64)); l.push(0u8); }
+        prop_assert!((pr_auc(&s, &l).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_counts_partition(
+        (_s, truth) in scored_labels(),
+        (_s2, pred) in scored_labels(),
+    ) {
+        let n = truth.len().min(pred.len());
+        if n > 0 {
+            let c = ConfusionCounts::from_predictions(&pred[..n], &truth[..n]).unwrap();
+            prop_assert_eq!(c.total(), n);
+        }
+    }
+
+    #[test]
+    fn result_matrix_metrics_bounded(vals in prop::collection::vec(0.0..1.0f64, 9..=9)) {
+        let rows: Vec<Vec<f64>> = vals.chunks(3).map(|c| c.to_vec()).collect();
+        let r = ResultMatrix::from_rows(&rows).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.avg()));
+        prop_assert!((0.0..=1.0).contains(&r.fwd_trans()));
+        prop_assert!((-1.0..=1.0).contains(&r.bwd_trans()));
+    }
+}

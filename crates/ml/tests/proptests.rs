@@ -1,0 +1,77 @@
+//! Property-based tests for the classical-ML estimators.
+
+use cnd_linalg::Matrix;
+use cnd_ml::pca::{ComponentSelection, Pca};
+use cnd_ml::{KMeans, StandardScaler};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn dataset() -> impl Strategy<Value = Matrix> {
+    (4usize..40, 1usize..6).prop_flat_map(|(n, d)| {
+        prop::collection::vec(-50.0..50.0f64, n * d)
+            .prop_map(move |data| Matrix::from_vec(n, d, data).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kmeans_labels_in_range(x in dataset(), k in 1usize..5, seed in 0u64..100) {
+        let k = k.min(x.rows());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let km = KMeans::fit(&x, k, 50, &mut rng).unwrap();
+        let labels = km.predict(&x).unwrap();
+        prop_assert_eq!(labels.len(), x.rows());
+        prop_assert!(labels.iter().all(|&l| l < k));
+    }
+
+    #[test]
+    fn kmeans_inertia_nonnegative_and_bounded_by_k1(x in dataset(), seed in 0u64..100) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let i1 = KMeans::fit(&x, 1, 50, &mut rng).unwrap().inertia();
+        let k = 2.min(x.rows());
+        let ik = KMeans::fit(&x, k, 50, &mut rng).unwrap().inertia();
+        prop_assert!(ik >= -1e-9);
+        // More clusters never increases optimal inertia; Lloyd is a local
+        // optimizer so allow small slack.
+        prop_assert!(ik <= i1 * 1.0 + 1e-6, "i1={i1}, ik={ik}");
+    }
+
+    #[test]
+    fn pca_full_rank_reconstructs(x in dataset()) {
+        if x.rows() > x.cols() {
+            let p = Pca::fit(&x, ComponentSelection::Fixed(x.cols())).unwrap();
+            let errs = p.reconstruction_errors(&x).unwrap();
+            let scale = x.frobenius_sq().max(1.0);
+            prop_assert!(errs.iter().all(|&e| e < 1e-9 * scale),
+                "max err = {}", errs.iter().cloned().fold(0.0, f64::max));
+        }
+    }
+
+    #[test]
+    fn pca_errors_nonnegative(x in dataset()) {
+        let p = Pca::fit(&x, ComponentSelection::Fixed(1)).unwrap();
+        let errs = p.reconstruction_errors(&x).unwrap();
+        prop_assert!(errs.iter().all(|&e| e >= 0.0));
+    }
+
+    #[test]
+    fn pca_variance_ratios_monotone(x in dataset()) {
+        let p = Pca::fit(&x, ComponentSelection::Fixed(x.cols())).unwrap();
+        let r = p.explained_variance_ratio();
+        for w in r.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        let s: f64 = r.iter().sum();
+        prop_assert!(s <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn scaler_transform_is_affine_invertible_on_varying_features(x in dataset()) {
+        let sc = StandardScaler::fit(&x).unwrap();
+        let z = sc.transform(&x).unwrap();
+        prop_assert_eq!(z.shape(), x.shape());
+        prop_assert!(z.is_finite());
+    }
+}

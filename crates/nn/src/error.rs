@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+use cnd_linalg::LinalgError;
+
+/// Error type for neural-network operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying matrix operation failed (shape mismatch etc.).
+    Linalg(LinalgError),
+    /// `backward` was called before `forward` (no cached activations).
+    NoForwardPass,
+    /// The batch shapes passed to a loss function disagree.
+    BatchMismatch {
+        /// Shape of the first operand.
+        left: (usize, usize),
+        /// Shape of the second operand.
+        right: (usize, usize),
+    },
+    /// A loss function was given an empty batch.
+    EmptyBatch,
+    /// Labels vector length does not match the batch row count.
+    LabelMismatch {
+        /// Number of rows in the batch.
+        batch: usize,
+        /// Number of labels provided.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            NnError::NoForwardPass => write!(f, "backward called before forward"),
+            NnError::BatchMismatch { left, right } => write!(
+                f,
+                "batch shape mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            NnError::EmptyBatch => write!(f, "loss requires a non-empty batch"),
+            NnError::LabelMismatch { batch, labels } => {
+                write!(f, "batch has {batch} rows but {labels} labels were given")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for NnError {
+    fn from(e: LinalgError) -> Self {
+        NnError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::from(LinalgError::Empty { op: "x" });
+        assert!(e.to_string().contains("linear algebra"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&NnError::NoForwardPass).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

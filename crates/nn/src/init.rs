@@ -1,0 +1,82 @@
+//! Weight initialization schemes.
+
+use cnd_linalg::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization for a `(fan_in, fan_out)` weight
+/// matrix: entries drawn from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// This is the workspace default — appropriate for the tanh/sigmoid-style
+/// bottlenecks used in the CFE autoencoder.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let w = cnd_nn::init::xavier_uniform(8, 4, &mut rng);
+/// assert_eq!(w.shape(), (8, 4));
+/// let bound = (6.0f64 / 12.0).sqrt();
+/// assert!(w.iter().all(|&v| v.abs() <= bound));
+/// ```
+pub fn xavier_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-a..=a))
+}
+
+/// He/Kaiming uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / fan_in)`. Preferred for ReLU stacks.
+pub fn he_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / fan_in.max(1) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-a..=a))
+}
+
+/// Standard normal initialization scaled by `std`.
+pub fn normal<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, std: f64, rng: &mut R) -> Matrix {
+    // Box-Muller transform keeps us independent of rand_distr.
+    Matrix::from_fn(fan_in, fan_out, |_, _| {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let w = xavier_uniform(10, 6, &mut rng);
+        let bound = (6.0 / 16.0f64).sqrt();
+        assert!(w.iter().all(|&v| v.abs() <= bound));
+        assert_eq!(w.shape(), (10, 6));
+    }
+
+    #[test]
+    fn he_within_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let w = he_uniform(9, 3, &mut rng);
+        let bound = (6.0 / 9.0f64).sqrt();
+        assert!(w.iter().all(|&v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_spread() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let w = normal(100, 100, 0.5, &mut rng);
+        let mean = w.mean();
+        let var = w.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / w.len() as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(5);
+        let mut b = rand::rngs::StdRng::seed_from_u64(5);
+        assert_eq!(xavier_uniform(4, 4, &mut a), xavier_uniform(4, 4, &mut b));
+    }
+}

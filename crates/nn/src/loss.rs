@@ -1,0 +1,345 @@
+//! Loss functions returning `(value, gradient)` pairs.
+//!
+//! Each function computes both the scalar loss and its gradient with
+//! respect to the first argument, ready to feed into
+//! [`crate::Sequential::backward`].
+
+use cnd_linalg::{vector, Matrix};
+use rand::Rng;
+
+use crate::NnError;
+
+/// Mean-squared error over all elements of a batch:
+/// `L = mean((pred - target)²)`, gradient `2 (pred - target) / N`.
+///
+/// This is the paper's reconstruction loss `L_R` and the building block of
+/// the latent continual-learning loss `L_CL`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BatchMismatch`] on differing shapes and
+/// [`NnError::EmptyBatch`] for empty input.
+///
+/// # Example
+///
+/// ```
+/// use cnd_linalg::Matrix;
+/// let p = Matrix::from_rows(&[vec![1.0, 2.0]])?;
+/// let t = Matrix::from_rows(&[vec![0.0, 0.0]])?;
+/// let (l, g) = cnd_nn::loss::mse(&p, &t)?;
+/// assert!((l - 2.5).abs() < 1e-12);
+/// assert_eq!(g.row(0), &[1.0, 2.0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn mse(pred: &Matrix, target: &Matrix) -> Result<(f64, Matrix), NnError> {
+    if pred.shape() != target.shape() {
+        return Err(NnError::BatchMismatch {
+            left: pred.shape(),
+            right: target.shape(),
+        });
+    }
+    if pred.is_empty() {
+        return Err(NnError::EmptyBatch);
+    }
+    let diff = pred.sub(target)?;
+    let n = pred.len() as f64;
+    let loss = diff.frobenius_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok((loss, grad))
+}
+
+/// A sampled (anchor, positive, negative) index triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Triplet {
+    /// Anchor row index.
+    pub anchor: usize,
+    /// Positive row index (same pseudo-label as the anchor).
+    pub positive: usize,
+    /// Negative row index (different pseudo-label).
+    pub negative: usize,
+}
+
+/// Samples one random triplet per eligible anchor.
+///
+/// An anchor is eligible when at least one other sample shares its label
+/// and at least one sample has a different label. Returns an empty vector
+/// when the batch contains fewer than two classes.
+pub fn sample_triplets<R: Rng + ?Sized>(labels: &[u8], rng: &mut R) -> Vec<Triplet> {
+    let mut by_class: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+    for (i, &l) in labels.iter().enumerate() {
+        by_class[usize::from(l != 0)].push(i);
+    }
+    if by_class[0].is_empty() || by_class[1].is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(labels.len());
+    for (anchor, &l) in labels.iter().enumerate() {
+        let same = &by_class[usize::from(l != 0)];
+        let other = &by_class[usize::from(l == 0)];
+        if same.len() < 2 {
+            continue;
+        }
+        // Rejection-sample a positive different from the anchor.
+        let positive = loop {
+            let c = same[rng.gen_range(0..same.len())];
+            if c != anchor {
+                break c;
+            }
+        };
+        let negative = other[rng.gen_range(0..other.len())];
+        out.push(Triplet {
+            anchor,
+            positive,
+            negative,
+        });
+    }
+    out
+}
+
+/// Squared-Euclidean triplet margin loss (FaceNet form, the paper's
+/// cluster-separation loss `L_CS`):
+///
+/// `L = mean over triplets of max(‖a−p‖² − ‖a−n‖² + margin, 0)`
+///
+/// Returns the mean loss and the gradient w.r.t. the embedding matrix.
+/// Triplets whose margin is already satisfied contribute zero loss and
+/// zero gradient.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] when `labels.len() !=
+/// embeddings.rows()` and [`NnError::EmptyBatch`] for an empty batch.
+/// A batch with a single class yields loss `0` and a zero gradient
+/// (no triplets can be formed) — not an error, since the pseudo-labeller
+/// can legitimately produce one class.
+pub fn triplet_margin<R: Rng + ?Sized>(
+    embeddings: &Matrix,
+    labels: &[u8],
+    margin: f64,
+    rng: &mut R,
+) -> Result<(f64, Matrix), NnError> {
+    if embeddings.is_empty() {
+        return Err(NnError::EmptyBatch);
+    }
+    if labels.len() != embeddings.rows() {
+        return Err(NnError::LabelMismatch {
+            batch: embeddings.rows(),
+            labels: labels.len(),
+        });
+    }
+    let triplets = sample_triplets(labels, rng);
+    triplet_margin_with(embeddings, &triplets, margin)
+}
+
+/// Triplet margin loss for an explicit triplet set (deterministic variant
+/// used by tests and gradient checks).
+///
+/// # Errors
+///
+/// Returns [`NnError::EmptyBatch`] for an empty embedding matrix.
+///
+/// # Panics
+///
+/// Panics if a triplet index is out of bounds.
+pub fn triplet_margin_with(
+    embeddings: &Matrix,
+    triplets: &[Triplet],
+    margin: f64,
+) -> Result<(f64, Matrix), NnError> {
+    if embeddings.is_empty() {
+        return Err(NnError::EmptyBatch);
+    }
+    let mut grad = Matrix::zeros(embeddings.rows(), embeddings.cols());
+    if triplets.is_empty() {
+        return Ok((0.0, grad));
+    }
+    let mut total = 0.0;
+    let scale = 1.0 / triplets.len() as f64;
+    for t in triplets {
+        let a = embeddings.row(t.anchor);
+        let p = embeddings.row(t.positive);
+        let n = embeddings.row(t.negative);
+        let d_ap = vector::sq_distance(a, p);
+        let d_an = vector::sq_distance(a, n);
+        let l = d_ap - d_an + margin;
+        if l <= 0.0 {
+            continue;
+        }
+        total += l;
+        // dL/da = 2(n − p); dL/dp = −2(a − p); dL/dn = 2(a − n).
+        for j in 0..embeddings.cols() {
+            grad[(t.anchor, j)] += scale * 2.0 * (n[j] - p[j]);
+            grad[(t.positive, j)] += scale * (-2.0) * (a[j] - p[j]);
+            grad[(t.negative, j)] += scale * 2.0 * (a[j] - n[j]);
+        }
+    }
+    Ok((total * scale, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let x = Matrix::filled(3, 2, 1.5);
+        let (l, g) = mse(&x, &x).unwrap();
+        assert_eq!(l, 0.0);
+        assert_eq!(g, Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_rows(&[vec![2.0, 0.0]]).unwrap();
+        let t = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let (l, g) = mse(&p, &t).unwrap();
+        assert_eq!(l, 2.0);
+        assert_eq!(g.row(0), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_rejects_mismatch_and_empty() {
+        assert!(mse(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1)).is_err());
+        assert!(matches!(
+            mse(&Matrix::zeros(0, 0), &Matrix::zeros(0, 0)),
+            Err(NnError::EmptyBatch)
+        ));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let p = Matrix::from_fn(3, 4, |i, j| (i as f64 - j as f64) * 0.3);
+        let t = Matrix::from_fn(3, 4, |i, j| ((i + j) % 2) as f64);
+        let (_, g) = mse(&p, &t).unwrap();
+        let eps = 1e-6;
+        for i in 0..3 {
+            for j in 0..4 {
+                let mut pp = p.clone();
+                pp[(i, j)] += eps;
+                let (lp, _) = mse(&pp, &t).unwrap();
+                let mut pm = p.clone();
+                pm[(i, j)] -= eps;
+                let (lm, _) = mse(&pm, &t).unwrap();
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!((fd - g[(i, j)]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_triplets_single_class_is_empty() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(sample_triplets(&[0, 0, 0], &mut rng).is_empty());
+        assert!(sample_triplets(&[1, 1], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_triplets_respects_classes() {
+        let labels = [0, 0, 1, 1, 0];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for t in sample_triplets(&labels, &mut rng) {
+            assert_eq!(labels[t.anchor], labels[t.positive]);
+            assert_ne!(labels[t.anchor], labels[t.negative]);
+            assert_ne!(t.anchor, t.positive);
+        }
+    }
+
+    #[test]
+    fn triplet_zero_when_margin_satisfied() {
+        // a = p, n far away: d_ap - d_an + margin < 0.
+        let e = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![100.0, 0.0],
+        ])
+        .unwrap();
+        let t = [Triplet {
+            anchor: 0,
+            positive: 1,
+            negative: 2,
+        }];
+        let (l, g) = triplet_margin_with(&e, &t, 1.0).unwrap();
+        assert_eq!(l, 0.0);
+        assert_eq!(g, Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn triplet_known_violation() {
+        // a=(0,0), p=(1,0), n=(1,0): d_ap = 1, d_an = 1, loss = margin.
+        let e = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+        ])
+        .unwrap();
+        let t = [Triplet {
+            anchor: 0,
+            positive: 1,
+            negative: 2,
+        }];
+        let (l, _) = triplet_margin_with(&e, &t, 2.0).unwrap();
+        assert!((l - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triplet_gradient_matches_finite_difference() {
+        let e = Matrix::from_rows(&[
+            vec![0.1, 0.2],
+            vec![0.4, -0.3],
+            vec![0.2, 0.1],
+            vec![-0.5, 0.3],
+        ])
+        .unwrap();
+        let trips = [
+            Triplet {
+                anchor: 0,
+                positive: 1,
+                negative: 2,
+            },
+            Triplet {
+                anchor: 3,
+                positive: 2,
+                negative: 1,
+            },
+        ];
+        let margin = 1.0;
+        let (_, g) = triplet_margin_with(&e, &trips, margin).unwrap();
+        let eps = 1e-6;
+        for i in 0..e.rows() {
+            for j in 0..e.cols() {
+                let mut ep = e.clone();
+                ep[(i, j)] += eps;
+                let (lp, _) = triplet_margin_with(&ep, &trips, margin).unwrap();
+                let mut em = e.clone();
+                em[(i, j)] -= eps;
+                let (lm, _) = triplet_margin_with(&em, &trips, margin).unwrap();
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - g[(i, j)]).abs() < 1e-5,
+                    "({i},{j}): fd={fd}, analytic={}",
+                    g[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triplet_label_mismatch() {
+        let e = Matrix::zeros(3, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(matches!(
+            triplet_margin(&e, &[0, 1], 1.0, &mut rng),
+            Err(NnError::LabelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn triplet_single_class_returns_zero() {
+        let e = Matrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let (l, g) = triplet_margin(&e, &[0, 0, 0, 0], 1.0, &mut rng).unwrap();
+        assert_eq!(l, 0.0);
+        assert_eq!(g, Matrix::zeros(4, 2));
+    }
+}

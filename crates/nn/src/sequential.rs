@@ -1,0 +1,388 @@
+use cnd_linalg::Matrix;
+use rand::Rng;
+
+use crate::{Activation, Linear, NnError, Optimizer};
+
+/// One layer of a [`Sequential`] network.
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// Fully connected layer.
+    Linear(Linear),
+    /// Elementwise activation; caches its pre-activation input between
+    /// forward and backward.
+    Activation {
+        /// The activation function.
+        act: Activation,
+        /// Cached pre-activation input from the last forward pass.
+        cached_input: Option<Matrix>,
+    },
+}
+
+/// A feed-forward stack of layers with explicit backward passes.
+///
+/// `Sequential` is the building block for the CFE encoder and decoder:
+/// `forward` caches activations, `backward` consumes an output gradient
+/// and returns the input gradient while accumulating parameter gradients,
+/// and `apply_gradients` hands the accumulated gradients to an optimizer.
+///
+/// Because gradients accumulate until [`zero_grad`](Sequential::zero_grad),
+/// a training step may run several loss functions, sum their gradients at
+/// any interface, and push each stream through the network.
+///
+/// # Example
+///
+/// ```
+/// use cnd_linalg::Matrix;
+/// use cnd_nn::{Activation, Sequential};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push_linear(3, 2, &mut rng);
+/// net.push_activation(Activation::Relu);
+/// let y = net.forward(&Matrix::zeros(4, 3));
+/// assert_eq!(y.shape(), (4, 2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sequential {
+    layers: Vec<Layer>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Builds an MLP from a list of layer widths, inserting `act` between
+    /// consecutive linear layers (none after the last).
+    ///
+    /// `Sequential::mlp(&[64, 256, 32], Activation::Relu, rng)` produces
+    /// `Linear(64→256) → ReLU → Linear(256→32)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn mlp<R: Rng + ?Sized>(widths: &[usize], act: Activation, rng: &mut R) -> Self {
+        assert!(widths.len() >= 2, "mlp needs at least input and output widths");
+        let mut net = Sequential::new();
+        for w in widths.windows(2) {
+            net.push_linear(w[0], w[1], rng);
+            net.push_activation(act);
+        }
+        // Drop the trailing activation so the output layer is linear.
+        net.layers.pop();
+        net
+    }
+
+    /// Appends a Xavier-initialized linear layer.
+    pub fn push_linear<R: Rng + ?Sized>(&mut self, fan_in: usize, fan_out: usize, rng: &mut R) {
+        self.layers.push(Layer::Linear(Linear::new(fan_in, fan_out, rng)));
+    }
+
+    /// Appends a pre-built linear layer.
+    pub fn push_layer(&mut self, layer: Linear) {
+        self.layers.push(Layer::Linear(layer));
+    }
+
+    /// Appends an activation layer.
+    pub fn push_activation(&mut self, act: Activation) {
+        self.layers.push(Layer::Activation {
+            act,
+            cached_input: None,
+        });
+    }
+
+    /// Number of layers (linear and activation combined).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                Layer::Linear(lin) => lin.param_count(),
+                Layer::Activation { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// All layers in order (for inspection and model persistence).
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Iterates over the linear layers.
+    pub fn linear_layers(&self) -> impl Iterator<Item = &Linear> {
+        self.layers.iter().filter_map(|l| match l {
+            Layer::Linear(lin) => Some(lin),
+            Layer::Activation { .. } => None,
+        })
+    }
+
+    /// Forward pass with caching (training mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal shape mismatch occurs, which indicates the
+    /// network was built with inconsistent widths.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = match layer {
+                Layer::Linear(lin) => lin
+                    .forward(&h)
+                    .expect("sequential: layer widths are inconsistent"),
+                Layer::Activation { act, cached_input } => {
+                    *cached_input = Some(h.clone());
+                    let a = *act;
+                    h.map(move |v| a.apply(v))
+                }
+            };
+        }
+        h
+    }
+
+    /// Forward pass without caching (inference mode, `&self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal shape mismatch occurs.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = match layer {
+                Layer::Linear(lin) => lin
+                    .forward_inference(&h)
+                    .expect("sequential: layer widths are inconsistent"),
+                Layer::Activation { act, .. } => {
+                    let a = *act;
+                    h.map(move |v| a.apply(v))
+                }
+            };
+        }
+        h
+    }
+
+    /// Backward pass: takes `dL/d_output`, returns `dL/d_input`,
+    /// accumulating parameter gradients in each linear layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardPass`] if `forward` has not been called
+    /// since construction or the last `zero_grad`.
+    pub fn backward(&mut self, d_out: &Matrix) -> Result<Matrix, NnError> {
+        let mut d = d_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            d = match layer {
+                Layer::Linear(lin) => lin.backward(&d)?,
+                Layer::Activation { act, cached_input } => {
+                    let x = cached_input.as_ref().ok_or(NnError::NoForwardPass)?;
+                    if x.shape() != d.shape() {
+                        return Err(NnError::BatchMismatch {
+                            left: d.shape(),
+                            right: x.shape(),
+                        });
+                    }
+                    let a = *act;
+                    let dact = x.map(move |v| a.derivative(v));
+                    d.hadamard(&dact)?
+                }
+            };
+        }
+        Ok(d)
+    }
+
+    /// Clears all accumulated gradients and cached activations.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            match layer {
+                Layer::Linear(lin) => lin.zero_grad(),
+                Layer::Activation { cached_input, .. } => *cached_input = None,
+            }
+        }
+    }
+
+    /// Applies one optimizer step to every linear layer.
+    ///
+    /// Tensor ids are assigned as `2 * layer_index` / `2 * layer_index + 1`
+    /// so optimizer state stays attached to the same tensors across steps.
+    pub fn apply_gradients<O: Optimizer + ?Sized>(&mut self, opt: &mut O) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            if let Layer::Linear(lin) = layer {
+                lin.apply_gradients(opt, 2 * i);
+            }
+        }
+    }
+
+    /// Applies gradients with tensor ids offset by `id_offset` — lets two
+    /// networks (e.g. encoder and decoder) share one optimizer without
+    /// colliding state.
+    pub fn apply_gradients_offset<O: Optimizer + ?Sized>(
+        &mut self,
+        opt: &mut O,
+        id_offset: usize,
+    ) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            if let Layer::Linear(lin) = layer {
+                lin.apply_gradients(opt, id_offset + 2 * i);
+            }
+        }
+    }
+
+    /// Deep-copies the parameters of `other` into `self`.
+    ///
+    /// Used to restore model snapshots for the latent continual-learning
+    /// loss. Architectures must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two networks have different architectures.
+    pub fn copy_params_from(&mut self, other: &Sequential) {
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "copy_params_from: architecture mismatch"
+        );
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            match (a, b) {
+                (Layer::Linear(la), Layer::Linear(lb)) => {
+                    assert_eq!(
+                        la.weights().shape(),
+                        lb.weights().shape(),
+                        "copy_params_from: layer shape mismatch"
+                    );
+                    *la = Linear::from_parts(lb.weights().clone(), lb.bias().to_vec());
+                }
+                (Layer::Activation { .. }, Layer::Activation { .. }) => {}
+                _ => panic!("copy_params_from: layer kind mismatch"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn mlp_builder_shapes() {
+        let mut r = rng();
+        let net = Sequential::mlp(&[6, 8, 3], Activation::Relu, &mut r);
+        // Linear, Act, Linear — trailing activation dropped.
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.param_count(), 6 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn mlp_needs_two_widths() {
+        let mut r = rng();
+        Sequential::mlp(&[4], Activation::Relu, &mut r);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut r = rng();
+        let mut net = Sequential::mlp(&[5, 7, 2], Activation::Tanh, &mut r);
+        let y = net.forward(&Matrix::zeros(3, 5));
+        assert_eq!(y.shape(), (3, 2));
+    }
+
+    #[test]
+    fn inference_matches_training_forward() {
+        let mut r = rng();
+        let mut net = Sequential::mlp(&[4, 6, 4], Activation::Sigmoid, &mut r);
+        let x = Matrix::from_fn(5, 4, |i, j| ((i * j) as f64).sin());
+        let a = net.forward(&x);
+        let b = net.forward_inference(&x);
+        assert!(a.max_abs_diff(&b) < 1e-15);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut r = rng();
+        let mut net = Sequential::mlp(&[3, 3], Activation::Relu, &mut r);
+        assert!(net.backward(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_loss() {
+        let mut r = rng();
+        let mut net = Sequential::mlp(&[4, 8, 4], Activation::Tanh, &mut r);
+        let x = Matrix::from_fn(16, 4, |i, j| ((i * 3 + j) % 5) as f64 / 5.0);
+        let mut opt = crate::Adam::new(0.01);
+        let initial = {
+            let y = net.forward(&x);
+            y.sub(&x).unwrap().frobenius_sq() / x.len() as f64
+        };
+        for _ in 0..200 {
+            net.zero_grad();
+            let y = net.forward(&x);
+            let diff = y.sub(&x).unwrap();
+            let d = diff.scale(2.0 / x.len() as f64);
+            net.backward(&d).unwrap();
+            net.apply_gradients(&mut opt);
+        }
+        let final_loss = {
+            let y = net.forward(&x);
+            y.sub(&x).unwrap().frobenius_sq() / x.len() as f64
+        };
+        assert!(
+            final_loss < initial * 0.5,
+            "loss did not halve: {initial} -> {final_loss}"
+        );
+    }
+
+    #[test]
+    fn copy_params_from_clones_behaviour() {
+        let mut r = rng();
+        let mut a = Sequential::mlp(&[3, 5, 3], Activation::Relu, &mut r);
+        let mut b = Sequential::mlp(&[3, 5, 3], Activation::Relu, &mut r);
+        let x = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 * 0.3);
+        assert!(a.forward(&x).max_abs_diff(&b.forward(&x)) > 1e-6);
+        b.copy_params_from(&a);
+        assert!(a.forward_inference(&x).max_abs_diff(&b.forward_inference(&x)) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture mismatch")]
+    fn copy_params_rejects_mismatch() {
+        let mut r = rng();
+        let mut a = Sequential::mlp(&[3, 5, 3], Activation::Relu, &mut r);
+        let b = Sequential::mlp(&[3, 5, 5, 3], Activation::Relu, &mut r);
+        a.copy_params_from(&b);
+    }
+
+    #[test]
+    fn shared_optimizer_offsets_do_not_collide() {
+        let mut r = rng();
+        let mut enc = Sequential::mlp(&[4, 3], Activation::Identity, &mut r);
+        let mut dec = Sequential::mlp(&[3, 4], Activation::Identity, &mut r);
+        let x = Matrix::filled(2, 4, 1.0);
+        let mut opt = crate::Adam::new(0.01);
+        enc.zero_grad();
+        dec.zero_grad();
+        let h = enc.forward(&x);
+        let y = dec.forward(&h);
+        let d = y.sub(&x).unwrap().scale(2.0 / x.len() as f64);
+        let dh = dec.backward(&d).unwrap();
+        enc.backward(&dh).unwrap();
+        enc.apply_gradients_offset(&mut opt, 0);
+        dec.apply_gradients_offset(&mut opt, 1000);
+        // Smoke: both nets updated without state-collision panics.
+        assert!(enc.forward_inference(&x).is_finite());
+    }
+}

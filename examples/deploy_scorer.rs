@@ -1,0 +1,57 @@
+//! Deployment workflow: train CND-IDS on the stream, freeze it into a
+//! [`DeployedScorer`], persist it to disk, reload it, and monitor new
+//! traffic with a label-free quantile threshold — the pieces a real
+//! installation needs after the research loop is done.
+//!
+//! ```sh
+//! cargo run --release --example deploy_scorer
+//! ```
+
+use cnd_ids::core::deploy::DeployedScorer;
+use cnd_ids::core::runner::evaluate_continual;
+use cnd_ids::core::{CndIds, CndIdsConfig};
+use cnd_ids::datasets::{continual, DatasetProfile, GeneratorConfig};
+use cnd_ids::metrics::classification::ConfusionCounts;
+use cnd_ids::metrics::threshold::{apply_threshold, quantile_threshold};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 23;
+    let profile = DatasetProfile::WustlIiot;
+    println!("1. Training CND-IDS on the {profile} stream ...");
+    let data = profile.generate(&GeneratorConfig::standard(seed))?;
+    let split = continual::prepare(&data, profile.default_experiences(), 0.7, seed)?;
+    let mut model = CndIds::new(CndIdsConfig::fast(seed), &split.clean_normal)?;
+    let outcome = evaluate_continual(&mut model, &split)?;
+    println!("   trained; AVG F1 during the stream = {:.3}", outcome.f1_matrix.avg());
+
+    println!("2. Freezing and persisting the scorer ...");
+    let scorer = DeployedScorer::from_model(&model)?;
+    let path = std::env::temp_dir().join("cnd_ids_scorer.txt");
+    scorer.save(std::fs::File::create(&path)?)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("   wrote {} ({bytes} bytes)", path.display());
+
+    println!("3. Reloading on the 'monitoring host' ...");
+    let deployed = DeployedScorer::load(std::io::BufReader::new(std::fs::File::open(&path)?))?;
+
+    println!("4. Calibrating a label-free threshold (5% alert budget on clean traffic)");
+    let calibration = deployed.anomaly_scores(&split.clean_normal)?;
+    let tau = quantile_threshold(&calibration, 0.95)?;
+    println!("   tau = {tau:.4}");
+
+    println!("5. Monitoring the final experience's traffic:");
+    let last = split.experiences.last().expect("split is non-empty");
+    let scores = deployed.anomaly_scores(&last.test_x)?;
+    let pred = apply_threshold(&scores, tau);
+    let counts = ConfusionCounts::from_predictions(&pred, &last.test_y)?;
+    println!(
+        "   {} flows: {} alerts, precision {:.3}, recall {:.3}, F1 {:.3}",
+        counts.total(),
+        counts.true_positives + counts.false_positives,
+        counts.precision(),
+        counts.recall(),
+        counts.f1(),
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,211 @@
+//! `cnd-ids-cli` — command-line interface to the CND-IDS reproduction.
+//!
+//! Subcommands:
+//!
+//! * `generate <profile> <out.csv> [--seed N] [--samples N]` — write a
+//!   synthetic dataset replica to CSV (features..., label).
+//! * `run <data.csv> [--experiences M] [--seed N] [--paper]` — run the
+//!   full continual protocol on a labelled CSV and print the result
+//!   matrix and CL metrics.
+//! * `train <data.csv> <model.txt> [--experiences M] [--seed N]` — train
+//!   on the whole stream and persist a frozen scorer.
+//! * `score <model.txt> <data.csv> [--quantile Q]` — score a CSV with a
+//!   deployed model; prints one score (and alert flag) per line.
+//! * `profiles` — list the built-in dataset profiles.
+//!
+//! Exit code is non-zero on any error; messages go to stderr.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use cnd_core::deploy::DeployedScorer;
+use cnd_core::runner::evaluate_continual;
+use cnd_core::{CndIds, CndIdsConfig};
+use cnd_datasets::{continual, loader, DatasetProfile, GeneratorConfig};
+use cnd_metrics::threshold::{apply_threshold, quantile_threshold};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cnd-ids-cli profiles
+  cnd-ids-cli generate <profile> <out.csv> [--seed N] [--samples N]
+  cnd-ids-cli run <data.csv> [--experiences M] [--seed N] [--paper]
+  cnd-ids-cli train <data.csv> <model.txt> [--experiences M] [--seed N]
+  cnd-ids-cli score <model.txt> <data.csv> [--quantile Q]";
+
+/// Parses `--flag value` pairs out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v:?}")),
+    }
+}
+
+fn profile_by_name(name: &str) -> Result<DatasetProfile, String> {
+    DatasetProfile::ALL
+        .into_iter()
+        .find(|p| p.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!(
+                "unknown profile {name:?}; choose one of: {}",
+                DatasetProfile::ALL.map(|p| p.name()).join(", ")
+            )
+        })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("profiles") => {
+            for p in DatasetProfile::ALL {
+                println!(
+                    "{:<12} {} features, {} attack classes, {} experiences, {:.1}% attack",
+                    p.name(),
+                    p.n_features(),
+                    p.n_attack_classes(),
+                    p.default_experiences(),
+                    100.0 * p.attack_fraction()
+                );
+            }
+            Ok(())
+        }
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("score") => cmd_score(&args[1..]),
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+        None => Err("no subcommand given".into()),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let profile = profile_by_name(args.first().ok_or("generate: missing <profile>")?)?;
+    let out = args.get(1).ok_or("generate: missing <out.csv>")?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let samples: usize = parse_flag(args, "--samples", 12_000)?;
+    let cfg = GeneratorConfig {
+        total_samples: samples,
+        ..GeneratorConfig::standard(seed)
+    };
+    let data = profile.generate(&cfg).map_err(|e| e.to_string())?;
+    let mut f = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    for (row, &class) in data.x.iter_rows().zip(&data.class) {
+        let mut line = String::with_capacity(row.len() * 12);
+        for v in row {
+            line.push_str(&format!("{v:.6},"));
+        }
+        line.push_str(&data.class_names[class]);
+        writeln!(f, "{line}").map_err(|e| e.to_string())?;
+    }
+    eprintln!(
+        "wrote {} rows x {} features ({} attack classes) to {out}",
+        data.len(),
+        data.n_features(),
+        data.n_attack_classes()
+    );
+    Ok(())
+}
+
+fn load_and_split(
+    path: &str,
+    args: &[String],
+) -> Result<(cnd_datasets::Dataset, continual::ContinualSplit, u64), String> {
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let data = loader::read_csv(path, false).map_err(|e| e.to_string())?;
+    let default_m = data.n_attack_classes().clamp(2, 5);
+    let m: usize = parse_flag(args, "--experiences", default_m)?;
+    let split = continual::prepare(&data, m, 0.7, seed).map_err(|e| e.to_string())?;
+    Ok((data, split, seed))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("run: missing <data.csv>")?;
+    let (data, split, seed) = load_and_split(path, args)?;
+    let cfg = if args.iter().any(|a| a == "--paper") {
+        CndIdsConfig::paper(seed)
+    } else {
+        CndIdsConfig::fast(seed)
+    };
+    let mut model = CndIds::new(cfg, &split.clean_normal).map_err(|e| e.to_string())?;
+    let out = evaluate_continual(&mut model, &split).map_err(|e| e.to_string())?;
+    println!("dataset: {} ({} rows)", data.name, data.len());
+    println!("result matrix R_ij (train i rows, test j cols):");
+    let m = split.len();
+    for i in 0..m {
+        let cells: Vec<String> = (0..m)
+            .map(|j| format!("{:.3}", out.f1_matrix.get(i, j)))
+            .collect();
+        println!("  E{i}: {}", cells.join("  "));
+    }
+    let s = out.f1_matrix.summary();
+    println!("AVG = {:.3}  FwdTrans = {:.3}  BwdTrans = {:+.3}", s.avg, s.fwd_trans, s.bwd_trans);
+    if let Some(ap) = out.final_pr_auc() {
+        println!("PR-AUC = {ap:.3}");
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("train: missing <data.csv>")?;
+    let model_out = args.get(1).ok_or("train: missing <model.txt>")?;
+    let (_, split, seed) = load_and_split(path, args)?;
+    let mut model =
+        CndIds::new(CndIdsConfig::fast(seed), &split.clean_normal).map_err(|e| e.to_string())?;
+    for e in &split.experiences {
+        model.train_experience(&e.train_x).map_err(|e| e.to_string())?;
+    }
+    let scorer = DeployedScorer::from_model(&model).map_err(|e| e.to_string())?;
+    let f = std::fs::File::create(model_out).map_err(|e| e.to_string())?;
+    scorer.save(f).map_err(|e| e.to_string())?;
+    eprintln!("trained on {} experiences; scorer written to {model_out}", split.len());
+    Ok(())
+}
+
+fn cmd_score(args: &[String]) -> Result<(), String> {
+    let model_path = args.first().ok_or("score: missing <model.txt>")?;
+    let data_path = args.get(1).ok_or("score: missing <data.csv>")?;
+    let quantile: f64 = parse_flag(args, "--quantile", 0.95)?;
+    let file = std::fs::File::open(model_path).map_err(|e| e.to_string())?;
+    let scorer =
+        DeployedScorer::load(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let data = loader::read_csv(data_path, false).map_err(|e| e.to_string())?;
+    if data.n_features() != scorer.n_features() {
+        return Err(format!(
+            "model expects {} features but data has {}",
+            scorer.n_features(),
+            data.n_features()
+        ));
+    }
+    let scores = scorer.anomaly_scores(&data.x).map_err(|e| e.to_string())?;
+    // Calibrate on the lower bulk of the scored data itself (no labels).
+    let tau = quantile_threshold(&scores, quantile).map_err(|e| e.to_string())?;
+    let alerts = apply_threshold(&scores, tau);
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    for (s, a) in scores.iter().zip(&alerts) {
+        writeln!(w, "{s:.6}\t{}", if *a != 0 { "ALERT" } else { "ok" })
+            .map_err(|e| e.to_string())?;
+    }
+    let n_alerts: usize = alerts.iter().map(|&a| a as usize).sum();
+    eprintln!("{n_alerts}/{} flows flagged (tau = {tau:.4})", alerts.len());
+    Ok(())
+}

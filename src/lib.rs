@@ -1,0 +1,50 @@
+//! # cnd-ids — Continual Novelty Detection for Intrusion Detection Systems
+//!
+//! A from-scratch Rust reproduction of *CND-IDS: Continual Novelty
+//! Detection for Intrusion Detection Systems* (Fuhrman, Gungor, Rosing —
+//! DAC 2025). This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`linalg`] | `cnd-linalg` | dense matrices, Jacobi eigen, statistics |
+//! | [`nn`] | `cnd-nn` | MLP layers, backprop, Adam, MSE/triplet losses |
+//! | [`ml`] | `cnd-ml` | K-Means (+elbow), PCA (+FRE), scalers |
+//! | [`detectors`] | `cnd-detectors` | LOF, OC-SVM, iForest, DIF, PCA-FRE |
+//! | [`datasets`] | `cnd-datasets` | synthetic Table-I profiles, CL splits, CSV loader |
+//! | [`metrics`] | `cnd-metrics` | F1, Best-F, PR-AUC/ROC-AUC, AVG/Fwd/BwdTrans |
+//! | [`core`] | `cnd-core` | CFE, `L_CND`, CND-IDS pipeline, ADCN/LwF, runner |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use cnd_ids::datasets::{continual, DatasetProfile, GeneratorConfig};
+//! use cnd_ids::core::{CndIds, CndIdsConfig};
+//! use cnd_ids::core::runner::evaluate_continual;
+//!
+//! // 1. A scaled synthetic replica of WUSTL-IIoT and its continual split.
+//! let data = DatasetProfile::WustlIiot.generate(&GeneratorConfig::standard(7))?;
+//! let split = continual::prepare(&data, 4, 0.7, 7)?;
+//!
+//! // 2. CND-IDS, constructed around the clean normal subset N_c.
+//! let mut model = CndIds::new(CndIdsConfig::paper(7), &split.clean_normal)?;
+//!
+//! // 3. Run the paper's continual protocol.
+//! let outcome = evaluate_continual(&mut model, &split)?;
+//! println!(
+//!     "AVG={:.3} FwdTrans={:.3} BwdTrans={:+.3}",
+//!     outcome.f1_matrix.avg(),
+//!     outcome.f1_matrix.fwd_trans(),
+//!     outcome.f1_matrix.bwd_trans(),
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cnd_core as core;
+pub use cnd_datasets as datasets;
+pub use cnd_detectors as detectors;
+pub use cnd_linalg as linalg;
+pub use cnd_metrics as metrics;
+pub use cnd_ml as ml;
+pub use cnd_nn as nn;

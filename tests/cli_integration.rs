@@ -1,0 +1,96 @@
+//! End-to-end test of the `cnd-ids-cli` binary: generate → train →
+//! score, exercising the full deployment path through the real
+//! command-line interface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Path to the compiled CLI binary within the cargo target directory.
+fn cli() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_BIN_EXE_cnd-ids-cli"));
+    assert!(p.exists(), "CLI binary missing at {}", p.display());
+    p = p.canonicalize().expect("canonical path");
+    p
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cnd_ids_cli_test_{name}"))
+}
+
+#[test]
+fn generate_train_score_pipeline() {
+    let csv = tmp("data.csv");
+    let model = tmp("model.txt");
+
+    // generate
+    let out = Command::new(cli())
+        .args([
+            "generate",
+            "WUSTL-IIoT",
+            csv.to_str().expect("utf8 path"),
+            "--seed",
+            "5",
+            "--samples",
+            "3000",
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(csv.exists());
+
+    // train
+    let out = Command::new(cli())
+        .args([
+            "train",
+            csv.to_str().expect("utf8 path"),
+            model.to_str().expect("utf8 path"),
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+    let header = std::fs::read_to_string(&model).expect("model readable");
+    assert!(header.starts_with("CND-IDS-SCORER v1"));
+
+    // score
+    let out = Command::new(cli())
+        .args([
+            "score",
+            model.to_str().expect("utf8 path"),
+            csv.to_str().expect("utf8 path"),
+            "--quantile",
+            "0.95",
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(out.status.success(), "score failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3000, "one score per input row");
+    assert!(lines.iter().any(|l| l.ends_with("ALERT")));
+    assert!(lines.iter().any(|l| l.ends_with("ok")));
+
+    std::fs::remove_file(&csv).ok();
+    std::fs::remove_file(&model).ok();
+}
+
+#[test]
+fn profiles_subcommand_lists_all() {
+    let out = Command::new(cli()).arg("profiles").output().expect("CLI runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["X-IIoTID", "WUSTL-IIoT", "CICIDS2017", "UNSW-NB15"] {
+        assert!(stdout.contains(name), "missing profile {name}");
+    }
+}
+
+#[test]
+fn bad_usage_fails_with_message() {
+    let out = Command::new(cli()).arg("bogus").output().expect("CLI runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand"));
+    assert!(stderr.contains("usage:"));
+}

@@ -1,0 +1,84 @@
+//! End-to-end deployment scenario: train CND-IDS continually, freeze it
+//! into a scorer, persist it to disk, reload, and verify the deployed
+//! pipeline (quantile threshold, no labels) still detects attacks.
+
+use cnd_ids::core::deploy::DeployedScorer;
+use cnd_ids::core::runner::evaluate_continual;
+use cnd_ids::core::{CndIds, CndIdsConfig};
+use cnd_ids::datasets::{continual, DatasetProfile, GeneratorConfig};
+use cnd_ids::metrics::classification::f1_score;
+use cnd_ids::metrics::threshold::{apply_threshold, quantile_threshold};
+
+#[test]
+fn train_freeze_persist_reload_detect() {
+    let profile = DatasetProfile::UnswNb15;
+    let data = profile
+        .generate(&GeneratorConfig::small(77))
+        .expect("generation succeeds");
+    let split = continual::prepare(&data, 5, 0.7, 77).expect("split succeeds");
+
+    // Train through the full stream.
+    let mut model = CndIds::new(CndIdsConfig::fast(77), &split.clean_normal).expect("builds");
+    evaluate_continual(&mut model, &split).expect("training completes");
+
+    // Freeze and persist to a real file.
+    let scorer = DeployedScorer::from_model(&model).expect("model is trained");
+    let path = std::env::temp_dir().join("cnd_ids_test_scorer.txt");
+    {
+        let file = std::fs::File::create(&path).expect("temp file");
+        scorer.save(file).expect("save succeeds");
+    }
+    let restored = {
+        let file = std::fs::File::open(&path).expect("temp file exists");
+        DeployedScorer::load(std::io::BufReader::new(file)).expect("load succeeds")
+    };
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(restored.n_features(), data.n_features());
+
+    // Label-free threshold from the clean normal subset.
+    let calibration = restored
+        .anomaly_scores(&split.clean_normal)
+        .expect("scoring succeeds");
+    let tau = quantile_threshold(&calibration, 0.95).expect("calibration non-empty");
+
+    // The deployed pipeline must still detect attacks on the last
+    // experience (which contains classes unseen in experience 0).
+    let last = split.experiences.last().expect("non-empty split");
+    let scores = restored.anomaly_scores(&last.test_x).expect("scoring succeeds");
+    let pred = apply_threshold(&scores, tau);
+    let f1 = f1_score(&pred, &last.test_y).expect("both classes present");
+    assert!(
+        f1 > 0.4,
+        "deployed scorer with label-free threshold should still detect (F1 = {f1})"
+    );
+
+    // And the reloaded scorer is bit-identical to the in-memory one.
+    let a = scorer.anomaly_scores(&last.test_x).expect("scoring succeeds");
+    assert_eq!(a, scores);
+}
+
+#[test]
+fn frozen_scorer_is_immune_to_further_training() {
+    let profile = DatasetProfile::WustlIiot;
+    let data = profile
+        .generate(&GeneratorConfig::small(78))
+        .expect("generation succeeds");
+    let split = continual::prepare(&data, 4, 0.7, 78).expect("split succeeds");
+    let mut model = CndIds::new(CndIdsConfig::fast(78), &split.clean_normal).expect("builds");
+    model
+        .train_experience(&split.experiences[0].train_x)
+        .expect("first experience");
+    let scorer = DeployedScorer::from_model(&model).expect("trained");
+    let test = &split.experiences[0].test_x;
+    let before = scorer.anomaly_scores(test).expect("scores");
+    // Training the live model further must not change the frozen scorer.
+    model
+        .train_experience(&split.experiences[1].train_x)
+        .expect("second experience");
+    let after = scorer.anomaly_scores(test).expect("scores");
+    assert_eq!(before, after);
+    // ...while the live model did change.
+    let live = model.anomaly_scores(test).expect("scores");
+    assert_ne!(before, live);
+}
