@@ -57,11 +57,7 @@ fn main() {
     println!(
         "{}",
         row(
-            &[
-                "method".into(),
-                "PR-AUC".into(),
-                "95% CI".into(),
-            ],
+            &["method".into(), "PR-AUC".into(), "95% CI".into(),],
             &widths
         )
     );
@@ -99,13 +95,14 @@ fn main() {
             &widths
         )
     );
-    let best_static = results
-        .iter()
-        .map(|(_, p)| *p)
-        .fold(f64::MIN, f64::max);
+    let best_static = results.iter().map(|(_, p)| *p).fold(f64::MIN, f64::max);
     println!(
         "\nCND-IDS vs best static detector: {:.3} vs {best_static:.3} ({})",
         ci.point,
-        if ci.point > best_static { "leads" } else { "trails" }
+        if ci.point > best_static {
+            "leads"
+        } else {
+            "trails"
+        }
     );
 }

@@ -9,9 +9,7 @@
 
 use cnd_bench::{banner, row, standard_split, BENCH_SEED};
 use cnd_datasets::DatasetProfile;
-use cnd_detectors::{
-    DeepIsolationForest, DeepIsolationForestConfig, NoveltyDetector, PcaDetector,
-};
+use cnd_detectors::{DeepIsolationForest, DeepIsolationForestConfig, NoveltyDetector, PcaDetector};
 use cnd_linalg::Matrix;
 use cnd_metrics::curve::{pr_auc, roc_auc};
 

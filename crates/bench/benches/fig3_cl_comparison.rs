@@ -129,7 +129,11 @@ fn main() {
     let labels = ["ADCN AVG", "ADCN Fwd", "LwF AVG", "LwF Fwd"];
     for i in 0..4 {
         if counted[i] > 0 {
-            print!("{} {:.2}x  ", labels[i], measured_means[i] / counted[i] as f64);
+            print!(
+                "{} {:.2}x  ",
+                labels[i],
+                measured_means[i] / counted[i] as f64
+            );
         }
     }
     println!("(paper: ADCN AVG 1.88x, ADCN Fwd 2.63x, LwF AVG 1.78x, LwF Fwd 1.60x)");

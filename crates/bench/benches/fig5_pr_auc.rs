@@ -61,6 +61,9 @@ fn main() {
         );
     }
     println!("\nCND-IDS has the best PR-AUC on {wins}/4 datasets (paper: 4/4)");
-    assert!(wins >= 3, "CND-IDS should lead PR-AUC on at least 3 datasets");
+    assert!(
+        wins >= 3,
+        "CND-IDS should lead PR-AUC on at least 3 datasets"
+    );
     println!("shape check passed");
 }

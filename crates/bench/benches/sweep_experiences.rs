@@ -39,10 +39,10 @@ fn main() {
     );
     let mut avgs = Vec::new();
     for m in [2usize, 3, 4, 5, 6, 9] {
-        let split = continual::prepare(&data, m, TRAIN_FRACTION, BENCH_SEED)
-            .expect("split succeeds");
-        let mut model = CndIds::new(CndIdsConfig::fast(BENCH_SEED), &split.clean_normal)
-            .expect("model builds");
+        let split =
+            continual::prepare(&data, m, TRAIN_FRACTION, BENCH_SEED).expect("split succeeds");
+        let mut model =
+            CndIds::new(CndIdsConfig::fast(BENCH_SEED), &split.clean_normal).expect("model builds");
         let out = evaluate_continual(&mut model, &split).expect("run completes");
         let s = out.f1_matrix.summary();
         avgs.push(s.avg);

@@ -17,9 +17,7 @@ use cnd_bench::{paper_cnd_ids, paper_ucl, standard_split, BENCH_SEED};
 use cnd_core::baselines::UclMethod;
 use cnd_core::runner::evaluate_continual;
 use cnd_datasets::DatasetProfile;
-use cnd_detectors::{
-    DeepIsolationForest, DeepIsolationForestConfig, NoveltyDetector, PcaDetector,
-};
+use cnd_detectors::{DeepIsolationForest, DeepIsolationForestConfig, NoveltyDetector, PcaDetector};
 use cnd_linalg::Matrix;
 
 fn bench_inference(c: &mut Criterion) {

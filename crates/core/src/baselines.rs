@@ -396,9 +396,8 @@ impl UclBaseline {
         }
         // Prefer a seed set containing both classes when available.
         let mut chosen: Vec<usize> = idx.iter().copied().take(want).collect();
-        let has = |ids: &[usize], positive: bool| {
-            ids.iter().any(|&i| (train_class[i] != 0) == positive)
-        };
+        let has =
+            |ids: &[usize], positive: bool| ids.iter().any(|&i| (train_class[i] != 0) == positive);
         if !has(&chosen, true) {
             if let Some(&extra) = idx.iter().find(|&&i| train_class[i] != 0) {
                 chosen[0] = extra;
@@ -411,7 +410,10 @@ impl UclBaseline {
             }
         }
         let seed_x = x_train.select_rows(&chosen)?;
-        let seed_y: Vec<u8> = chosen.iter().map(|&i| u8::from(train_class[i] != 0)).collect();
+        let seed_y: Vec<u8> = chosen
+            .iter()
+            .map(|&i| u8::from(train_class[i] != 0))
+            .collect();
         Ok((seed_x, seed_y))
     }
 }
@@ -474,8 +476,8 @@ mod tests {
         let mut model = UclBaseline::new(UclMethod::Lwf, 6, UclConfig::fast(3)).unwrap();
         let (sx, sy) = model.extract_seed_set(&x, &class).unwrap();
         assert_eq!(sx.rows(), sy.len());
-        assert!(sy.iter().any(|&y| y == 0));
-        assert!(sy.iter().any(|&y| y == 1));
+        assert!(sy.contains(&0));
+        assert!(sy.contains(&1));
         // ~5% of 300.
         assert!(sy.len() >= 15 && sy.len() <= 20, "seed size {}", sy.len());
     }

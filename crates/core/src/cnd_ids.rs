@@ -137,6 +137,18 @@ impl CndIds {
         Ok(stats)
     }
 
+    /// Freezes the current fitted state into an inference-only
+    /// [`crate::deploy::DeployedScorer`] (scaler + encoder + PCA). This
+    /// is the snapshot primitive the resilience layer uses for its
+    /// last-known-good fallback scorer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotTrained`] before the first experience.
+    pub fn freeze(&self) -> Result<crate::deploy::DeployedScorer, CoreError> {
+        crate::deploy::DeployedScorer::from_model(self)
+    }
+
     /// Anomaly scores for a batch (Algorithm 1 lines 7–8); higher means
     /// more anomalous.
     ///
@@ -234,6 +246,9 @@ mod tests {
         let mut b = CndIds::new(CndIdsConfig::fast(5), &n_c).unwrap();
         a.train_experience(&train).unwrap();
         b.train_experience(&train).unwrap();
-        assert_eq!(a.anomaly_scores(&test).unwrap(), b.anomaly_scores(&test).unwrap());
+        assert_eq!(
+            a.anomaly_scores(&test).unwrap(),
+            b.anomaly_scores(&test).unwrap()
+        );
     }
 }

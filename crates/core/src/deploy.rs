@@ -22,6 +22,18 @@ use crate::{CndIds, CoreError};
 /// Magic first line of the persistence format.
 const MAGIC: &str = "CND-IDS-SCORER v1";
 
+/// Upper bound on any single declared dimension (features, components,
+/// layer fan). Real IDS feature spaces are a few hundred wide; the cap
+/// only exists so a corrupted or hostile header cannot make the loader
+/// allocate absurd buffers.
+const MAX_DIM: usize = 1 << 20;
+
+/// Upper bound on declared encoder layers.
+const MAX_LAYERS: usize = 256;
+
+/// Upper bound on a declared weight-matrix element count.
+const MAX_ELEMENTS: usize = 1 << 26;
+
 /// A frozen, inference-only CND-IDS model.
 ///
 /// # Example
@@ -104,7 +116,12 @@ impl DeployedScorer {
                 }
             }
         }
-        writeln!(w, "pca {} {}", self.pca.n_features(), self.pca.n_components())?;
+        writeln!(
+            w,
+            "pca {} {}",
+            self.pca.n_features(),
+            self.pca.n_components()
+        )?;
         write_floats(&mut w, self.pca.mean())?;
         write_floats(&mut w, self.pca.components().as_slice())?;
         write_floats(&mut w, self.pca.explained_variance())?;
@@ -113,10 +130,16 @@ impl DeployedScorer {
 
     /// Deserializes a scorer.
     ///
+    /// Designed to survive hostile input: truncated files, garbage
+    /// numeric fields, a wrong magic line, non-finite parameters, and
+    /// headers declaring implausible dimensions all return a typed
+    /// [`CoreError::CorruptModel`] — never a panic, and never an
+    /// allocation proportional to an attacker-declared size.
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] for malformed input and
-    /// propagates I/O failures as [`CoreError::Dataset`] wrappers.
+    /// Returns [`CoreError::CorruptModel`] for malformed input (I/O
+    /// failures are reported the same way, as a corrupt artifact).
     pub fn load<R: BufRead>(r: R) -> Result<Self, CoreError> {
         let mut lines = r.lines();
         let mut next = || -> Result<String, CoreError> {
@@ -132,13 +155,18 @@ impl DeployedScorer {
         // Scaler.
         let header = next()?;
         let d: usize = field(&header, "scaler", 1)?;
+        check_dim(d)?;
         let mean = read_floats(&next()?, d)?;
         let std = read_floats(&next()?, d)?;
-        let scaler = StandardScaler::from_parts(mean, std)?;
+        let scaler = StandardScaler::from_parts(mean, std)
+            .map_err(|_| parse_err("inconsistent scaler parameters"))?;
 
         // Encoder.
         let header = next()?;
         let n_layers: usize = field(&header, "encoder", 1)?;
+        if n_layers > MAX_LAYERS {
+            return Err(parse_err("implausible encoder layer count"));
+        }
         let mut encoder = Sequential::new();
         for _ in 0..n_layers {
             let line = next()?;
@@ -147,9 +175,15 @@ impl DeployedScorer {
                 Some("linear") => {
                     let fan_in: usize = field(&line, "linear", 1)?;
                     let fan_out: usize = field(&line, "linear", 2)?;
+                    check_dim(fan_in)?;
+                    check_dim(fan_out)?;
+                    if fan_in.saturating_mul(fan_out) > MAX_ELEMENTS {
+                        return Err(parse_err("implausible weight matrix size"));
+                    }
                     let w = read_floats(&next()?, fan_in * fan_out)?;
                     let b = read_floats(&next()?, fan_out)?;
-                    let weights = Matrix::from_vec(fan_in, fan_out, w)?;
+                    let weights = Matrix::from_vec(fan_in, fan_out, w)
+                        .map_err(|_| parse_err("inconsistent weight matrix"))?;
                     encoder.push_layer(Linear::from_parts(weights, b));
                 }
                 Some("act") => {
@@ -164,11 +198,18 @@ impl DeployedScorer {
         let header = next()?;
         let features: usize = field(&header, "pca", 1)?;
         let components_n: usize = field(&header, "pca", 2)?;
+        check_dim(features)?;
+        check_dim(components_n)?;
+        if features.saturating_mul(components_n) > MAX_ELEMENTS {
+            return Err(parse_err("implausible component matrix size"));
+        }
         let mean = read_floats(&next()?, features)?;
         let comp = read_floats(&next()?, features * components_n)?;
         let variance = read_floats(&next()?, components_n)?;
-        let components = Matrix::from_vec(features, components_n, comp)?;
-        let pca = Pca::from_parts(mean, components, variance)?;
+        let components = Matrix::from_vec(features, components_n, comp)
+            .map_err(|_| parse_err("inconsistent component matrix"))?;
+        let pca = Pca::from_parts(mean, components, variance)
+            .map_err(|_| parse_err("inconsistent pca parameters"))?;
 
         Ok(DeployedScorer {
             scaler,
@@ -179,10 +220,17 @@ impl DeployedScorer {
 }
 
 fn parse_err(reason: &'static str) -> CoreError {
-    CoreError::InvalidConfig {
-        name: "scorer file",
-        constraint: reason,
+    CoreError::CorruptModel { reason }
+}
+
+fn check_dim(d: usize) -> Result<(), CoreError> {
+    if d == 0 {
+        return Err(parse_err("zero dimension declared"));
     }
+    if d > MAX_DIM {
+        return Err(parse_err("implausible dimension declared"));
+    }
+    Ok(())
 }
 
 fn act_name(a: Activation) -> &'static str {
@@ -224,6 +272,9 @@ fn read_floats(line: &str, expect: usize) -> Result<Vec<f64>, CoreError> {
     let vals = vals.map_err(|_| parse_err("malformed float"))?;
     if vals.len() != expect {
         return Err(parse_err("wrong number of values"));
+    }
+    if vals.iter().any(|v| !v.is_finite()) {
+        return Err(parse_err("non-finite parameter value"));
     }
     Ok(vals)
 }
@@ -313,5 +364,92 @@ mod tests {
         // Truncate: must fail, not panic.
         let truncated = &buf[..buf.len() / 2];
         assert!(DeployedScorer::load(truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_hostile_headers() {
+        // Oversized dims must be rejected before any allocation.
+        let huge = format!("{MAGIC}\nscaler {}\n", usize::MAX);
+        assert!(matches!(
+            DeployedScorer::load(huge.as_bytes()),
+            Err(CoreError::CorruptModel { .. })
+        ));
+        let layers = format!("{MAGIC}\nscaler 1\n0.0\n1.0\nencoder 100000\n");
+        assert!(DeployedScorer::load(layers.as_bytes()).is_err());
+        // Non-finite parameters are data corruption, not a model.
+        let nan = format!("{MAGIC}\nscaler 2\n0.0 NaN\n1.0 1.0\n");
+        assert!(matches!(
+            DeployedScorer::load(nan.as_bytes()),
+            Err(CoreError::CorruptModel { .. })
+        ));
+    }
+
+    /// One serialized trained scorer, built once and shared across
+    /// property cases (training per case would dominate the runtime).
+    fn serialized() -> &'static [u8] {
+        use std::sync::OnceLock;
+        static BUF: OnceLock<Vec<u8>> = OnceLock::new();
+        BUF.get_or_init(|| {
+            let (model, _) = trained_model();
+            let scorer = DeployedScorer::from_model(&model).unwrap();
+            let mut buf = Vec::new();
+            scorer.save(&mut buf).unwrap();
+            buf
+        })
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The `{:.17e}` float encoding round-trips every value
+            /// bit-exactly through a save/load cycle.
+            #[test]
+            fn float_lines_round_trip_exactly(
+                vals in prop::collection::vec(-1e12f64..1e12, 1..64)
+            ) {
+                let mut line = Vec::new();
+                write_floats(&mut line, &vals).unwrap();
+                let text = std::str::from_utf8(&line).unwrap();
+                let parsed = read_floats(text, vals.len()).unwrap();
+                prop_assert_eq!(parsed, vals);
+            }
+
+            /// Loading an arbitrarily truncated artifact must never
+            /// panic; failures are the typed `CorruptModel` error. (A
+            /// cut that only drops the trailing newline, or lands inside
+            /// the digits of the final value, can still parse — the text
+            /// format carries no checksum — so `Ok` is tolerated as long
+            /// as the result is structurally sound.)
+            #[test]
+            fn truncated_artifacts_error_not_panic(cut in 0usize..1 << 16) {
+                let buf = serialized();
+                let cut = cut % buf.len();
+                match DeployedScorer::load(&buf[..cut]) {
+                    Ok(s) => prop_assert_eq!(s.n_features(), 6),
+                    Err(CoreError::CorruptModel { .. }) => {}
+                    Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+                }
+            }
+
+            /// Single-byte corruption anywhere in the artifact must
+            /// never panic, and any error is the typed variant.
+            #[test]
+            fn corrupted_artifacts_never_panic(
+                (pos, byte) in (0usize..1 << 16, 0usize..256)
+            ) {
+                let mut buf = serialized().to_vec();
+                let pos = pos % buf.len();
+                buf[pos] = byte as u8;
+                match DeployedScorer::load(buf.as_slice()) {
+                    Ok(s) => prop_assert_eq!(s.n_features(), 6),
+                    Err(CoreError::CorruptModel { .. }) => {}
+                    Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+                }
+            }
+        }
     }
 }

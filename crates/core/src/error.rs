@@ -39,6 +39,21 @@ pub enum CoreError {
         /// Human-readable description.
         reason: String,
     },
+    /// A training experience produced a non-finite or exploding loss.
+    /// The model's weights are suspect after this error; the resilience
+    /// layer rolls back to the pre-experience snapshot.
+    TrainingDiverged {
+        /// Epoch (0-based) at which divergence was detected.
+        epoch: usize,
+        /// The offending mean epoch loss.
+        loss: f64,
+    },
+    /// A persisted model artifact was malformed (truncated, corrupted,
+    /// wrong magic, or declaring implausible dimensions).
+    CorruptModel {
+        /// What was wrong with the artifact.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +70,12 @@ impl fmt::Display for CoreError {
                 write!(f, "config {name} violates constraint: {constraint}")
             }
             CoreError::BadSeedSet { reason } => write!(f, "bad labelled seed set: {reason}"),
+            CoreError::TrainingDiverged { epoch, loss } => {
+                write!(f, "training diverged at epoch {epoch} (mean loss {loss})")
+            }
+            CoreError::CorruptModel { reason } => {
+                write!(f, "corrupt model artifact: {reason}")
+            }
         }
     }
 }
@@ -113,7 +134,9 @@ mod tests {
         let e = CoreError::from(MlError::EmptyInput);
         assert!(e.to_string().contains("ml estimator"));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(CoreError::NotTrained.to_string().contains("before training"));
+        assert!(CoreError::NotTrained
+            .to_string()
+            .contains("before training"));
     }
 
     #[test]

@@ -1,0 +1,1151 @@
+//! Fault tolerance for the streaming pipeline.
+//!
+//! [`StreamingCndIds`](crate::streaming::StreamingCndIds) assumes a
+//! well-behaved world: every flow is finite and correctly shaped, and
+//! every training experience converges. A production IDS gets neither
+//! guarantee — sensors emit garbage, exporters truncate records, and an
+//! adversarially poisoned buffer can blow up the CFE loss. This module
+//! wraps the streaming pipeline in a resilience layer with five
+//! cooperating pieces:
+//!
+//! 1. **Input guard** ([`InputGuard`]): validates every incoming flow
+//!    (non-finite values, dimension mismatches, values implausibly far
+//!    outside the fitted scaling range) and routes offenders to a
+//!    bounded quarantine buffer with per-reason counters.
+//! 2. **Training watchdog**: every training attempt runs against a
+//!    pre-experience snapshot of the model; if the CFE reports a
+//!    non-finite or exploding loss ([`CoreError::TrainingDiverged`]) or
+//!    any other failure, the model is rolled back to the snapshot and
+//!    the buffered flows are kept for a later retry.
+//! 3. **Retry policy** ([`RetryPolicy`]): failed attempts back off
+//!    exponentially, measured in *accepted-flow counts* rather than wall
+//!    clock so behaviour stays deterministic and testable.
+//! 4. **Degraded mode** ([`Mode::Degraded`]): after `max_attempts`
+//!    consecutive failures the pipeline stops pretending and keeps
+//!    scoring with the last-known-good frozen scorer while retries
+//!    continue in the background; a later successful retrain returns it
+//!    to [`Mode::Normal`]. [`HealthReport`] surfaces the whole state.
+//! 5. **Fault injection** ([`FaultInjector`] / [`ScriptedFaults`]):
+//!    seeded, deterministic corruption of inputs and training attempts
+//!    so every recovery path above is exercised by tests and benches
+//!    rather than waiting for production to find them.
+//!
+//! Scoring goes through the last-known-good [`DeployedScorer`] snapshot
+//! at all times, so a mid-retraining failure can never leave callers
+//! with a half-updated model.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use cnd_linalg::Matrix;
+use cnd_ml::StandardScaler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cfe::TrainStats;
+use crate::deploy::DeployedScorer;
+use crate::streaming::{DriftDetector, StreamingConfig, Trigger};
+use crate::{CndIds, CoreError};
+
+/// Why the input guard rejected a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The flow contained a NaN or infinite value.
+    NonFinite,
+    /// The flow's feature count did not match the fitted model.
+    DimensionMismatch,
+    /// A value was implausibly far outside the fitted scaling range
+    /// (|z-score| above [`GuardConfig::max_abs_scaled`]).
+    OutOfRange,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::NonFinite => write!(f, "non-finite value"),
+            RejectReason::DimensionMismatch => write!(f, "dimension mismatch"),
+            RejectReason::OutOfRange => write!(f, "out of scaled range"),
+        }
+    }
+}
+
+/// Input-guard configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// Reject a flow when any feature's |z-score| under the fitted
+    /// scaler exceeds this bound. Legitimate drift moves means by a few
+    /// standard deviations; exporter garbage moves them by millions.
+    pub max_abs_scaled: f64,
+    /// Maximum quarantined flows retained for inspection (oldest are
+    /// evicted beyond this; eviction is counted, not silent).
+    pub quarantine_capacity: usize,
+    /// Finite sentinel score assigned to invalid rows by
+    /// [`ResilientStreamingCndIds::anomaly_scores`] — large enough to
+    /// always rank as anomalous, finite so downstream metrics never see
+    /// NaN/Inf.
+    pub quarantine_score: f64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            max_abs_scaled: 1e6,
+            quarantine_capacity: 1024,
+            quarantine_score: 1e12,
+        }
+    }
+}
+
+/// Counters for flows rejected by the input guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuarantineStats {
+    /// Flows rejected for NaN/Inf values.
+    pub non_finite: u64,
+    /// Flows rejected for a wrong feature count.
+    pub dimension_mismatch: u64,
+    /// Flows rejected for implausible magnitude after scaling.
+    pub out_of_range: u64,
+    /// Quarantined flows evicted because the quarantine buffer was full.
+    pub evicted: u64,
+}
+
+impl QuarantineStats {
+    /// Total flows quarantined (evictions not double-counted).
+    pub fn total(&self) -> u64 {
+        self.non_finite + self.dimension_mismatch + self.out_of_range
+    }
+}
+
+/// Validates incoming flows against the fitted model's expectations and
+/// quarantines offenders (bounded, with counters).
+#[derive(Debug, Clone)]
+pub struct InputGuard {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    config: GuardConfig,
+    quarantine: VecDeque<(Vec<f64>, RejectReason)>,
+    stats: QuarantineStats,
+}
+
+impl InputGuard {
+    /// Builds a guard around the pipeline's fitted input scaler.
+    pub fn new(scaler: &StandardScaler, config: GuardConfig) -> Self {
+        InputGuard {
+            mean: scaler.mean().to_vec(),
+            std: scaler.std().to_vec(),
+            config,
+            quarantine: VecDeque::new(),
+            stats: QuarantineStats::default(),
+        }
+    }
+
+    /// Expected feature count.
+    pub fn n_features(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Pure validation: `None` means the row is acceptable.
+    pub fn check(&self, row: &[f64]) -> Option<RejectReason> {
+        if row.len() != self.mean.len() {
+            return Some(RejectReason::DimensionMismatch);
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Some(RejectReason::NonFinite);
+        }
+        for ((v, m), s) in row.iter().zip(&self.mean).zip(&self.std) {
+            let z = (v - m) / s.max(1e-9);
+            if z.abs() > self.config.max_abs_scaled {
+                return Some(RejectReason::OutOfRange);
+            }
+        }
+        None
+    }
+
+    /// Validates a row; on rejection the row is quarantined and the
+    /// reason returned.
+    pub fn admit(&mut self, row: &[f64]) -> Option<RejectReason> {
+        let reason = self.check(row)?;
+        match reason {
+            RejectReason::NonFinite => self.stats.non_finite += 1,
+            RejectReason::DimensionMismatch => self.stats.dimension_mismatch += 1,
+            RejectReason::OutOfRange => self.stats.out_of_range += 1,
+        }
+        if self.config.quarantine_capacity > 0 {
+            self.quarantine.push_back((row.to_vec(), reason));
+            if self.quarantine.len() > self.config.quarantine_capacity {
+                self.quarantine.pop_front();
+                self.stats.evicted += 1;
+            }
+        }
+        Some(reason)
+    }
+
+    /// Rejection counters so far.
+    pub fn stats(&self) -> QuarantineStats {
+        self.stats
+    }
+
+    /// Flows currently held in quarantine (oldest first).
+    pub fn quarantined(&self) -> impl Iterator<Item = (&[f64], RejectReason)> {
+        self.quarantine.iter().map(|(row, r)| (row.as_slice(), *r))
+    }
+
+    /// Removes and returns all quarantined flows (counters are kept).
+    pub fn drain_quarantine(&mut self) -> Vec<(Vec<f64>, RejectReason)> {
+        self.quarantine.drain(..).collect()
+    }
+}
+
+/// Retry/backoff policy for failed training attempts, measured in
+/// accepted-flow counts (deterministic, no wall clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive failures tolerated before entering
+    /// [`Mode::Degraded`]. Retries continue even in degraded mode (at
+    /// the capped backoff) so a later success can restore normal
+    /// operation.
+    pub max_attempts: u32,
+    /// Accepted flows to wait before the first retry; doubles per
+    /// consecutive failure.
+    pub backoff_base_flows: usize,
+    /// Upper bound on the backoff interval.
+    pub max_backoff_flows: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_flows: 500,
+            max_backoff_flows: 16_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Flows to wait after the `consecutive_failures`-th failure:
+    /// `base · 2^(failures−1)`, capped at `max_backoff_flows`.
+    pub fn backoff_flows(&self, consecutive_failures: u32) -> usize {
+        let exp = consecutive_failures.saturating_sub(1).min(16);
+        self.backoff_base_flows
+            .saturating_mul(1usize << exp)
+            .min(self.max_backoff_flows)
+    }
+}
+
+/// Operating mode of the resilient pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training and scoring are both healthy.
+    Normal,
+    /// Repeated training failures: scoring continues on the
+    /// last-known-good frozen scorer; retraining keeps retrying at the
+    /// capped backoff interval.
+    Degraded,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Normal => write!(f, "normal"),
+            Mode::Degraded => write!(f, "degraded"),
+        }
+    }
+}
+
+/// A fault injected into a training attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainingFault {
+    /// Poison the training batch so the CFE loss goes non-finite,
+    /// exercising the divergence watchdog end to end.
+    NanLoss,
+    /// Fail the attempt outright with a synthetic error before training
+    /// starts.
+    Error,
+}
+
+/// Deterministic fault source for exercising recovery paths.
+///
+/// Implementations corrupt flows in place and/or fail chosen training
+/// attempts. The pipeline calls `corrupt_flow` for every incoming flow
+/// *before* the input guard (so the guard is tested against the
+/// corruption), and `training_fault` once per training attempt.
+pub trait FaultInjector {
+    /// May corrupt the given flow in place (`flow_index` counts all
+    /// flows ever pushed, 0-based). Default: no-op.
+    fn corrupt_flow(&mut self, flow_index: u64, row: &mut Vec<f64>) {
+        let _ = (flow_index, row);
+    }
+
+    /// May fail the given training attempt (`attempt` counts all
+    /// attempts, 1-based). Default: no fault.
+    fn training_fault(&mut self, attempt: u64) -> Option<TrainingFault> {
+        let _ = attempt;
+        None
+    }
+}
+
+/// Seeded scripted fault injector: corrupts a configurable fraction of
+/// flows (cycling NaN / +Inf / huge-magnitude / truncated-row faults)
+/// and fails chosen training attempts.
+#[derive(Debug, Clone)]
+pub struct ScriptedFaults {
+    rng: StdRng,
+    corruption_rate: f64,
+    kind_counter: u64,
+    nan_loss_attempts: Vec<u64>,
+    fail_attempts: Vec<u64>,
+    corrupted: u64,
+}
+
+impl ScriptedFaults {
+    /// A no-op injector with the given seed; add faults with the
+    /// builder methods.
+    pub fn new(seed: u64) -> Self {
+        ScriptedFaults {
+            rng: StdRng::seed_from_u64(seed),
+            corruption_rate: 0.0,
+            kind_counter: 0,
+            nan_loss_attempts: Vec::new(),
+            fail_attempts: Vec::new(),
+            corrupted: 0,
+        }
+    }
+
+    /// Corrupt roughly this fraction of incoming flows (clamped to
+    /// `[0, 1]`).
+    pub fn with_corruption_rate(mut self, rate: f64) -> Self {
+        self.corruption_rate = if rate.is_finite() {
+            rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Poison the training batch (NaN loss) on these 1-based attempts.
+    pub fn with_nan_loss_at(mut self, attempts: &[u64]) -> Self {
+        self.nan_loss_attempts = attempts.to_vec();
+        self
+    }
+
+    /// Fail these 1-based attempts outright with a synthetic error.
+    pub fn with_failure_at(mut self, attempts: &[u64]) -> Self {
+        self.fail_attempts = attempts.to_vec();
+        self
+    }
+
+    /// Flows corrupted so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+}
+
+impl FaultInjector for ScriptedFaults {
+    fn corrupt_flow(&mut self, _flow_index: u64, row: &mut Vec<f64>) {
+        if self.corruption_rate <= 0.0 || row.is_empty() {
+            return;
+        }
+        if self.rng.gen_range(0.0..1.0) >= self.corruption_rate {
+            return;
+        }
+        self.corrupted += 1;
+        let slot = self.rng.gen_range(0..row.len());
+        match self.kind_counter % 4 {
+            0 => row[slot] = f64::NAN,
+            1 => row[slot] = f64::INFINITY,
+            2 => row[slot] = 1e30,
+            _ => {
+                // Truncated record: exporter dropped trailing fields.
+                row.pop();
+            }
+        }
+        self.kind_counter += 1;
+    }
+
+    fn training_fault(&mut self, attempt: u64) -> Option<TrainingFault> {
+        if self.nan_loss_attempts.contains(&attempt) {
+            Some(TrainingFault::NanLoss)
+        } else if self.fail_attempts.contains(&attempt) {
+            Some(TrainingFault::Error)
+        } else {
+            None
+        }
+    }
+}
+
+/// Configuration of the resilient streaming pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResilientConfig {
+    /// Buffering / drift-trigger parameters (shared with the plain
+    /// streaming pipeline).
+    pub streaming: StreamingConfig,
+    /// Input-guard parameters.
+    pub guard: GuardConfig,
+    /// Retry/backoff policy for failed training attempts.
+    pub retry: RetryPolicy,
+}
+
+/// The outcome of pushing a batch of flows into the resilient stream.
+#[derive(Debug, Clone)]
+pub enum ResilientEvent {
+    /// Flows were buffered (and possibly quarantined); no training ran.
+    Buffered {
+        /// Current buffer fill level.
+        buffered: usize,
+        /// Flows from this batch routed to quarantine.
+        quarantined: usize,
+    },
+    /// A training experience completed successfully.
+    ExperienceTrained {
+        /// Flows consumed by the experience.
+        samples: usize,
+        /// What triggered the training step.
+        trigger: Trigger,
+        /// CFE training diagnostics.
+        stats: TrainStats,
+        /// `true` when this success exited [`Mode::Degraded`].
+        recovered: bool,
+    },
+    /// A training attempt failed; the model was rolled back to its
+    /// pre-experience snapshot and the buffer kept for retry.
+    TrainingFailed {
+        /// What triggered the attempt.
+        trigger: Trigger,
+        /// Rendered failure cause.
+        failure: String,
+        /// Mode after accounting for this failure.
+        mode: Mode,
+        /// Accepted flows to observe before the next retry.
+        flows_until_retry: usize,
+    },
+}
+
+/// Snapshot of the resilient pipeline's health, for operators and the
+/// CLI's `--health` output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Current operating mode.
+    pub mode: Mode,
+    /// Input-guard rejection counters.
+    pub quarantine: QuarantineStats,
+    /// All flows ever pushed (accepted + quarantined).
+    pub flows_seen: u64,
+    /// Flows that passed the input guard.
+    pub flows_accepted: u64,
+    /// Accepted flows evicted from a full buffer while retraining was
+    /// blocked by backoff.
+    pub flows_dropped: u64,
+    /// Experiences successfully trained by the wrapped model.
+    pub experiences_trained: usize,
+    /// Successful training attempts through this wrapper.
+    pub retrain_successes: u64,
+    /// Failed training attempts (total).
+    pub total_failures: u64,
+    /// Failures since the last success.
+    pub consecutive_failures: u32,
+    /// Model rollbacks performed by the watchdog.
+    pub rollbacks: u64,
+    /// Trigger of the most recent training attempt.
+    pub last_trigger: Option<Trigger>,
+    /// Rendered cause of the most recent failure (cleared on success).
+    pub last_failure: Option<String>,
+    /// Accepted flows remaining before the next retry is allowed
+    /// (0 = ready).
+    pub flows_until_retry: usize,
+    /// Flows currently buffered for the next experience.
+    pub buffered: usize,
+    /// Non-finite scores rejected by the drift detector.
+    pub drift_rejections: u64,
+}
+
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "mode:       {}", self.mode)?;
+        writeln!(
+            f,
+            "flows:      seen {}, accepted {}, quarantined {} (nan/inf {}, dim {}, range {}), dropped {}",
+            self.flows_seen,
+            self.flows_accepted,
+            self.quarantine.total(),
+            self.quarantine.non_finite,
+            self.quarantine.dimension_mismatch,
+            self.quarantine.out_of_range,
+            self.flows_dropped,
+        )?;
+        writeln!(
+            f,
+            "training:   {} experiences, {} successes, {} failures ({} consecutive), {} rollbacks",
+            self.experiences_trained,
+            self.retrain_successes,
+            self.total_failures,
+            self.consecutive_failures,
+            self.rollbacks,
+        )?;
+        writeln!(
+            f,
+            "retry:      {}",
+            if self.flows_until_retry == 0 {
+                "ready".to_string()
+            } else {
+                format!("next attempt in {} flows", self.flows_until_retry)
+            }
+        )?;
+        writeln!(f, "buffered:   {}", self.buffered)?;
+        write!(
+            f,
+            "last:       trigger {}, failure {}",
+            self.last_trigger
+                .map_or_else(|| "none".to_string(), |t| format!("{t:?}")),
+            self.last_failure.as_deref().unwrap_or("none"),
+        )
+    }
+}
+
+/// Fault-tolerant streaming deployment of CND-IDS.
+///
+/// Same triggering logic as
+/// [`StreamingCndIds`](crate::streaming::StreamingCndIds), plus the
+/// input guard, training watchdog with rollback, flow-count retry
+/// backoff, and degraded-mode fallback described in the
+/// [module docs](self).
+///
+/// Key contract differences from the plain streaming pipeline:
+///
+/// * training failures are **events, not errors** — `push_flows`
+///   returns [`ResilientEvent::TrainingFailed`] and the pipeline keeps
+///   running on the last-known-good scorer;
+/// * [`anomaly_scores`](Self::anomaly_scores) never returns NaN/Inf:
+///   invalid rows get the finite
+///   [`quarantine_score`](GuardConfig::quarantine_score) sentinel and
+///   scoring always uses the last *frozen* snapshot, never a
+///   half-trained model.
+pub struct ResilientStreamingCndIds {
+    model: CndIds,
+    config: ResilientConfig,
+    guard: InputGuard,
+    drift: DriftDetector,
+    buffer: Vec<Vec<f64>>,
+    fallback: Option<DeployedScorer>,
+    injector: Option<Box<dyn FaultInjector>>,
+    mode: Mode,
+    flows_seen: u64,
+    flows_accepted: u64,
+    flows_dropped: u64,
+    attempts: u64,
+    consecutive_failures: u32,
+    total_failures: u64,
+    rollbacks: u64,
+    retrain_successes: u64,
+    last_trigger: Option<Trigger>,
+    last_failure: Option<String>,
+    flows_until_retry: usize,
+}
+
+impl ResilientStreamingCndIds {
+    /// Wraps a (possibly untrained) model. If the model has already
+    /// trained, its current state becomes the initial last-known-good
+    /// scorer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid guard/retry
+    /// parameters.
+    pub fn new(model: CndIds, config: ResilientConfig) -> Result<Self, CoreError> {
+        if !config.guard.max_abs_scaled.is_finite() || config.guard.max_abs_scaled <= 0.0 {
+            return Err(CoreError::InvalidConfig {
+                name: "guard.max_abs_scaled",
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !config.guard.quarantine_score.is_finite() || config.guard.quarantine_score <= 0.0 {
+            return Err(CoreError::InvalidConfig {
+                name: "guard.quarantine_score",
+                constraint: "must be finite and > 0",
+            });
+        }
+        if config.retry.max_attempts == 0 {
+            return Err(CoreError::InvalidConfig {
+                name: "retry.max_attempts",
+                constraint: "must be >= 1",
+            });
+        }
+        if config.retry.backoff_base_flows == 0 {
+            return Err(CoreError::InvalidConfig {
+                name: "retry.backoff_base_flows",
+                constraint: "must be >= 1",
+            });
+        }
+        let fallback = if model.experiences_trained() > 0 {
+            Some(model.freeze()?)
+        } else {
+            None
+        };
+        let guard = InputGuard::new(model.scaler(), config.guard);
+        let drift = DriftDetector::new(
+            config.streaming.drift_window.max(2),
+            config.streaming.drift_threshold,
+        );
+        Ok(ResilientStreamingCndIds {
+            model,
+            config,
+            guard,
+            drift,
+            buffer: Vec::new(),
+            fallback,
+            injector: None,
+            mode: Mode::Normal,
+            flows_seen: 0,
+            flows_accepted: 0,
+            flows_dropped: 0,
+            attempts: 0,
+            consecutive_failures: 0,
+            total_failures: 0,
+            rollbacks: 0,
+            retrain_successes: 0,
+            last_trigger: None,
+            last_failure: None,
+            flows_until_retry: 0,
+        })
+    }
+
+    /// Installs a fault injector (tests/benches); replaces any previous
+    /// one.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Borrow of the wrapped model.
+    pub fn model(&self) -> &CndIds {
+        &self.model
+    }
+
+    /// Borrow of the input guard (quarantine inspection).
+    pub fn guard(&self) -> &InputGuard {
+        &self.guard
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Flows currently buffered for the next experience.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// `true` once a last-known-good scorer exists (first successful
+    /// training), i.e. [`anomaly_scores`](Self::anomaly_scores) works.
+    pub fn can_score(&self) -> bool {
+        self.fallback.is_some()
+    }
+
+    /// Current health snapshot.
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            mode: self.mode,
+            quarantine: self.guard.stats(),
+            flows_seen: self.flows_seen,
+            flows_accepted: self.flows_accepted,
+            flows_dropped: self.flows_dropped,
+            experiences_trained: self.model.experiences_trained(),
+            retrain_successes: self.retrain_successes,
+            total_failures: self.total_failures,
+            consecutive_failures: self.consecutive_failures,
+            rollbacks: self.rollbacks,
+            last_trigger: self.last_trigger,
+            last_failure: self.last_failure.clone(),
+            flows_until_retry: self.flows_until_retry,
+            buffered: self.buffer.len(),
+            drift_rejections: self.drift.rejected(),
+        }
+    }
+
+    /// Pushes a batch of flows through guard → drift detector → buffer,
+    /// possibly triggering a (watchdog-supervised) training attempt.
+    ///
+    /// Training failures are reported as
+    /// [`ResilientEvent::TrainingFailed`], **not** as `Err`; the `Err`
+    /// path is reserved for infrastructure faults (which the internal
+    /// invariants rule out in practice).
+    ///
+    /// # Errors
+    ///
+    /// Propagates internal scoring errors of the frozen fallback scorer.
+    pub fn push_flows(&mut self, x: &Matrix) -> Result<ResilientEvent, CoreError> {
+        let mut accepted: Vec<Vec<f64>> = Vec::with_capacity(x.rows());
+        let mut quarantined_now = 0usize;
+        for row in x.iter_rows() {
+            let mut row = row.to_vec();
+            let index = self.flows_seen;
+            self.flows_seen += 1;
+            if let Some(inj) = self.injector.as_mut() {
+                inj.corrupt_flow(index, &mut row);
+            }
+            if self.guard.admit(&row).is_some() {
+                quarantined_now += 1;
+            } else {
+                accepted.push(row);
+            }
+        }
+        self.flows_accepted += accepted.len() as u64;
+        self.flows_until_retry = self.flows_until_retry.saturating_sub(accepted.len());
+        if accepted.is_empty() {
+            return Ok(ResilientEvent::Buffered {
+                buffered: self.buffer.len(),
+                quarantined: quarantined_now,
+            });
+        }
+        // Drift is observed on the last-known-good scorer: a model
+        // mid-rollback must not steer the trigger logic.
+        let mut drifted = false;
+        if let Some(scorer) = &self.fallback {
+            let xm = Matrix::from_rows(&accepted)?;
+            for s in scorer.anomaly_scores(&xm)? {
+                drifted |= self.drift.observe((1.0 + s.max(0.0)).ln());
+            }
+        }
+        self.buffer.extend(accepted);
+        let sc = self.config.streaming;
+        let bootstrap =
+            self.model.experiences_trained() == 0 && self.buffer.len() >= sc.bootstrap_batch;
+        let full = self.buffer.len() >= sc.max_buffer;
+        let drift_ready = drifted && self.buffer.len() >= sc.min_batch;
+        if (bootstrap || full || drift_ready) && self.flows_until_retry == 0 {
+            let trigger = if drift_ready && !full {
+                Trigger::DriftDetected
+            } else {
+                Trigger::BufferFull
+            };
+            return self.attempt_train(trigger);
+        }
+        // Backoff can hold the buffer past its cap; bound memory by
+        // evicting the oldest flows (counted, not silent).
+        if self.buffer.len() > sc.max_buffer {
+            let excess = self.buffer.len() - sc.max_buffer;
+            self.buffer.drain(0..excess);
+            self.flows_dropped += excess as u64;
+        }
+        Ok(ResilientEvent::Buffered {
+            buffered: self.buffer.len(),
+            quarantined: quarantined_now,
+        })
+    }
+
+    /// Forces a training attempt on the buffered flows, bypassing the
+    /// retry backoff (operator override). Failures still roll back,
+    /// count against the retry policy, and re-arm the backoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the buffer is empty.
+    pub fn flush(&mut self) -> Result<ResilientEvent, CoreError> {
+        if self.buffer.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                name: "buffer",
+                constraint: "cannot flush an empty stream buffer",
+            });
+        }
+        self.attempt_train(Trigger::Manual)
+    }
+
+    /// Scores a batch on the last-known-good frozen scorer, sanitizing
+    /// invalid rows: every returned score is finite, with invalid rows
+    /// pinned to the [`quarantine_score`](GuardConfig::quarantine_score)
+    /// sentinel (they cannot be meaningfully scored, and an IDS should
+    /// treat malformed traffic as suspicious, not invisible).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotTrained`] before the first successful
+    /// training experience.
+    pub fn anomaly_scores(&self, x: &Matrix) -> Result<Vec<f64>, CoreError> {
+        let scorer = self.fallback.as_ref().ok_or(CoreError::NotTrained)?;
+        let sentinel = self.config.guard.quarantine_score;
+        let mut scores = vec![sentinel; x.rows()];
+        let mut valid_rows: Vec<Vec<f64>> = Vec::new();
+        let mut valid_idx: Vec<usize> = Vec::new();
+        for (i, row) in x.iter_rows().enumerate() {
+            if self.guard.check(row).is_none() {
+                valid_rows.push(row.to_vec());
+                valid_idx.push(i);
+            }
+        }
+        if !valid_rows.is_empty() {
+            let xm = Matrix::from_rows(&valid_rows)?;
+            for (i, s) in valid_idx.into_iter().zip(scorer.anomaly_scores(&xm)?) {
+                scores[i] = if s.is_finite() { s } else { sentinel };
+            }
+        }
+        Ok(scores)
+    }
+
+    /// One watchdog-supervised training attempt: snapshot, (optionally
+    /// fault-injected) train, and on failure rollback + backoff.
+    fn attempt_train(&mut self, trigger: Trigger) -> Result<ResilientEvent, CoreError> {
+        let snapshot = self.model.clone();
+        self.attempts += 1;
+        self.last_trigger = Some(trigger);
+        let fault = self
+            .injector
+            .as_mut()
+            .and_then(|i| i.training_fault(self.attempts));
+        match self.run_training(fault) {
+            Ok(stats) => {
+                let samples = self.buffer.len();
+                let recovered = self.mode == Mode::Degraded;
+                self.fallback = Some(self.model.freeze()?);
+                self.buffer.clear();
+                self.drift.reset();
+                self.consecutive_failures = 0;
+                self.flows_until_retry = 0;
+                self.mode = Mode::Normal;
+                self.retrain_successes += 1;
+                self.last_failure = None;
+                Ok(ResilientEvent::ExperienceTrained {
+                    samples,
+                    trigger,
+                    stats,
+                    recovered,
+                })
+            }
+            Err(err) => {
+                self.model = snapshot;
+                self.rollbacks += 1;
+                self.consecutive_failures += 1;
+                self.total_failures += 1;
+                let failure = err.to_string();
+                self.last_failure = Some(failure.clone());
+                if self.consecutive_failures >= self.config.retry.max_attempts {
+                    self.mode = Mode::Degraded;
+                }
+                self.flows_until_retry = self.config.retry.backoff_flows(self.consecutive_failures);
+                let cap = self.config.streaming.max_buffer;
+                if self.buffer.len() > cap {
+                    let excess = self.buffer.len() - cap;
+                    self.buffer.drain(0..excess);
+                    self.flows_dropped += excess as u64;
+                }
+                Ok(ResilientEvent::TrainingFailed {
+                    trigger,
+                    failure,
+                    mode: self.mode,
+                    flows_until_retry: self.flows_until_retry,
+                })
+            }
+        }
+    }
+
+    fn run_training(&mut self, fault: Option<TrainingFault>) -> Result<TrainStats, CoreError> {
+        match fault {
+            Some(TrainingFault::Error) => Err(CoreError::InvalidConfig {
+                name: "fault-injection",
+                constraint: "injected training failure",
+            }),
+            Some(TrainingFault::NanLoss) => {
+                // Poison a copy of the batch *after* the guard, so the
+                // CFE's own divergence watchdog is what trips.
+                let mut rows = self.buffer.clone();
+                if let Some(v) = rows.first_mut().and_then(|r| r.first_mut()) {
+                    *v = f64::NAN;
+                }
+                let x = Matrix::from_rows(&rows)?;
+                self.model.train_experience(&x)
+            }
+            None => {
+                let x = Matrix::from_rows(&self.buffer)?;
+                self.model.train_experience(&x)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CndIdsConfig;
+
+    fn flows(n: usize, offset: f64, phase: usize) -> Matrix {
+        Matrix::from_fn(n, 6, |i, j| {
+            offset + (((i + phase) * 13 + j * 7) % 17) as f64 / 17.0
+        })
+    }
+
+    fn pipeline(max_buffer: usize, retry: RetryPolicy) -> ResilientStreamingCndIds {
+        let n_c = flows(60, 0.0, 900);
+        let model = CndIds::new(CndIdsConfig::fast(5), &n_c).expect("builds");
+        ResilientStreamingCndIds::new(
+            model,
+            ResilientConfig {
+                streaming: StreamingConfig {
+                    max_buffer,
+                    bootstrap_batch: max_buffer,
+                    min_batch: 50,
+                    drift_window: 40,
+                    drift_threshold: 3.0,
+                },
+                guard: GuardConfig::default(),
+                retry,
+            },
+        )
+        .expect("valid config")
+    }
+
+    #[test]
+    fn guard_classifies_rejections() {
+        let p = pipeline(100, RetryPolicy::default());
+        let g = p.guard();
+        assert_eq!(g.check(&[0.1; 6]), None);
+        assert_eq!(
+            g.check(&[0.1, f64::NAN, 0.1, 0.1, 0.1, 0.1]),
+            Some(RejectReason::NonFinite)
+        );
+        assert_eq!(
+            g.check(&[0.1, f64::INFINITY, 0.1, 0.1, 0.1, 0.1]),
+            Some(RejectReason::NonFinite)
+        );
+        assert_eq!(g.check(&[0.1; 5]), Some(RejectReason::DimensionMismatch));
+        assert_eq!(
+            g.check(&[1e30, 0.1, 0.1, 0.1, 0.1, 0.1]),
+            Some(RejectReason::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn guard_quarantine_is_bounded() {
+        let n_c = flows(60, 0.0, 900);
+        let model = CndIds::new(CndIdsConfig::fast(5), &n_c).unwrap();
+        let mut guard = InputGuard::new(
+            model.scaler(),
+            GuardConfig {
+                quarantine_capacity: 3,
+                ..GuardConfig::default()
+            },
+        );
+        for _ in 0..10 {
+            guard.admit(&[f64::NAN; 6]);
+        }
+        assert_eq!(guard.quarantined().count(), 3);
+        let stats = guard.stats();
+        assert_eq!(stats.non_finite, 10);
+        assert_eq!(stats.evicted, 7);
+        assert_eq!(guard.drain_quarantine().len(), 3);
+        assert_eq!(guard.quarantined().count(), 0);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_flows: 100,
+            max_backoff_flows: 350,
+        };
+        assert_eq!(p.backoff_flows(1), 100);
+        assert_eq!(p.backoff_flows(2), 200);
+        assert_eq!(p.backoff_flows(3), 350);
+        assert_eq!(p.backoff_flows(10), 350);
+    }
+
+    #[test]
+    fn scripted_faults_are_deterministic() {
+        let run = || {
+            let mut inj = ScriptedFaults::new(7).with_corruption_rate(0.5);
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            for i in 0..50u64 {
+                let mut row = vec![1.0; 6];
+                inj.corrupt_flow(i, &mut row);
+                rows.push(row);
+            }
+            (rows, inj.corrupted())
+        };
+        let (a, na) = run();
+        let (b, nb) = run();
+        assert_eq!(na, nb);
+        assert!(na > 5, "rate 0.5 over 50 flows should corrupt > 5");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.len(), y.len());
+            for (u, v) in x.iter().zip(y) {
+                assert!(u == v || (u.is_nan() && v.is_nan()));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_flows_are_quarantined_and_training_proceeds() {
+        let mut p = pipeline(100, RetryPolicy::default());
+        p.set_fault_injector(Box::new(ScriptedFaults::new(3).with_corruption_rate(0.2)));
+        let mut trained = false;
+        for phase in 0..10 {
+            match p.push_flows(&flows(30, 0.0, phase * 30)).unwrap() {
+                ResilientEvent::ExperienceTrained { .. } => {
+                    trained = true;
+                    break;
+                }
+                ResilientEvent::Buffered { .. } => {}
+                ev => panic!("unexpected {ev:?}"),
+            }
+        }
+        assert!(trained);
+        let h = p.health();
+        assert!(h.quarantine.total() > 0, "some flows must be quarantined");
+        assert_eq!(h.flows_accepted + h.quarantine.total(), h.flows_seen);
+        // Scores on a clean batch stay finite.
+        for s in p.anomaly_scores(&flows(10, 0.0, 500)).unwrap() {
+            assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn nan_loss_rolls_back_and_retry_succeeds() {
+        let mut p = pipeline(
+            100,
+            RetryPolicy {
+                max_attempts: 3,
+                backoff_base_flows: 30,
+                max_backoff_flows: 1000,
+            },
+        );
+        p.set_fault_injector(Box::new(ScriptedFaults::new(0).with_nan_loss_at(&[1])));
+        let mut failed = false;
+        let mut trained = false;
+        for phase in 0..20 {
+            match p.push_flows(&flows(30, 0.0, phase * 30)).unwrap() {
+                ResilientEvent::TrainingFailed { failure, mode, .. } => {
+                    assert!(failure.contains("diverged"), "failure = {failure}");
+                    assert_eq!(mode, Mode::Normal, "one failure must not degrade");
+                    failed = true;
+                }
+                ResilientEvent::ExperienceTrained { .. } => {
+                    trained = true;
+                    break;
+                }
+                ResilientEvent::Buffered { .. } => {}
+            }
+        }
+        assert!(failed, "injected NaN loss must fail the first attempt");
+        assert!(trained, "retry after backoff must succeed");
+        let h = p.health();
+        assert_eq!(h.rollbacks, 1);
+        assert_eq!(h.consecutive_failures, 0);
+        assert_eq!(h.mode, Mode::Normal);
+        assert_eq!(h.experiences_trained, 1);
+        for s in p.anomaly_scores(&flows(10, 0.0, 500)).unwrap() {
+            assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn repeated_failures_degrade_then_recover() {
+        let mut p = pipeline(
+            60,
+            RetryPolicy {
+                max_attempts: 2,
+                backoff_base_flows: 20,
+                max_backoff_flows: 40,
+            },
+        );
+        // Bootstrap a healthy first experience so a fallback exists.
+        for phase in 0..3 {
+            p.push_flows(&flows(30, 0.0, phase * 30)).unwrap();
+        }
+        assert!(p.can_score());
+        let baseline = p.anomaly_scores(&flows(10, 0.0, 500)).unwrap();
+        // The bootstrap consumed attempt 1; fail the next two attempts
+        // -> degraded; the attempt after that succeeds.
+        p.set_fault_injector(Box::new(ScriptedFaults::new(0).with_failure_at(&[2, 3])));
+        let mut saw_degraded = false;
+        let mut recovered = false;
+        for phase in 0..40 {
+            match p.push_flows(&flows(20, 0.0, phase * 20)).unwrap() {
+                ResilientEvent::TrainingFailed { mode, .. } => {
+                    if mode == Mode::Degraded {
+                        saw_degraded = true;
+                        // Degraded mode still scores, identically to the
+                        // last-known-good snapshot.
+                        assert_eq!(p.anomaly_scores(&flows(10, 0.0, 500)).unwrap(), baseline);
+                    }
+                }
+                ResilientEvent::ExperienceTrained { recovered: r, .. } => {
+                    if saw_degraded {
+                        assert!(r, "success out of degraded mode must flag recovery");
+                        recovered = true;
+                        break;
+                    }
+                }
+                ResilientEvent::Buffered { .. } => {}
+            }
+        }
+        assert!(saw_degraded, "two consecutive failures must degrade");
+        assert!(recovered, "later success must recover to normal");
+        assert_eq!(p.mode(), Mode::Normal);
+        assert_eq!(p.health().total_failures, 2);
+    }
+
+    #[test]
+    fn anomaly_scores_sanitize_invalid_rows() {
+        let mut p = pipeline(100, RetryPolicy::default());
+        for phase in 0..5 {
+            p.push_flows(&flows(30, 0.0, phase * 30)).unwrap();
+        }
+        assert!(p.can_score());
+        let mut rows: Vec<Vec<f64>> = flows(4, 0.0, 0).iter_rows().map(<[f64]>::to_vec).collect();
+        rows[1][2] = f64::NAN;
+        rows[3][0] = f64::NEG_INFINITY;
+        let x = Matrix::from_rows(&rows).unwrap();
+        let scores = p.anomaly_scores(&x).unwrap();
+        assert_eq!(scores.len(), 4);
+        for s in &scores {
+            assert!(s.is_finite());
+        }
+        let sentinel = GuardConfig::default().quarantine_score;
+        assert_eq!(scores[1], sentinel);
+        assert_eq!(scores[3], sentinel);
+        assert!(scores[0] < sentinel && scores[2] < sentinel);
+    }
+
+    #[test]
+    fn backoff_drops_oldest_flows_beyond_cap() {
+        let mut p = pipeline(
+            60,
+            RetryPolicy {
+                max_attempts: 1,
+                backoff_base_flows: 500,
+                max_backoff_flows: 500,
+            },
+        );
+        p.set_fault_injector(Box::new(ScriptedFaults::new(0).with_failure_at(&[1])));
+        for phase in 0..10 {
+            p.push_flows(&flows(30, 0.0, phase * 30)).unwrap();
+        }
+        let h = p.health();
+        assert!(
+            h.buffered <= 60,
+            "buffer must stay bounded, got {}",
+            h.buffered
+        );
+        assert!(h.flows_dropped > 0, "evictions must be counted");
+        assert_eq!(h.mode, Mode::Degraded);
+    }
+
+    #[test]
+    fn config_validation() {
+        let n_c = flows(60, 0.0, 900);
+        let model = CndIds::new(CndIdsConfig::fast(5), &n_c).unwrap();
+        let mut cfg = ResilientConfig::default();
+        cfg.retry.max_attempts = 0;
+        assert!(matches!(
+            ResilientStreamingCndIds::new(model, cfg),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn health_report_renders() {
+        let p = pipeline(100, RetryPolicy::default());
+        let text = p.health().to_string();
+        assert!(text.contains("mode:"));
+        assert!(text.contains("normal"));
+        assert!(text.contains("quarantined"));
+    }
+}

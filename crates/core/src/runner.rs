@@ -19,6 +19,7 @@ use cnd_metrics::curve::pr_auc;
 use cnd_metrics::threshold::{apply_threshold, best_f1_threshold};
 
 use crate::baselines::UclBaseline;
+use crate::resilience::{HealthReport, ResilientEvent, ResilientStreamingCndIds};
 use crate::{CndIds, CoreError};
 
 /// A model that can be trained through a continual experience stream.
@@ -251,8 +252,7 @@ pub fn evaluate_static_detector(
     let pooled = pool_tests(split)?;
     let t1 = Instant::now();
     let pooled_scores = detector.anomaly_scores(&pooled.x)?;
-    let inference_ms_per_sample =
-        t1.elapsed().as_secs_f64() * 1e3 / pooled.x.rows().max(1) as f64;
+    let inference_ms_per_sample = t1.elapsed().as_secs_f64() * 1e3 / pooled.x.rows().max(1) as f64;
 
     // One pooled Best-F threshold — the same protocol Algorithm 1 applies
     // to CND-IDS, so the comparison is threshold-for-threshold fair.
@@ -270,6 +270,87 @@ pub fn evaluate_static_detector(
         pr_auc: ap,
         fit_seconds,
         inference_ms_per_sample,
+    })
+}
+
+/// Outcome of driving the resilient streaming pipeline through a
+/// continual split (see [`evaluate_resilient_streaming`]).
+#[derive(Debug, Clone)]
+pub struct ResilientStreamingOutcome {
+    /// Best-F F1 on the pooled test data of all experiences (0 when the
+    /// pipeline never managed to train).
+    pub pooled_f1: f64,
+    /// Pooled threshold-free PR-AUC, when scoring was possible.
+    pub pr_auc: Option<f64>,
+    /// Successful training experiences during the run.
+    pub trained: u64,
+    /// Failed (rolled-back) training attempts during the run.
+    pub failed: u64,
+    /// Final health snapshot of the pipeline.
+    pub health: HealthReport,
+}
+
+/// Feeds every experience's training stream through a
+/// [`ResilientStreamingCndIds`] in `chunk`-sized batches (flushing the
+/// residue at each experience boundary when the pipeline is accepting
+/// retrains), then evaluates Best-F F1 on the pooled test data — the
+/// same pooled protocol as [`evaluate_continual`].
+///
+/// Used by the fault-tolerance bench and the CLI `stream` command to
+/// measure how much injected corruption costs in detection quality.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidConfig`] when `chunk` is zero.
+/// * Propagates infrastructure errors (training *failures* are counted,
+///   not propagated — that is the point of the resilient pipeline).
+pub fn evaluate_resilient_streaming(
+    stream: &mut ResilientStreamingCndIds,
+    split: &ContinualSplit,
+    chunk: usize,
+) -> Result<ResilientStreamingOutcome, CoreError> {
+    if chunk == 0 {
+        return Err(CoreError::InvalidConfig {
+            name: "chunk",
+            constraint: "must be >= 1",
+        });
+    }
+    let mut trained = 0u64;
+    let mut failed = 0u64;
+    let mut count = |event: &ResilientEvent| match event {
+        ResilientEvent::ExperienceTrained { .. } => trained += 1,
+        ResilientEvent::TrainingFailed { .. } => failed += 1,
+        ResilientEvent::Buffered { .. } => {}
+    };
+    for exp in &split.experiences {
+        let n = exp.train_x.rows();
+        let mut at = 0;
+        while at < n {
+            let hi = (at + chunk).min(n);
+            let x = exp.train_x.slice_rows(at, hi)?;
+            count(&stream.push_flows(&x)?);
+            at = hi;
+        }
+        // Experience boundary: train on the residue unless the retry
+        // backoff says the pipeline is not accepting attempts yet.
+        if stream.buffered() > 0 && stream.health().flows_until_retry == 0 {
+            count(&stream.flush()?);
+        }
+    }
+    let (pooled_f1, pr_auc_val) = if stream.can_score() {
+        let pooled = pool_tests(split)?;
+        let scores = stream.anomaly_scores(&pooled.x)?;
+        let sel = best_f1_threshold(&scores, &pooled.y)?;
+        (sel.f1, pr_auc(&scores, &pooled.y).ok())
+    } else {
+        (0.0, None)
+    };
+    Ok(ResilientStreamingOutcome {
+        pooled_f1,
+        pr_auc: pr_auc_val,
+        trained,
+        failed,
+        health: stream.health(),
     })
 }
 
@@ -305,16 +386,45 @@ mod tests {
     #[test]
     fn ucl_baseline_run_produces_matrix_without_scores() {
         let s = split();
-        let mut model = UclBaseline::new(
-            UclMethod::Lwf,
-            s.clean_normal.cols(),
-            UclConfig::fast(2),
-        )
-        .unwrap();
+        let mut model =
+            UclBaseline::new(UclMethod::Lwf, s.clean_normal.cols(), UclConfig::fast(2)).unwrap();
         let out = evaluate_continual(&mut model, &s).unwrap();
         assert_eq!(out.name, "LwF");
         assert!(out.pr_auc_per_step.iter().all(|p| p.is_none()));
         assert!(out.final_pr_auc().is_none());
+    }
+
+    #[test]
+    fn resilient_streaming_run_with_corruption() {
+        use crate::resilience::{ResilientConfig, ScriptedFaults};
+        use crate::streaming::StreamingConfig;
+
+        let s = split();
+        let model = CndIds::new(CndIdsConfig::fast(1), &s.clean_normal).unwrap();
+        let mut stream = ResilientStreamingCndIds::new(
+            model,
+            ResilientConfig {
+                streaming: StreamingConfig {
+                    max_buffer: 400,
+                    bootstrap_batch: 200,
+                    min_batch: 100,
+                    drift_window: 50,
+                    drift_threshold: 3.0,
+                },
+                ..ResilientConfig::default()
+            },
+        )
+        .unwrap();
+        stream.set_fault_injector(Box::new(ScriptedFaults::new(9).with_corruption_rate(0.05)));
+        let out = evaluate_resilient_streaming(&mut stream, &s, 64).unwrap();
+        assert!(out.trained > 0, "must train at least once");
+        assert_eq!(out.failed, 0);
+        assert!(
+            out.health.quarantine.total() > 0,
+            "corruption must be caught"
+        );
+        assert!(out.pooled_f1 > 0.0, "pooled F1 = {}", out.pooled_f1);
+        assert!(out.pr_auc.is_some());
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! step, so all of the paper's machinery — pseudo-labels, `L_CND`,
 //! snapshot regularization, PCA refit — is reused unchanged.
 
+use std::collections::VecDeque;
+
 use cnd_linalg::{vector, Matrix};
 
 use crate::cfe::TrainStats;
@@ -45,7 +47,12 @@ pub struct DriftDetector {
     reference_mean: f64,
     reference_std: f64,
     calibrated: bool,
-    current: Vec<f64>,
+    current: VecDeque<f64>,
+    /// Running sum of `current`, so the rolling mean is O(1) per
+    /// observation instead of O(window).
+    current_sum: f64,
+    fired: bool,
+    rejected: u64,
 }
 
 impl DriftDetector {
@@ -65,7 +72,10 @@ impl DriftDetector {
             reference_mean: 0.0,
             reference_std: 0.0,
             calibrated: false,
-            current: Vec::with_capacity(window),
+            current: VecDeque::with_capacity(window),
+            current_sum: 0.0,
+            fired: false,
+            rejected: 0,
         }
     }
 
@@ -74,17 +84,32 @@ impl DriftDetector {
         self.calibrated
     }
 
+    /// Non-finite observations rejected (and ignored) so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
     /// Discards all state (called after retraining so the detector
     /// re-calibrates on the new regime).
     pub fn reset(&mut self) {
         self.reference.clear();
         self.current.clear();
+        self.current_sum = 0.0;
         self.calibrated = false;
+        self.fired = false;
     }
 
     /// Feeds one observation; returns `true` when drift fires. After a
     /// firing the detector keeps reporting `true` until [`reset`](Self::reset).
+    ///
+    /// Non-finite observations are rejected (counted, otherwise ignored):
+    /// a single NaN score would otherwise poison the reference mean/std
+    /// permanently during calibration, or the rolling sum afterwards.
     pub fn observe(&mut self, value: f64) -> bool {
+        if !value.is_finite() {
+            self.rejected += 1;
+            return self.fired;
+        }
         if !self.calibrated {
             self.reference.push(value);
             if self.reference.len() == self.window {
@@ -94,15 +119,21 @@ impl DriftDetector {
             }
             return false;
         }
-        self.current.push(value);
+        self.current.push_back(value);
+        self.current_sum += value;
         if self.current.len() > self.window {
-            self.current.remove(0);
+            if let Some(evicted) = self.current.pop_front() {
+                self.current_sum -= evicted;
+            }
         }
         if self.current.len() < self.window / 2 {
-            return false;
+            return self.fired;
         }
-        let mean = vector::mean(&self.current);
-        (mean - self.reference_mean).abs() > self.threshold * self.reference_std
+        let mean = self.current_sum / self.current.len() as f64;
+        if (mean - self.reference_mean).abs() > self.threshold * self.reference_std {
+            self.fired = true;
+        }
+        self.fired
     }
 }
 
@@ -363,7 +394,9 @@ mod tests {
         let mut trained = false;
         for phase in 0..5 {
             match s.push_flows(&flows(30, 0.0, phase * 30)).unwrap() {
-                StreamEvent::ExperienceTrained { trigger, samples, .. } => {
+                StreamEvent::ExperienceTrained {
+                    trigger, samples, ..
+                } => {
                     assert_eq!(trigger, Trigger::BufferFull);
                     assert!(samples >= 100);
                     trained = true;
@@ -380,7 +413,7 @@ mod tests {
     #[test]
     fn drift_triggers_training_before_buffer_full() {
         let mut s = stream(100_000); // effectively no buffer limit
-        // First experience: bootstrap via manual flush.
+                                     // First experience: bootstrap via manual flush.
         s.push_flows(&flows(300, 0.0, 0)).unwrap();
         matches!(s.flush().unwrap(), StreamEvent::ExperienceTrained { .. });
 
@@ -408,10 +441,7 @@ mod tests {
     #[test]
     fn flush_empty_is_an_error() {
         let mut s = stream(100);
-        assert!(matches!(
-            s.flush(),
-            Err(CoreError::InvalidConfig { .. })
-        ));
+        assert!(matches!(s.flush(), Err(CoreError::InvalidConfig { .. })));
     }
 
     #[test]

@@ -132,7 +132,9 @@ pub fn prepare(
 
     // 1. N_c: the first 10% of the benign stream (pre-deployment
     // collection; later drift regimes are never part of N_c).
-    let n_clean = ((normals.len() as f64) * CLEAN_NORMAL_FRACTION).round().max(1.0) as usize;
+    let n_clean = ((normals.len() as f64) * CLEAN_NORMAL_FRACTION)
+        .round()
+        .max(1.0) as usize;
     let clean_idx: Vec<usize> = normals[..n_clean].to_vec();
     let rest_idx: Vec<usize> = normals[n_clean..].to_vec();
     let clean_normal = dataset.x.select_rows(&clean_idx)?;
@@ -142,7 +144,11 @@ pub fn prepare(
     let mut normal_chunks: Vec<Vec<usize>> = Vec::with_capacity(m);
     for e in 0..m {
         let start = e * seg;
-        let end = if e == m - 1 { rest_idx.len() } else { (e + 1) * seg };
+        let end = if e == m - 1 {
+            rest_idx.len()
+        } else {
+            (e + 1) * seg
+        };
         normal_chunks.push(rest_idx[start..end].to_vec());
     }
 
@@ -264,8 +270,8 @@ mod tests {
         let d = data();
         let split = prepare(&d, 5, 0.7, 3).unwrap();
         for e in &split.experiences {
-            assert!(e.test_y.iter().any(|&y| y == 0));
-            assert!(e.test_y.iter().any(|&y| y == 1));
+            assert!(e.test_y.contains(&0));
+            assert!(e.test_y.contains(&1));
         }
     }
 

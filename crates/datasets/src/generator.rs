@@ -141,7 +141,10 @@ struct AttackClassModel {
 /// Returns [`DatasetError::InvalidConfig`] when `total_samples` is too
 /// small to give every attack class at least a handful of samples, or
 /// when noise/drift are negative.
-pub fn generate(profile: DatasetProfile, config: &GeneratorConfig) -> Result<Dataset, DatasetError> {
+pub fn generate(
+    profile: DatasetProfile,
+    config: &GeneratorConfig,
+) -> Result<Dataset, DatasetError> {
     let n_classes = profile.n_attack_classes();
     if config.total_samples < n_classes * 20 + 100 {
         return Err(DatasetError::InvalidConfig {
@@ -173,7 +176,12 @@ pub fn generate(profile: DatasetProfile, config: &GeneratorConfig) -> Result<Dat
         DatasetProfile::Cicids2017 => 0x3017,
         DatasetProfile::UnswNb15 => 0x4015,
     };
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(profile_salt));
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(profile_salt),
+    );
 
     // Benign model.
     let mixing = Matrix::from_fn(r, d, |_, _| randn(&mut rng) / (r as f64).sqrt());
@@ -184,7 +192,7 @@ pub fn generate(profile: DatasetProfile, config: &GeneratorConfig) -> Result<Dat
     // Attack class models with golden-ratio graded severity and a graded
     // within-manifold / off-manifold shift mix.
     const GOLDEN: f64 = 0.618_033_988_749_894_9;
-    const SILVER: f64 = 0.414_213_562_373_095_0; // sqrt(2) − 1
+    const SILVER: f64 = 0.414_213_562_373_095; // sqrt(2) − 1
     let attack_models: Vec<AttackClassModel> = (1..=n_classes)
         .map(|c| {
             let severity = 1.0 + 3.5 * frac(c as f64 * GOLDEN);
@@ -211,7 +219,12 @@ pub fn generate(profile: DatasetProfile, config: &GeneratorConfig) -> Result<Dat
                 .zip(&dir_off)
                 .map(|(i, o)| alpha * i + (1.0 - alpha) * o)
                 .collect();
-            let n_dir = direction.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+            let n_dir = direction
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>()
+                .sqrt()
+                .max(1e-12);
             for v in &mut direction {
                 *v /= n_dir;
             }
@@ -229,8 +242,7 @@ pub fn generate(profile: DatasetProfile, config: &GeneratorConfig) -> Result<Dat
         .collect();
 
     // Sample counts: Table I imbalance, skewed class sizes.
-    let attack_total =
-        ((config.total_samples as f64) * profile.attack_fraction()).round() as usize;
+    let attack_total = ((config.total_samples as f64) * profile.attack_fraction()).round() as usize;
     let normal_total = config.total_samples - attack_total;
     let raw_weights: Vec<f64> = (1..=n_classes)
         .map(|c| 0.3 + 1.7 * frac(c as f64 * GOLDEN * GOLDEN))
@@ -451,7 +463,10 @@ mod tests {
         let d = generate(DatasetProfile::WustlIiot, &GeneratorConfig::standard(2)).unwrap();
         let frac = d.attack_count() as f64 / d.len() as f64;
         let expect = DatasetProfile::WustlIiot.attack_fraction();
-        assert!((frac - expect).abs() < 0.05, "frac = {frac}, expected {expect}");
+        assert!(
+            (frac - expect).abs() < 0.05,
+            "frac = {frac}, expected {expect}"
+        );
     }
 
     #[test]

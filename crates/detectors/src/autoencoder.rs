@@ -105,10 +105,16 @@ impl NoveltyDetector for AutoencoderDetector {
         let mut rng = StdRng::seed_from_u64(c.seed);
         let scaler = StandardScaler::fit(x)?;
         let xs = scaler.transform(x)?;
-        let mut encoder =
-            Sequential::mlp(&[x.cols(), c.hidden_dim, latent], Activation::Tanh, &mut rng);
-        let mut decoder =
-            Sequential::mlp(&[latent, c.hidden_dim, x.cols()], Activation::Tanh, &mut rng);
+        let mut encoder = Sequential::mlp(
+            &[x.cols(), c.hidden_dim, latent],
+            Activation::Tanh,
+            &mut rng,
+        );
+        let mut decoder = Sequential::mlp(
+            &[latent, c.hidden_dim, x.cols()],
+            Activation::Tanh,
+            &mut rng,
+        );
         let mut opt = Adam::new(c.learning_rate);
         let n = xs.rows();
         let mut order: Vec<usize> = (0..n).collect();
@@ -228,6 +234,9 @@ mod tests {
             Err(DetectorError::DimensionMismatch { .. })
         ));
         let mut empty = AutoencoderDetector::new(Default::default());
-        assert_eq!(empty.fit(&Matrix::zeros(0, 4)), Err(DetectorError::EmptyInput));
+        assert_eq!(
+            empty.fit(&Matrix::zeros(0, 4)),
+            Err(DetectorError::EmptyInput)
+        );
     }
 }

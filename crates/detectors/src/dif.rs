@@ -228,6 +228,9 @@ mod tests {
             Err(DetectorError::DimensionMismatch { .. })
         ));
         let mut empty = DeepIsolationForest::new(Default::default());
-        assert_eq!(empty.fit(&Matrix::zeros(0, 3)), Err(DetectorError::EmptyInput));
+        assert_eq!(
+            empty.fit(&Matrix::zeros(0, 3)),
+            Err(DetectorError::EmptyInput)
+        );
     }
 }

@@ -41,7 +41,10 @@ impl fmt::Display for DetectorError {
             DetectorError::NotFitted => write!(f, "detector used before fit"),
             DetectorError::EmptyInput => write!(f, "fit requires a non-empty dataset"),
             DetectorError::DimensionMismatch { fitted, given } => {
-                write!(f, "detector fitted on {fitted} features but input has {given}")
+                write!(
+                    f,
+                    "detector fitted on {fitted} features but input has {given}"
+                )
             }
             DetectorError::InvalidParameter { name, constraint } => {
                 write!(f, "parameter {name} violates constraint: {constraint}")

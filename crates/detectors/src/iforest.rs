@@ -222,8 +222,7 @@ mod tests {
     fn uniform_square(n: usize) -> Matrix {
         Matrix::from_fn(n, 2, |i, j| {
             // Deterministic low-discrepancy-ish fill of [0,1]^2.
-            let v = ((i * 2654435761 + j * 40503) % 10007) as f64 / 10007.0;
-            v
+            ((i * 2654435761 + j * 40503) % 10007) as f64 / 10007.0
         })
     }
 

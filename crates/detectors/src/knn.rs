@@ -126,7 +126,9 @@ mod tests {
         // another duplicate at distance 0.
         let mut det = KnnDetector::new(4, KnnAggregation::Kth);
         det.fit(&grid()).unwrap();
-        let s = det.anomaly_scores(&grid().slice_rows(0, 4).unwrap()).unwrap();
+        let s = det
+            .anomaly_scores(&grid().slice_rows(0, 4).unwrap())
+            .unwrap();
         assert!(s.iter().all(|&v| v < 1e-9));
     }
 
@@ -149,7 +151,10 @@ mod tests {
             Err(DetectorError::DimensionMismatch { .. })
         ));
         let mut empty = KnnDetector::new(3, KnnAggregation::Mean);
-        assert_eq!(empty.fit(&Matrix::zeros(0, 2)), Err(DetectorError::EmptyInput));
+        assert_eq!(
+            empty.fit(&Matrix::zeros(0, 2)),
+            Err(DetectorError::EmptyInput)
+        );
     }
 
     #[test]

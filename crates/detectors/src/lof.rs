@@ -75,9 +75,9 @@ impl NoveltyDetector for LocalOutlierFactor {
         let n = x.rows();
         let mut k_dist = vec![0.0; n];
         let mut neighbors = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, slot) in k_dist.iter_mut().enumerate() {
             let nn = Self::knn_from_rows(d.row(i), self.k, Some(i));
-            k_dist[i] = nn.last().map(|&(_, d)| d).unwrap_or(0.0);
+            *slot = nn.last().map(|&(_, d)| d).unwrap_or(0.0);
             neighbors.push(nn.iter().map(|&(j, _)| j).collect::<Vec<_>>());
         }
         // Local reachability density per training point.
@@ -127,8 +127,7 @@ impl NoveltyDetector for LocalOutlierFactor {
                 1e12
             };
             // LOF = mean neighbour lrd / own lrd.
-            let neigh_lrd: f64 =
-                nn.iter().map(|&(j, _)| self.lrd[j]).sum::<f64>() / self.k as f64;
+            let neigh_lrd: f64 = nn.iter().map(|&(j, _)| self.lrd[j]).sum::<f64>() / self.k as f64;
             scores.push(neigh_lrd / lrd_q);
         }
         Ok(scores)
@@ -192,15 +191,24 @@ mod tests {
     fn rejects_bad_k() {
         let x = Matrix::zeros(5, 2);
         let mut a = LocalOutlierFactor::new(0);
-        assert!(matches!(a.fit(&x), Err(DetectorError::InvalidParameter { .. })));
+        assert!(matches!(
+            a.fit(&x),
+            Err(DetectorError::InvalidParameter { .. })
+        ));
         let mut b = LocalOutlierFactor::new(5);
-        assert!(matches!(b.fit(&x), Err(DetectorError::InvalidParameter { .. })));
+        assert!(matches!(
+            b.fit(&x),
+            Err(DetectorError::InvalidParameter { .. })
+        ));
     }
 
     #[test]
     fn rejects_empty_and_dim_mismatch() {
         let mut lof = LocalOutlierFactor::new(2);
-        assert_eq!(lof.fit(&Matrix::zeros(0, 2)), Err(DetectorError::EmptyInput));
+        assert_eq!(
+            lof.fit(&Matrix::zeros(0, 2)),
+            Err(DetectorError::EmptyInput)
+        );
         lof.fit(&cluster()).unwrap();
         assert!(matches!(
             lof.anomaly_scores(&Matrix::zeros(1, 3)),

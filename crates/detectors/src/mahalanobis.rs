@@ -75,11 +75,7 @@ impl NoveltyDetector for MahalanobisDetector {
         let mean = stats::column_means(x)?;
         let cov = stats::covariance(x)?;
         let eig = eigen::symmetric_eigen(&cov, 1e-7)?;
-        self.scales = eig
-            .eigenvalues
-            .iter()
-            .map(|&l| l.max(self.eps))
-            .collect();
+        self.scales = eig.eigenvalues.iter().map(|&l| l.max(self.eps)).collect();
         self.basis = Some(eig.eigenvectors);
         self.mean = mean;
         Ok(())
@@ -167,7 +163,10 @@ mod tests {
             Err(DetectorError::DimensionMismatch { .. })
         ));
         let mut empty = MahalanobisDetector::new(1e-9);
-        assert_eq!(empty.fit(&Matrix::zeros(0, 3)), Err(DetectorError::EmptyInput));
+        assert_eq!(
+            empty.fit(&Matrix::zeros(0, 3)),
+            Err(DetectorError::EmptyInput)
+        );
     }
 
     #[test]
@@ -180,6 +179,9 @@ mod tests {
             .anomaly_scores(&Matrix::from_rows(&[vec![25.0, 25.0, 2.0]]).unwrap())
             .unwrap();
         assert!(s[0].is_finite());
-        assert!(s[0] > 100.0, "off-degenerate-direction point must score high");
+        assert!(
+            s[0] > 100.0,
+            "off-degenerate-direction point must score high"
+        );
     }
 }

@@ -323,6 +323,9 @@ mod tests {
     #[test]
     fn empty_input_rejected() {
         let mut svm = OneClassSvm::new(Default::default());
-        assert_eq!(svm.fit(&Matrix::zeros(0, 2)), Err(DetectorError::EmptyInput));
+        assert_eq!(
+            svm.fit(&Matrix::zeros(0, 2)),
+            Err(DetectorError::EmptyInput)
+        );
     }
 }

@@ -65,7 +65,10 @@ impl NoveltyDetector for PcaDetector {
         }
         let scaler = StandardScaler::fit(x)?;
         let z = scaler.transform(x)?;
-        let pca = Pca::fit(&z, ComponentSelection::VarianceFraction(self.variance_fraction))?;
+        let pca = Pca::fit(
+            &z,
+            ComponentSelection::VarianceFraction(self.variance_fraction),
+        )?;
         self.scaler = Some(scaler);
         self.pca = Some(pca);
         Ok(())
@@ -103,11 +106,7 @@ mod tests {
     fn off_manifold_scores_higher() {
         let mut det = PcaDetector::new(0.95);
         det.fit(&manifold_data()).unwrap();
-        let q = Matrix::from_rows(&[
-            vec![4.0, 8.0, -4.0, 2.0],
-            vec![4.0, 8.0, 4.0, 2.0],
-        ])
-        .unwrap();
+        let q = Matrix::from_rows(&[vec![4.0, 8.0, -4.0, 2.0], vec![4.0, 8.0, 4.0, 2.0]]).unwrap();
         let s = det.anomaly_scores(&q).unwrap();
         assert!(s[1] > s[0] * 10.0, "{s:?}");
     }
@@ -132,7 +131,10 @@ mod tests {
             Err(DetectorError::InvalidParameter { .. })
         ));
         let mut empty = PcaDetector::new(0.95);
-        assert_eq!(empty.fit(&Matrix::zeros(0, 4)), Err(DetectorError::EmptyInput));
+        assert_eq!(
+            empty.fit(&Matrix::zeros(0, 4)),
+            Err(DetectorError::EmptyInput)
+        );
     }
 
     #[test]

@@ -174,7 +174,11 @@ fn sort_descending(m: Matrix, v: Matrix) -> SymmetricEigen {
     let n = m.rows();
     let mut idx: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    idx.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        diag[b]
+            .partial_cmp(&diag[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let eigenvalues: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
     let mut eigenvectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in idx.iter().enumerate() {
@@ -238,11 +242,7 @@ mod tests {
         let b = Matrix::from_fn(5, 5, |i, j| ((i + 2 * j) % 7) as f64);
         let a = b.add(&b.transpose()).unwrap();
         let e = symmetric_eigen(&a, 1e-9).unwrap();
-        let vtv = e
-            .eigenvectors
-            .transpose()
-            .matmul(&e.eigenvectors)
-            .unwrap();
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
         assert!(vtv.max_abs_diff(&Matrix::identity(5)) < 1e-9);
     }
 

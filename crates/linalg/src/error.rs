@@ -70,10 +70,9 @@ impl fmt::Display for LinalgError {
                 "shape mismatch in {op}: left is {}x{}, right is {}x{}",
                 left.0, left.1, right.0, right.1
             ),
-            LinalgError::BadDimensions { len, rows, cols } => write!(
-                f,
-                "data of length {len} cannot form a {rows}x{cols} matrix"
-            ),
+            LinalgError::BadDimensions { len, rows, cols } => {
+                write!(f, "data of length {len} cannot form a {rows}x{cols} matrix")
+            }
             LinalgError::RaggedRows {
                 expected,
                 row,

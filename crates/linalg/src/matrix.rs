@@ -224,7 +224,9 @@ impl Matrix {
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Iterates over all elements in row-major order.
@@ -550,7 +552,10 @@ impl Index<(usize, usize)> for Matrix {
     ///
     /// Panics if the index is out of bounds.
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -560,7 +565,10 @@ impl IndexMut<(usize, usize)> for Matrix {
     ///
     /// Panics if the index is out of bounds.
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -740,7 +748,7 @@ mod tests {
 
     #[test]
     fn vstack_all_concatenates() {
-        let parts = vec![m22(), m22(), m22()];
+        let parts = [m22(), m22(), m22()];
         let v = Matrix::vstack_all(parts.iter()).unwrap();
         assert_eq!(v.shape(), (6, 2));
     }

@@ -95,8 +95,14 @@ pub fn pairwise_sq_distances(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgErr
         });
     }
     // ‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b, computed via one matmul for speed.
-    let a_sq: Vec<f64> = a.iter_rows().map(|r| r.iter().map(|v| v * v).sum()).collect();
-    let b_sq: Vec<f64> = b.iter_rows().map(|r| r.iter().map(|v| v * v).sum()).collect();
+    let a_sq: Vec<f64> = a
+        .iter_rows()
+        .map(|r| r.iter().map(|v| v * v).sum())
+        .collect();
+    let b_sq: Vec<f64> = b
+        .iter_rows()
+        .map(|r| r.iter().map(|v| v * v).sum())
+        .collect();
     let cross = a.matmul(&b.transpose())?;
     let mut out = Matrix::zeros(a.rows(), b.rows());
     for i in 0..a.rows() {
@@ -131,12 +137,7 @@ mod tests {
     #[test]
     fn covariance_of_perfectly_correlated_columns() {
         // Second column is 2x the first: cov = [[v, 2v], [2v, 4v]].
-        let x = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         let c = covariance(&x).unwrap();
         assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
         assert!((c[(0, 1)] - 2.0).abs() < 1e-12);

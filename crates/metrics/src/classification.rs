@@ -1,11 +1,9 @@
 //! Binary classification metrics (attack = positive class `1`).
 
-use serde::{Deserialize, Serialize};
-
 use crate::MetricsError;
 
 /// Confusion-matrix counts for a binary problem.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConfusionCounts {
     /// Attacks predicted as attacks.
     pub true_positives: usize,
@@ -93,10 +91,8 @@ impl ConfusionCounts {
 
     /// Accuracy over all samples.
     pub fn accuracy(&self) -> f64 {
-        let total = self.true_positives
-            + self.false_positives
-            + self.true_negatives
-            + self.false_negatives;
+        let total =
+            self.true_positives + self.false_positives + self.true_negatives + self.false_negatives;
         if total == 0 {
             0.0
         } else {

@@ -16,15 +16,13 @@
 //! differs from the more common `1/(m−1)` normalization of
 //! Díaz-Rodríguez et al. by a factor of `2/m`).
 
-use serde::{Deserialize, Serialize};
-
 use crate::MetricsError;
 
 /// An `m × m` continual-learning result matrix.
 ///
 /// Entry `(i, j)` is the metric (F1 in the paper) measured on test
 /// experience `j` after training through experience `i`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResultMatrix {
     m: usize,
     values: Vec<f64>,
@@ -80,7 +78,10 @@ impl ResultMatrix {
     ///
     /// Panics when either index is `>= experiences()`.
     pub fn get(&self, train_exp: usize, test_exp: usize) -> f64 {
-        assert!(train_exp < self.m && test_exp < self.m, "index out of bounds");
+        assert!(
+            train_exp < self.m && test_exp < self.m,
+            "index out of bounds"
+        );
         self.values[train_exp * self.m + test_exp]
     }
 
@@ -90,7 +91,10 @@ impl ResultMatrix {
     ///
     /// Panics when either index is `>= experiences()`.
     pub fn set(&mut self, train_exp: usize, test_exp: usize, value: f64) {
-        assert!(train_exp < self.m && test_exp < self.m, "index out of bounds");
+        assert!(
+            train_exp < self.m && test_exp < self.m,
+            "index out of bounds"
+        );
         self.values[train_exp * self.m + test_exp] = value;
     }
 
@@ -134,7 +138,7 @@ impl ResultMatrix {
 }
 
 /// The three continual-learning summary metrics of the paper's Fig. 3.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContinualSummary {
     /// Diagonal mean (seen attacks).
     pub avg: f64,

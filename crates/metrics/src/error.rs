@@ -47,8 +47,11 @@ mod tests {
     #[test]
     fn displays() {
         assert!(MetricsError::EmptyInput.to_string().contains("non-empty"));
-        assert!(MetricsError::LengthMismatch { scores: 3, labels: 2 }
-            .to_string()
-            .contains("3 scores"));
+        assert!(MetricsError::LengthMismatch {
+            scores: 3,
+            labels: 2
+        }
+        .to_string()
+        .contains("3 scores"));
     }
 }

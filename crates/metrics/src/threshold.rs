@@ -5,12 +5,10 @@
 //! search sweeps every distinct score level in a single sorted pass, so
 //! the returned threshold is exactly optimal for the given data.
 
-use serde::{Deserialize, Serialize};
-
 use crate::MetricsError;
 
 /// The outcome of a Best-F threshold search.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThresholdSelection {
     /// The selected threshold `τ`; samples with `score > τ` are
     /// classified as attacks.
@@ -45,7 +43,10 @@ pub struct ThresholdSelection {
 /// assert!(sel.threshold >= 0.3 && sel.threshold < 0.8);
 /// # Ok::<(), cnd_metrics::MetricsError>(())
 /// ```
-pub fn best_f1_threshold(scores: &[f64], labels: &[u8]) -> Result<ThresholdSelection, MetricsError> {
+pub fn best_f1_threshold(
+    scores: &[f64],
+    labels: &[u8],
+) -> Result<ThresholdSelection, MetricsError> {
     if scores.len() != labels.len() {
         return Err(MetricsError::LengthMismatch {
             scores: scores.len(),
@@ -206,7 +207,11 @@ mod tests {
             }
             t += 0.001;
         }
-        assert!((sel.f1 - best).abs() < 1e-9, "sweep found {best}, selector {}", sel.f1);
+        assert!(
+            (sel.f1 - best).abs() < 1e-9,
+            "sweep found {best}, selector {}",
+            sel.f1
+        );
     }
 
     #[test]
@@ -263,9 +268,14 @@ mod tests {
     fn quantile_threshold_controls_fpr() {
         // Applying the 0.9-quantile threshold to the calibration data
         // itself flags ~10% of it.
-        let scores: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() + i as f64 * 0.01).collect();
+        let scores: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.37).sin() + i as f64 * 0.01)
+            .collect();
         let tau = quantile_threshold(&scores, 0.9).unwrap();
-        let flagged = apply_threshold(&scores, tau).iter().map(|&v| v as usize).sum::<usize>();
+        let flagged = apply_threshold(&scores, tau)
+            .iter()
+            .map(|&v| v as usize)
+            .sum::<usize>();
         let fpr = flagged as f64 / scores.len() as f64;
         assert!((fpr - 0.1).abs() < 0.02, "fpr = {fpr}");
     }

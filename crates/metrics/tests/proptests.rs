@@ -14,7 +14,7 @@ fn scored_labels() -> impl Strategy<Value = (Vec<f64>, Vec<u8>)> {
 }
 
 fn both_classes(labels: &[u8]) -> bool {
-    labels.iter().any(|&l| l == 0) && labels.iter().any(|&l| l != 0)
+    labels.contains(&0) && labels.iter().any(|&l| l != 0)
 }
 
 proptest! {

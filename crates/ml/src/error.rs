@@ -77,9 +77,12 @@ mod tests {
         assert!(MlError::BadClusterCount { k: 5, samples: 2 }
             .to_string()
             .contains("5 clusters"));
-        assert!(MlError::DimensionMismatch { fitted: 3, given: 4 }
-            .to_string()
-            .contains("3 features"));
+        assert!(MlError::DimensionMismatch {
+            fitted: 3,
+            given: 4
+        }
+        .to_string()
+        .contains("3 features"));
     }
 
     #[test]

@@ -67,10 +67,10 @@ impl KMeans {
             iterations = it + 1;
             let d = stats::pairwise_sq_distances(x, &centroids)?;
             let mut changed = false;
-            for i in 0..x.rows() {
+            for (i, slot) in assignment.iter_mut().enumerate() {
                 let (best, _) = vector::argmin(d.row(i)).expect("k >= 1");
-                if assignment[i] != best {
-                    assignment[i] = best;
+                if *slot != best {
+                    *slot = best;
                     changed = true;
                 }
             }
@@ -84,9 +84,9 @@ impl KMeans {
                 vector::axpy(sums.row_mut(c), 1.0, x.row(i));
                 counts[c] += 1;
             }
-            for c in 0..k {
-                if counts[c] > 0 {
-                    let inv = 1.0 / counts[c] as f64;
+            for (c, &count) in counts.iter().enumerate() {
+                if count > 0 {
+                    let inv = 1.0 / count as f64;
                     for (dst, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
                         *dst = s * inv;
                     }
@@ -151,10 +151,10 @@ fn kmeans_pp_init<R: Rng + ?Sized>(x: &Matrix, k: usize, rng: &mut R) -> Result<
     let mut min_sq = vec![f64::INFINITY; n];
     while chosen.len() < k {
         let last = *chosen.last().expect("non-empty");
-        for i in 0..n {
+        for (i, slot) in min_sq.iter_mut().enumerate() {
             let d = vector::sq_distance(x.row(i), x.row(last));
-            if d < min_sq[i] {
-                min_sq[i] = d;
+            if d < *slot {
+                *slot = d;
             }
         }
         let total: f64 = min_sq.iter().sum();
@@ -335,7 +335,10 @@ mod tests {
         let bad = Matrix::zeros(2, 5);
         assert!(matches!(
             km.predict(&bad),
-            Err(MlError::DimensionMismatch { fitted: 3, given: 5 })
+            Err(MlError::DimensionMismatch {
+                fitted: 3,
+                given: 5
+            })
         ));
     }
 
@@ -349,7 +352,9 @@ mod tests {
 
     #[test]
     fn elbow_finds_three_blobs() {
-        let x = Matrix::from_fn(90, 2, |i, j| (i / 30) as f64 * 20.0 + ((i + j) % 3) as f64 * 0.2);
+        let x = Matrix::from_fn(90, 2, |i, j| {
+            (i / 30) as f64 * 20.0 + ((i + j) % 3) as f64 * 0.2
+        });
         let k = select_k_elbow(&x, 1..=8, 100, &mut rng()).unwrap();
         assert_eq!(k, 3);
     }

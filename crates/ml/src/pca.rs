@@ -279,7 +279,11 @@ mod tests {
         let x = planar_data();
         let p = Pca::fit(&x, ComponentSelection::Fixed(4)).unwrap();
         let errs = p.reconstruction_errors(&x).unwrap();
-        assert!(errs.iter().all(|&e| e < 1e-16), "max = {:?}", errs.iter().cloned().fold(0.0, f64::max));
+        assert!(
+            errs.iter().all(|&e| e < 1e-16),
+            "max = {:?}",
+            errs.iter().cloned().fold(0.0, f64::max)
+        );
     }
 
     #[test]

@@ -218,7 +218,9 @@ mod tests {
     fn minmax_extrapolates_out_of_range() {
         let x = Matrix::from_rows(&[vec![0.0], vec![10.0]]).unwrap();
         let sc = MinMaxScaler::fit(&x).unwrap();
-        let z = sc.transform(&Matrix::from_rows(&[vec![20.0]]).unwrap()).unwrap();
+        let z = sc
+            .transform(&Matrix::from_rows(&[vec![20.0]]).unwrap())
+            .unwrap();
         assert!((z[(0, 0)] - 2.0).abs() < 1e-12);
     }
 

@@ -248,12 +248,7 @@ mod tests {
     #[test]
     fn triplet_zero_when_margin_satisfied() {
         // a = p, n far away: d_ap - d_an + margin < 0.
-        let e = Matrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![0.0, 0.0],
-            vec![100.0, 0.0],
-        ])
-        .unwrap();
+        let e = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 0.0], vec![100.0, 0.0]]).unwrap();
         let t = [Triplet {
             anchor: 0,
             positive: 1,
@@ -267,12 +262,7 @@ mod tests {
     #[test]
     fn triplet_known_violation() {
         // a=(0,0), p=(1,0), n=(1,0): d_ap = 1, d_an = 1, loss = margin.
-        let e = Matrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-        ])
-        .unwrap();
+        let e = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0], vec![1.0, 0.0]]).unwrap();
         let t = [Triplet {
             anchor: 0,
             positive: 1,

@@ -73,7 +73,11 @@ impl Optimizer for Sgd {
             .velocity
             .entry(tensor_id)
             .or_insert_with(|| vec![0.0; params.len()]);
-        assert_eq!(v.len(), params.len(), "sgd: tensor_id reused with new length");
+        assert_eq!(
+            v.len(),
+            params.len(),
+            "sgd: tensor_id reused with new length"
+        );
         for ((p, &g), vi) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
             *vi = self.momentum * *vi - self.lr * g;
             *p += *vi;
@@ -256,6 +260,9 @@ mod tests {
         o.reset();
         let mut q = vec![0.0];
         o.step(0, &mut q, &[1.0]);
-        assert!((p[0] - q[0]).abs() < 1e-12, "fresh state reproduces first step");
+        assert!(
+            (p[0] - q[0]).abs() < 1e-12,
+            "fresh state reproduces first step"
+        );
     }
 }

@@ -64,7 +64,10 @@ impl Sequential {
     ///
     /// Panics if fewer than two widths are given.
     pub fn mlp<R: Rng + ?Sized>(widths: &[usize], act: Activation, rng: &mut R) -> Self {
-        assert!(widths.len() >= 2, "mlp needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "mlp needs at least input and output widths"
+        );
         let mut net = Sequential::new();
         for w in widths.windows(2) {
             net.push_linear(w[0], w[1], rng);
@@ -77,7 +80,8 @@ impl Sequential {
 
     /// Appends a Xavier-initialized linear layer.
     pub fn push_linear<R: Rng + ?Sized>(&mut self, fan_in: usize, fan_out: usize, rng: &mut R) {
-        self.layers.push(Layer::Linear(Linear::new(fan_in, fan_out, rng)));
+        self.layers
+            .push(Layer::Linear(Linear::new(fan_in, fan_out, rng)));
     }
 
     /// Appends a pre-built linear layer.
@@ -225,11 +229,7 @@ impl Sequential {
     /// Applies gradients with tensor ids offset by `id_offset` — lets two
     /// networks (e.g. encoder and decoder) share one optimizer without
     /// colliding state.
-    pub fn apply_gradients_offset<O: Optimizer + ?Sized>(
-        &mut self,
-        opt: &mut O,
-        id_offset: usize,
-    ) {
+    pub fn apply_gradients_offset<O: Optimizer + ?Sized>(&mut self, opt: &mut O, id_offset: usize) {
         for (i, layer) in self.layers.iter_mut().enumerate() {
             if let Layer::Linear(lin) = layer {
                 lin.apply_gradients(opt, id_offset + 2 * i);
@@ -354,7 +354,11 @@ mod tests {
         let x = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 * 0.3);
         assert!(a.forward(&x).max_abs_diff(&b.forward(&x)) > 1e-6);
         b.copy_params_from(&a);
-        assert!(a.forward_inference(&x).max_abs_diff(&b.forward_inference(&x)) < 1e-15);
+        assert!(
+            a.forward_inference(&x)
+                .max_abs_diff(&b.forward_inference(&x))
+                < 1e-15
+        );
     }
 
     #[test]

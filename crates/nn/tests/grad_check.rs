@@ -31,9 +31,7 @@ fn check_gradients(mut net: Sequential, x: &Matrix, target: &Matrix, tol: f64) {
     let eps = 1e-6;
     // Re-build mutated networks by cloning and perturbing one parameter.
     let mut layer_idx = 0;
-    let n_linear = analytic.len();
-    for li in 0..n_linear {
-        let (gw, gb) = &analytic[li];
+    for (li, (gw, gb)) in analytic.iter().enumerate() {
         let (rows, cols) = gw.shape();
         for r in 0..rows {
             for c in 0..cols {
@@ -51,7 +49,7 @@ fn check_gradients(mut net: Sequential, x: &Matrix, target: &Matrix, tol: f64) {
                 );
             }
         }
-        for bi in 0..gb.len() {
+        for (bi, &an) in gb.iter().enumerate() {
             let fd = {
                 let mut plus = net.clone();
                 let mut minus = net.clone();
@@ -59,7 +57,6 @@ fn check_gradients(mut net: Sequential, x: &Matrix, target: &Matrix, tol: f64) {
                 perturb_bias(&mut minus, li, bi, -eps);
                 (net_loss(&plus, x, target) - net_loss(&minus, x, target)) / (2.0 * eps)
             };
-            let an = gb[bi];
             assert!(
                 (fd - an).abs() < tol * (1.0 + an.abs()),
                 "layer {li} bias {bi}: fd={fd}, analytic={an}"
@@ -72,31 +69,27 @@ fn check_gradients(mut net: Sequential, x: &Matrix, target: &Matrix, tol: f64) {
 
 fn perturb_weight(net: &mut Sequential, linear_idx: usize, r: usize, c: usize, delta: f64) {
     // Rebuild via copy: walk linear layers mutably through a fresh clone.
-    let mut count = 0;
     let mut rebuilt = Sequential::new();
     std::mem::swap(net, &mut rebuilt);
     // Sequential doesn't expose mutable linear iteration publicly, so we
     // reconstruct through its clone-with-perturbation path:
     let mut layers: Vec<cnd_nn::Linear> = rebuilt.linear_layers().cloned().collect();
-    for l in layers.iter_mut() {
+    for (count, l) in layers.iter_mut().enumerate() {
         if count == linear_idx {
             l.weights_mut()[(r, c)] += delta;
         }
-        count += 1;
     }
     *net = rebuild_like(&rebuilt, layers);
 }
 
 fn perturb_bias(net: &mut Sequential, linear_idx: usize, b: usize, delta: f64) {
-    let mut count = 0;
     let mut rebuilt = Sequential::new();
     std::mem::swap(net, &mut rebuilt);
     let mut layers: Vec<cnd_nn::Linear> = rebuilt.linear_layers().cloned().collect();
-    for l in layers.iter_mut() {
+    for (count, l) in layers.iter_mut().enumerate() {
         if count == linear_idx {
             l.bias_mut()[b] += delta;
         }
-        count += 1;
     }
     *net = rebuild_like(&rebuilt, layers);
 }

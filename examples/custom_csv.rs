@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Pick an experience count the class inventory can support.
-    let m = data.n_attack_classes().min(5).max(2);
+    let m = data.n_attack_classes().clamp(2, 5);
     let split = continual::prepare(&data, m, 0.7, 0)?;
     let mut model = CndIds::new(CndIdsConfig::fast(0), &split.clean_normal)?;
     let outcome = evaluate_continual(&mut model, &split)?;

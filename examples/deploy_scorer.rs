@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let split = continual::prepare(&data, profile.default_experiences(), 0.7, seed)?;
     let mut model = CndIds::new(CndIdsConfig::fast(seed), &split.clean_normal)?;
     let outcome = evaluate_continual(&mut model, &split)?;
-    println!("   trained; AVG F1 during the stream = {:.3}", outcome.f1_matrix.avg());
+    println!(
+        "   trained; AVG F1 during the stream = {:.3}",
+        outcome.f1_matrix.avg()
+    );
 
     println!("2. Freezing and persisting the scorer ...");
     let scorer = DeployedScorer::from_model(&model)?;

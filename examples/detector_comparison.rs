@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(IsolationForest::new(100, 256, seed)),
     ];
 
-    println!("{:<18}{:>12}{:>12}{:>16}", "method", "avg F1", "PR-AUC", "ms/sample");
+    println!(
+        "{:<18}{:>12}{:>12}{:>16}",
+        "method", "avg F1", "PR-AUC", "ms/sample"
+    );
     for det in detectors.iter_mut() {
         let out = evaluate_static_detector(det.as_mut(), &split)?;
         println!(

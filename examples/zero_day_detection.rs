@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cnd = CndIds::new(CndIdsConfig::fast(seed), &split.clean_normal)?;
     cnd.train_experience(&e0.train_x)?;
 
-    println!("{:<14}{:>14}{:>14}", "test set", "supervised F1", "CND-IDS F1");
+    println!(
+        "{:<14}{:>14}{:>14}",
+        "test set", "supervised F1", "CND-IDS F1"
+    );
     let mut known = (0.0, 0.0);
     let mut unknown: Vec<(f64, f64)> = Vec::new();
     for (j, e) in split.experiences.iter().enumerate() {
@@ -60,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let avg = |v: &[(f64, f64)], pick: fn(&(f64, f64)) -> f64| {
         v.iter().map(pick).sum::<f64>() / v.len() as f64
     };
-    println!("\nKnown attacks:    supervised {:.3} | CND-IDS {:.3}", known.0, known.1);
+    println!(
+        "\nKnown attacks:    supervised {:.3} | CND-IDS {:.3}",
+        known.0, known.1
+    );
     println!(
         "Zero-day attacks: supervised {:.3} | CND-IDS {:.3}",
         avg(&unknown, |p| p.0),

@@ -11,6 +11,11 @@
 //!   on the whole stream and persist a frozen scorer.
 //! * `score <model.txt> <data.csv> [--quantile Q]` — score a CSV with a
 //!   deployed model; prints one score (and alert flag) per line.
+//! * `stream <data.csv> [--experiences M] [--seed N] [--chunk N]
+//!   [--fault-rate R] [--health]` — drive the fault-tolerant streaming
+//!   pipeline over the stream (optionally with seeded input corruption)
+//!   and print pooled detection quality; `--health` appends the
+//!   pipeline's final health report.
 //! * `profiles` — list the built-in dataset profiles.
 //!
 //! Exit code is non-zero on any error; messages go to stderr.
@@ -42,22 +47,18 @@ const USAGE: &str = "usage:
   cnd-ids-cli generate <profile> <out.csv> [--seed N] [--samples N]
   cnd-ids-cli run <data.csv> [--experiences M] [--seed N] [--paper]
   cnd-ids-cli train <data.csv> <model.txt> [--experiences M] [--seed N]
-  cnd-ids-cli score <model.txt> <data.csv> [--quantile Q]";
-
-/// Parses `--flag value` pairs out of an argument list.
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
+  cnd-ids-cli score <model.txt> <data.csv> [--quantile Q]
+  cnd-ids-cli stream <data.csv> [--experiences M] [--seed N] [--chunk N] [--fault-rate R] [--health]";
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
-    match flag(args, name) {
+    match args.iter().position(|a| a == name) {
         None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("invalid value for {name}: {v:?}")),
+        Some(i) => match args.get(i + 1) {
+            None => Err(format!("{name} requires a value")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for {name}: {v:?}")),
+        },
     }
 }
 
@@ -92,6 +93,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("run") => cmd_run(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("score") => cmd_score(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some(other) => Err(format!("unknown subcommand {other:?}")),
         None => Err("no subcommand given".into()),
     }
@@ -157,7 +159,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("  E{i}: {}", cells.join("  "));
     }
     let s = out.f1_matrix.summary();
-    println!("AVG = {:.3}  FwdTrans = {:.3}  BwdTrans = {:+.3}", s.avg, s.fwd_trans, s.bwd_trans);
+    println!(
+        "AVG = {:.3}  FwdTrans = {:.3}  BwdTrans = {:+.3}",
+        s.avg, s.fwd_trans, s.bwd_trans
+    );
     if let Some(ap) = out.final_pr_auc() {
         println!("PR-AUC = {ap:.3}");
     }
@@ -171,12 +176,57 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let mut model =
         CndIds::new(CndIdsConfig::fast(seed), &split.clean_normal).map_err(|e| e.to_string())?;
     for e in &split.experiences {
-        model.train_experience(&e.train_x).map_err(|e| e.to_string())?;
+        model
+            .train_experience(&e.train_x)
+            .map_err(|e| e.to_string())?;
     }
     let scorer = DeployedScorer::from_model(&model).map_err(|e| e.to_string())?;
     let f = std::fs::File::create(model_out).map_err(|e| e.to_string())?;
     scorer.save(f).map_err(|e| e.to_string())?;
-    eprintln!("trained on {} experiences; scorer written to {model_out}", split.len());
+    eprintln!(
+        "trained on {} experiences; scorer written to {model_out}",
+        split.len()
+    );
+    Ok(())
+}
+
+fn cmd_stream(args: &[String]) -> Result<(), String> {
+    use cnd_core::resilience::{ResilientConfig, ResilientStreamingCndIds, ScriptedFaults};
+    use cnd_core::runner::evaluate_resilient_streaming;
+
+    let path = args.first().ok_or("stream: missing <data.csv>")?;
+    let (data, split, seed) = load_and_split(path, args)?;
+    let chunk: usize = parse_flag(args, "--chunk", 128)?;
+    let fault_rate: f64 = parse_flag(args, "--fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(format!("--fault-rate must be in [0, 1], got {fault_rate}"));
+    }
+    let model =
+        CndIds::new(CndIdsConfig::fast(seed), &split.clean_normal).map_err(|e| e.to_string())?;
+    let mut stream = ResilientStreamingCndIds::new(model, ResilientConfig::default())
+        .map_err(|e| e.to_string())?;
+    if fault_rate > 0.0 {
+        stream.set_fault_injector(Box::new(
+            ScriptedFaults::new(seed).with_corruption_rate(fault_rate),
+        ));
+    }
+    let out =
+        evaluate_resilient_streaming(&mut stream, &split, chunk).map_err(|e| e.to_string())?;
+    println!("dataset: {} ({} rows)", data.name, data.len());
+    println!(
+        "stream:  {} experiences trained, {} failed attempts, fault rate {fault_rate}",
+        out.trained, out.failed
+    );
+    println!("pooled best-F F1 = {:.3}", out.pooled_f1);
+    if let Some(ap) = out.pr_auc {
+        println!("pooled PR-AUC   = {ap:.3}");
+    }
+    if args.iter().any(|a| a == "--health") {
+        println!("health report:");
+        for line in out.health.to_string().lines() {
+            println!("  {line}");
+        }
+    }
     Ok(())
 }
 
@@ -185,8 +235,7 @@ fn cmd_score(args: &[String]) -> Result<(), String> {
     let data_path = args.get(1).ok_or("score: missing <data.csv>")?;
     let quantile: f64 = parse_flag(args, "--quantile", 0.95)?;
     let file = std::fs::File::open(model_path).map_err(|e| e.to_string())?;
-    let scorer =
-        DeployedScorer::load(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let scorer = DeployedScorer::load(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
     let data = loader::read_csv(data_path, false).map_err(|e| e.to_string())?;
     if data.n_features() != scorer.n_features() {
         return Err(format!(

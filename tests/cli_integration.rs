@@ -35,7 +35,11 @@ fn generate_train_score_pipeline() {
         ])
         .output()
         .expect("CLI runs");
-    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(csv.exists());
 
     // train
@@ -49,7 +53,11 @@ fn generate_train_score_pipeline() {
         ])
         .output()
         .expect("CLI runs");
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
     let header = std::fs::read_to_string(&model).expect("model readable");
     assert!(header.starts_with("CND-IDS-SCORER v1"));
@@ -65,7 +73,11 @@ fn generate_train_score_pipeline() {
         ])
         .output()
         .expect("CLI runs");
-    assert!(out.status.success(), "score failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "score failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
     assert_eq!(lines.len(), 3000, "one score per input row");
@@ -77,8 +89,72 @@ fn generate_train_score_pipeline() {
 }
 
 #[test]
+fn stream_subcommand_reports_health() {
+    let csv = tmp("stream_data.csv");
+    let out = Command::new(cli())
+        .args([
+            "generate",
+            "WUSTL-IIoT",
+            csv.to_str().expect("utf8 path"),
+            "--seed",
+            "7",
+            "--samples",
+            "3000",
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = Command::new(cli())
+        .args([
+            "stream",
+            csv.to_str().expect("utf8 path"),
+            "--seed",
+            "7",
+            "--fault-rate",
+            "0.05",
+            "--health",
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(
+        out.status.success(),
+        "stream failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pooled best-F F1"), "stdout: {stdout}");
+    assert!(stdout.contains("health report:"), "stdout: {stdout}");
+    assert!(stdout.contains("mode:"), "stdout: {stdout}");
+    assert!(stdout.contains("quarantined"), "stdout: {stdout}");
+
+    let out = Command::new(cli())
+        .args([
+            "stream",
+            csv.to_str().expect("utf8 path"),
+            "--fault-rate",
+            "2.0",
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(
+        !out.status.success(),
+        "out-of-range fault rate must be rejected"
+    );
+
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
 fn profiles_subcommand_lists_all() {
-    let out = Command::new(cli()).arg("profiles").output().expect("CLI runs");
+    let out = Command::new(cli())
+        .arg("profiles")
+        .output()
+        .expect("CLI runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     for name in ["X-IIoTID", "WUSTL-IIoT", "CICIDS2017", "UNSW-NB15"] {

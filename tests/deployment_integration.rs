@@ -45,7 +45,9 @@ fn train_freeze_persist_reload_detect() {
     // The deployed pipeline must still detect attacks on the last
     // experience (which contains classes unseen in experience 0).
     let last = split.experiences.last().expect("non-empty split");
-    let scores = restored.anomaly_scores(&last.test_x).expect("scoring succeeds");
+    let scores = restored
+        .anomaly_scores(&last.test_x)
+        .expect("scoring succeeds");
     let pred = apply_threshold(&scores, tau);
     let f1 = f1_score(&pred, &last.test_y).expect("both classes present");
     assert!(
@@ -54,7 +56,9 @@ fn train_freeze_persist_reload_detect() {
     );
 
     // And the reloaded scorer is bit-identical to the in-memory one.
-    let a = scorer.anomaly_scores(&last.test_x).expect("scoring succeeds");
+    let a = scorer
+        .anomaly_scores(&last.test_x)
+        .expect("scoring succeeds");
     assert_eq!(a, scores);
 }
 

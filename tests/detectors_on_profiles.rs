@@ -41,7 +41,9 @@ fn every_detector_runs_on_every_profile() {
                 out.name
             );
             assert!(
-                out.per_experience_f1.iter().all(|f| (0.0..=1.0).contains(f)),
+                out.per_experience_f1
+                    .iter()
+                    .all(|f| (0.0..=1.0).contains(f)),
                 "{} on {profile}: invalid F1 values",
                 out.name
             );

@@ -12,8 +12,7 @@ fn small_split(profile: DatasetProfile, seed: u64) -> continual::ContinualSplit 
     let data = profile
         .generate(&GeneratorConfig::small(seed))
         .expect("generation succeeds");
-    continual::prepare(&data, profile.default_experiences(), 0.7, seed)
-        .expect("split succeeds")
+    continual::prepare(&data, profile.default_experiences(), 0.7, seed).expect("split succeeds")
 }
 
 #[test]
