@@ -1,58 +1,237 @@
-//! Criterion micro-benchmarks of the numeric substrate (matmul, Jacobi
-//! eigendecomposition, K-Means, PCA fit, CFE training step). Not a paper
-//! artifact — these track the performance of the building blocks so
-//! regressions in the hand-rolled kernels are visible.
+//! Hand-timed micro-benchmarks of the parallel compute substrate.
+//!
+//! Not a paper artifact — this target measures the hot kernels behind
+//! CFE/PCA scoring (blocked matmul, batch FRE scoring, batched network
+//! inference) serially and on the `cnd-parallel` pool, asserts the two
+//! paths are bit-identical in deterministic mode, and writes the numbers
+//! to `BENCH_substrate.json` for CI trend tracking.
+//!
+//! Env knobs:
+//! * `CND_SUBSTRATE_QUICK=1` — small shapes for CI smoke runs.
+//! * `CND_THREADS=N` — compute threads for the parallel measurements.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 
-use cnd_linalg::{eigen, stats, Matrix};
+use cnd_linalg::Matrix;
 use cnd_ml::pca::{ComponentSelection, Pca};
-use cnd_ml::KMeans;
+use cnd_nn::{Activation, Sequential};
+use cnd_parallel::ThreadPool;
 use rand::SeedableRng;
 
-fn substrate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate");
+/// One serial-vs-parallel measurement.
+struct Measurement {
+    name: String,
+    serial_secs: f64,
+    parallel_secs: f64,
+    /// Work-rate label and serial/parallel values (GFLOP/s or flows/s).
+    rate_unit: &'static str,
+    serial_rate: f64,
+    parallel_rate: f64,
+    bit_identical: bool,
+}
 
-    // Matmul 128x64 * 64x128.
-    let a = Matrix::from_fn(128, 64, |i, j| ((i * 31 + j * 17) % 97) as f64 / 97.0);
-    let b = Matrix::from_fn(64, 128, |i, j| ((i * 13 + j * 7) % 89) as f64 / 89.0);
-    group.bench_function("matmul_128x64x128", |bch| {
-        bch.iter(|| a.matmul(&b).expect("shapes agree"))
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs.max(1e-12)
+    }
+}
+
+/// Best-of-`reps` wall time of `f` (one warmup call first).
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut sink = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        sink = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    // Keep the last result alive so the closure is not optimized away.
+    std::hint::black_box(&sink);
+    best
+}
+
+fn bench_matmul(n: usize, reps: usize, serial: &ThreadPool, parallel: &ThreadPool) -> Measurement {
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 97) as f64 / 97.0);
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 7) % 89) as f64 / 89.0);
+    let s_out = serial.install(|| a.matmul(&b).expect("shapes agree"));
+    let p_out = parallel.install(|| a.matmul(&b).expect("shapes agree"));
+    let serial_secs = time_best(reps, || {
+        serial.install(|| a.matmul(&b).expect("shapes agree"))
     });
-
-    // Jacobi eigen on a 48x48 covariance.
-    let x = Matrix::from_fn(400, 48, |i, j| ((i * 7 + j * 3) % 23) as f64 / 23.0);
-    let cov = stats::covariance(&x).expect("non-empty");
-    group.bench_function("jacobi_eigen_48", |bch| {
-        bch.iter(|| eigen::symmetric_eigen(&cov, 1e-7).expect("symmetric"))
+    let parallel_secs = time_best(reps, || {
+        parallel.install(|| a.matmul(&b).expect("shapes agree"))
     });
+    let flops = 2.0 * (n as f64).powi(3);
+    Measurement {
+        name: format!("matmul_{n}x{n}x{n}"),
+        serial_secs,
+        parallel_secs,
+        rate_unit: "GFLOP/s",
+        serial_rate: flops / serial_secs / 1e9,
+        parallel_rate: flops / parallel_secs / 1e9,
+        bit_identical: s_out == p_out,
+    }
+}
 
-    // K-Means k=16 on 1000x32.
-    let km_data = Matrix::from_fn(1000, 32, |i, j| ((i * 11 + j * 5) % 41) as f64 / 41.0);
-    group.bench_function("kmeans_k16_1000x32", |bch| {
-        bch.iter_batched(
-            || rand::rngs::StdRng::seed_from_u64(7),
-            |mut rng| KMeans::fit(&km_data, 16, 50, &mut rng).expect("fits"),
-            BatchSize::SmallInput,
+fn bench_pca_score(
+    rows: usize,
+    cols: usize,
+    reps: usize,
+    serial: &ThreadPool,
+    parallel: &ThreadPool,
+) -> Measurement {
+    let x = Matrix::from_fn(rows, cols, |i, j| ((i * 29 + j * 3) % 31) as f64 / 31.0);
+    let pca = Pca::fit(&x, ComponentSelection::Fixed(cols / 2)).expect("fits");
+    let s_out = serial.install(|| pca.reconstruction_errors(&x).expect("scores"));
+    let p_out = parallel.install(|| pca.reconstruction_errors(&x).expect("scores"));
+    let serial_secs = time_best(reps, || {
+        serial.install(|| pca.reconstruction_errors(&x).expect("scores"))
+    });
+    let parallel_secs = time_best(reps, || {
+        parallel.install(|| pca.reconstruction_errors(&x).expect("scores"))
+    });
+    let bit_identical = s_out.len() == p_out.len()
+        && s_out
+            .iter()
+            .zip(&p_out)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    Measurement {
+        name: format!("pca_score_{rows}x{cols}"),
+        serial_secs,
+        parallel_secs,
+        rate_unit: "flows/s",
+        serial_rate: rows as f64 / serial_secs,
+        parallel_rate: rows as f64 / parallel_secs,
+        bit_identical,
+    }
+}
+
+fn bench_cfe_forward(
+    rows: usize,
+    cols: usize,
+    reps: usize,
+    serial: &ThreadPool,
+    parallel: &ThreadPool,
+) -> Measurement {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cnd_bench::BENCH_SEED);
+    // Paper-shaped CFE encoder stack: features -> 256 -> 64 -> latent.
+    let net = Sequential::mlp(&[cols, 256, 64, 32], Activation::Relu, &mut rng);
+    let x = Matrix::from_fn(rows, cols, |i, j| ((i * 11 + j * 5) % 41) as f64 / 41.0);
+    let s_out = serial.install(|| net.forward_inference(&x));
+    let p_out = parallel.install(|| net.forward_inference(&x));
+    let serial_secs = time_best(reps, || serial.install(|| net.forward_inference(&x)));
+    let parallel_secs = time_best(reps, || parallel.install(|| net.forward_inference(&x)));
+    Measurement {
+        name: format!("cfe_forward_{rows}x{cols}"),
+        serial_secs,
+        parallel_secs,
+        rate_unit: "flows/s",
+        serial_rate: rows as f64 / serial_secs,
+        parallel_rate: rows as f64 / parallel_secs,
+        bit_identical: s_out == p_out,
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Names are generated from fixed templates; just assert the
+    // invariant instead of escaping.
+    assert!(!s.contains(['"', '\\']), "bench name needs no escaping");
+    s
+}
+
+fn write_json(path: &str, quick: bool, threads: usize, results: &[Measurement]) {
+    let mut entries = Vec::with_capacity(results.len());
+    for m in results {
+        entries.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"serial_secs\": {:.6}, ",
+                "\"parallel_secs\": {:.6}, \"speedup\": {:.3}, ",
+                "\"rate_unit\": \"{}\", \"serial_rate\": {:.3}, ",
+                "\"parallel_rate\": {:.3}, \"bit_identical\": {}}}"
+            ),
+            json_escape_free(&m.name),
+            m.serial_secs,
+            m.parallel_secs,
+            m.speedup(),
+            m.rate_unit,
+            m.serial_rate,
+            m.parallel_rate,
+            m.bit_identical,
+        ));
+    }
+    let body = format!(
+        "{{\n  \"bench\": \"substrate_perf\",\n  \"quick\": {quick},\n  \
+         \"parallel_threads\": {threads},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(path, body).expect("BENCH_substrate.json is writable");
+}
+
+fn main() {
+    let quick = std::env::var("CND_SUBSTRATE_QUICK").is_ok_and(|v| v == "1");
+    let serial = ThreadPool::new(1);
+    let parallel = cnd_parallel::global();
+    cnd_bench::banner(
+        "substrate_perf — parallel compute substrate",
+        "not a paper artifact (kernel performance tracking)",
+    );
+    println!(
+        "mode: {}, parallel pool: {} thread(s), deterministic: {}",
+        if quick { "quick" } else { "full" },
+        parallel.threads(),
+        parallel.is_deterministic(),
+    );
+
+    let (mm_n, reps) = if quick { (192, 2) } else { (512, 3) };
+    let (score_rows, score_cols) = if quick { (2_000, 32) } else { (20_000, 64) };
+    let results = vec![
+        bench_matmul(mm_n, reps, &serial, parallel),
+        bench_pca_score(score_rows, score_cols, reps, &serial, parallel),
+        bench_cfe_forward(score_rows, score_cols, reps, &serial, parallel),
+    ];
+
+    let widths = [22, 12, 12, 9, 14, 14, 9];
+    println!(
+        "{}",
+        cnd_bench::row(
+            &[
+                "kernel".into(),
+                "serial s".into(),
+                "parallel s".into(),
+                "speedup".into(),
+                "serial rate".into(),
+                "parallel rate".into(),
+                "bit-eq".into(),
+            ],
+            &widths,
         )
-    });
+    );
+    for m in &results {
+        assert!(
+            m.bit_identical,
+            "{}: deterministic parallel output diverged from serial",
+            m.name
+        );
+        println!(
+            "{}",
+            cnd_bench::row(
+                &[
+                    m.name.clone(),
+                    format!("{:.4}", m.serial_secs),
+                    format!("{:.4}", m.parallel_secs),
+                    format!("{:.2}x", m.speedup()),
+                    format!("{:.1} {}", m.serial_rate, m.rate_unit),
+                    format!("{:.1} {}", m.parallel_rate, m.rate_unit),
+                    m.bit_identical.to_string(),
+                ],
+                &widths,
+            )
+        );
+    }
 
-    // PCA fit + scoring on 1000x48.
-    let pca_data = Matrix::from_fn(1000, 48, |i, j| ((i * 29 + j * 3) % 31) as f64 / 31.0);
-    group.bench_function("pca_fit_1000x48", |bch| {
-        bch.iter(|| Pca::fit(&pca_data, ComponentSelection::VarianceFraction(0.95)).expect("fits"))
-    });
-    let pca = Pca::fit(&pca_data, ComponentSelection::VarianceFraction(0.95)).expect("fits");
-    group.bench_function("pca_score_1000x48", |bch| {
-        bch.iter(|| pca.reconstruction_errors(&pca_data).expect("scores"))
-    });
-
-    group.finish();
+    // Benches run with the package dir as cwd; anchor the report at the
+    // workspace root so CI can find it at a fixed path.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json");
+    write_json(path, quick, parallel.threads(), &results);
+    println!("\nwrote {path}");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = substrate
-}
-criterion_main!(benches);

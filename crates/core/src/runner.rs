@@ -113,6 +113,9 @@ pub struct ContinualOutcome {
     /// Mean per-sample inference latency in milliseconds (measured on
     /// the final pooled evaluation).
     pub inference_ms_per_sample: f64,
+    /// Compute-thread count of the pool the evaluation ran on (see
+    /// `CND_THREADS`) — recorded so timing numbers are interpretable.
+    pub threads: usize,
 }
 
 impl ContinualOutcome {
@@ -204,6 +207,7 @@ pub fn evaluate_continual(
         pr_auc_per_step,
         train_seconds,
         inference_ms_per_sample,
+        threads: cnd_parallel::current().threads(),
     })
 }
 
@@ -220,6 +224,9 @@ pub struct StaticOutcome {
     pub fit_seconds: f64,
     /// Mean per-sample inference latency in milliseconds.
     pub inference_ms_per_sample: f64,
+    /// Compute-thread count of the pool the evaluation ran on (see
+    /// `CND_THREADS`) — recorded so timing numbers are interpretable.
+    pub threads: usize,
 }
 
 impl StaticOutcome {
@@ -270,6 +277,7 @@ pub fn evaluate_static_detector(
         pr_auc: ap,
         fit_seconds,
         inference_ms_per_sample,
+        threads: cnd_parallel::current().threads(),
     })
 }
 

@@ -113,7 +113,7 @@ impl MlpClassifier {
         let net = self.net.as_ref().ok_or(CoreError::NotTrained)?;
         let scaler = self.scaler.as_ref().ok_or(CoreError::NotTrained)?;
         let p = net.forward_inference(&scaler.transform(x)?);
-        Ok(p.col(0))
+        Ok(p.col_iter(0).collect())
     }
 
     /// Binary prediction at threshold 0.5.

@@ -1,5 +1,5 @@
 use std::fmt;
-use std::ops::{Index, IndexMut};
+use std::ops::{Index, IndexMut, Range};
 
 use crate::LinalgError;
 
@@ -219,14 +219,34 @@ impl Matrix {
 
     /// Copies column `j` into a new `Vec`.
     ///
+    /// Allocates; hot paths should prefer [`col_iter`](Matrix::col_iter).
+    ///
     /// # Panics
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
-        (0..self.rows)
-            .map(|i| self.data[i * self.cols + j])
-            .collect()
+        self.col_iter(j).collect()
+    }
+
+    /// Iterates over column `j` by striding the row-major buffer — no
+    /// allocation, unlike [`col`](Matrix::col).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cnd_linalg::Matrix;
+    /// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+    /// assert_eq!(m.col_iter(1).sum::<f64>(), 6.0);
+    /// # Ok::<(), cnd_linalg::LinalgError>(())
+    /// ```
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(move |i| self.data[i * self.cols + j])
     }
 
     /// Iterates over all elements in row-major order.
@@ -329,19 +349,39 @@ impl Matrix {
     }
 
     /// Returns the transpose.
+    ///
+    /// Cache-blocked in `TRANSPOSE_BLOCK` square tiles; large matrices
+    /// fan the output-row ranges out over the [`cnd_parallel::current`]
+    /// pool (each job writes a disjoint block of output rows, so the
+    /// result is identical at every pool size).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
-            }
+        if self.is_empty() {
+            return out;
+        }
+        let pool = cnd_parallel::current();
+        if self.len() >= PAR_ELEMS_MIN && pool.threads() > 1 {
+            let min_rows = TRANSPOSE_BLOCK.max(self.cols.div_ceil(pool.threads()));
+            let (rows, cols) = (self.rows, self.cols);
+            pool.par_map_rows(&mut out.data, cols, rows, min_rows, |j0, block| {
+                transpose_block_into(&self.data, block, rows, cols, j0);
+            });
+        } else {
+            transpose_block_into(&self.data, &mut out.data, self.rows, self.cols, 0);
         }
         out
     }
 
     /// Matrix product `self * other`.
     ///
-    /// Uses an ikj loop order so the inner loop streams both operands.
+    /// Uses a cache-blocked ikj kernel (`MATMUL_BLOCK` tiles over `i` and
+    /// `k`, streaming `j`) so one block of `other`'s rows is reused across
+    /// a block of output rows. Products above `PAR_MADDS_MIN` multiply-adds
+    /// additionally fan output-row ranges out over the
+    /// [`cnd_parallel::current`] pool. Every output element accumulates
+    /// over `k` in ascending order regardless of blocking or pool size, so
+    /// serial and parallel results are **bit-identical** (and match
+    /// [`matmul_naive`](Matrix::matmul_naive) on finite inputs).
     ///
     /// # Errors
     ///
@@ -365,18 +405,48 @@ impl Matrix {
                 op: "matmul",
             });
         }
+        let (n, m, p) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(n, p);
+        if n == 0 || m == 0 || p == 0 {
+            return Ok(out);
+        }
+        let pool = cnd_parallel::current();
+        let madds = n.saturating_mul(m).saturating_mul(p);
+        if madds >= PAR_MADDS_MIN && pool.threads() > 1 && n > 1 {
+            let min_rows = n.div_ceil(pool.threads()).max(8);
+            pool.par_map_rows(&mut out.data, n, p, min_rows, |r0, block| {
+                let rows = block.len() / p;
+                matmul_block_into(&self.data, &other.data, block, r0, r0 + rows, m, p);
+            });
+        } else {
+            matmul_block_into(&self.data, &other.data, &mut out.data, 0, n, m, p);
+        }
+        Ok(out)
+    }
+
+    /// The original naive ijk triple-loop product, retained **only as a
+    /// test oracle** for the blocked/parallel [`matmul`](Matrix::matmul).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] unless
+    /// `self.cols() == other.rows()`.
+    pub fn matmul_naive(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "matmul",
+            });
+        }
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
+            for j in 0..other.cols {
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * other.data[k * other.cols + j];
                 }
-                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
+                out.data[i * other.cols + j] = acc;
             }
         }
         Ok(out)
@@ -515,10 +585,36 @@ impl Matrix {
     }
 
     /// Per-column sums, as a vector of length `cols`.
+    ///
+    /// Tall matrices accumulate in fixed `COL_SUM_CHUNK`-row chunks
+    /// combined by an ordered tree reduction (parallel on the
+    /// [`cnd_parallel::current`] pool), so the floating-point association
+    /// order — and therefore the result, bit for bit — depends only on
+    /// the row count, never on the pool size.
     pub fn col_sums(&self) -> Vec<f64> {
+        if self.rows <= COL_SUM_CHUNK || self.cols == 0 {
+            return self.col_sums_range(0..self.rows);
+        }
+        cnd_parallel::current()
+            .par_reduce(
+                self.rows,
+                COL_SUM_CHUNK,
+                |r| self.col_sums_range(r),
+                |mut acc, part| {
+                    for (a, b) in acc.iter_mut().zip(&part) {
+                        *a += b;
+                    }
+                    acc
+                },
+            )
+            .unwrap_or_else(|| vec![0.0; self.cols])
+    }
+
+    /// Serial column sums over a row range.
+    fn col_sums_range(&self, rows: Range<usize>) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
-        for r in self.iter_rows() {
-            for (o, &v) in out.iter_mut().zip(r) {
+        for i in rows {
+            for (o, &v) in out.iter_mut().zip(self.row(i)) {
                 *o += v;
             }
         }
@@ -542,6 +638,80 @@ impl Matrix {
     /// Returns `true` if all elements are finite (no NaN / infinity).
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Square tile edge for the blocked ikj matmul kernel: a 64×64 f64 tile
+/// of the right operand is 32 KiB — half a typical L1d — and is reused
+/// across 64 output rows.
+const MATMUL_BLOCK: usize = 64;
+
+/// Tile edge for the blocked transpose (a 32×32 f64 tile is 8 KiB).
+const TRANSPOSE_BLOCK: usize = 32;
+
+/// Minimum multiply-add count before `matmul` fans out to the pool;
+/// below this the fixed cost of queueing jobs outweighs the work.
+const PAR_MADDS_MIN: usize = 1 << 17;
+
+/// Minimum element count before `transpose` fans out to the pool.
+const PAR_ELEMS_MIN: usize = 1 << 16;
+
+/// Fixed accumulation-chunk height for [`Matrix::col_sums`]; also the
+/// threshold below which the sum stays a single serial pass.
+const COL_SUM_CHUNK: usize = 512;
+
+/// Cache-blocked ikj product of output rows `r0..r1` into `out`, where
+/// `out` holds exactly those rows (`(r1 - r0) * p` elements). `a` is
+/// `? × m` row-major, `b` is `m × p` row-major.
+///
+/// For every output element the accumulation runs over `k` in ascending
+/// order — blocking and row-partitioning change only the *interleaving*
+/// across elements, never the per-element order, which is what makes
+/// serial, blocked, and parallel results bit-identical.
+fn matmul_block_into(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    r1: usize,
+    m: usize,
+    p: usize,
+) {
+    for ib in (r0..r1).step_by(MATMUL_BLOCK) {
+        let i_end = (ib + MATMUL_BLOCK).min(r1);
+        for kb in (0..m).step_by(MATMUL_BLOCK) {
+            let k_end = (kb + MATMUL_BLOCK).min(m);
+            for i in ib..i_end {
+                let arow = &a[i * m..(i + 1) * m];
+                let orow = &mut out[(i - r0) * p..(i - r0 + 1) * p];
+                for k in kb..k_end {
+                    let aik = arow[k];
+                    let brow = &b[k * p..(k + 1) * p];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Blocked transpose of output rows `j0..` into `out`, where `out` holds
+/// `out.len() / rows` consecutive output rows starting at `j0`. `src` is
+/// `rows × cols` row-major; output row `j` is column `j` of `src`.
+fn transpose_block_into(src: &[f64], out: &mut [f64], rows: usize, cols: usize, j0: usize) {
+    let j1 = j0 + out.len() / rows.max(1);
+    for jb in (j0..j1).step_by(TRANSPOSE_BLOCK) {
+        let jb_end = (jb + TRANSPOSE_BLOCK).min(j1);
+        for ib in (0..rows).step_by(TRANSPOSE_BLOCK) {
+            let ib_end = (ib + TRANSPOSE_BLOCK).min(rows);
+            for j in jb..jb_end {
+                let orow = &mut out[(j - j0) * rows..(j - j0 + 1) * rows];
+                for i in ib..ib_end {
+                    orow[i] = src[i * cols + j];
+                }
+            }
+        }
     }
 }
 
@@ -682,6 +852,70 @@ mod tests {
             a.matmul(&b),
             Err(LinalgError::ShapeMismatch { op: "matmul", .. })
         ));
+    }
+
+    #[test]
+    fn col_iter_matches_col_without_allocating_checks() {
+        let m = Matrix::from_fn(7, 3, |i, j| (i * 3 + j) as f64);
+        for j in 0..3 {
+            let strided: Vec<f64> = m.col_iter(j).collect();
+            assert_eq!(strided, m.col(j));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn col_iter_out_of_bounds_panics() {
+        let _ = m22().col_iter(2);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_oracle() {
+        // Shapes straddling the 64-wide block boundary on every axis.
+        for (n, m, p) in [
+            (1, 1, 1),
+            (5, 64, 3),
+            (65, 67, 33),
+            (64, 128, 64),
+            (3, 1, 130),
+        ] {
+            let a = Matrix::from_fn(n, m, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+            let b = Matrix::from_fn(m, p, |i, j| ((i * 7 + j * 29) % 11) as f64 * 0.25);
+            let blocked = a.matmul(&b).unwrap();
+            let naive = a.matmul_naive(&b).unwrap();
+            assert_eq!(blocked, naive, "({n},{m},{p})");
+        }
+    }
+
+    #[test]
+    fn matmul_degenerate_shapes() {
+        // Inner dimension zero: a well-formed all-zeros product.
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        assert_eq!(a.matmul(&b).unwrap(), Matrix::zeros(3, 4));
+        // Zero output rows / cols.
+        assert_eq!(
+            Matrix::zeros(0, 5).matmul(&Matrix::zeros(5, 4)).unwrap(),
+            Matrix::zeros(0, 4)
+        );
+        assert_eq!(
+            Matrix::zeros(4, 5).matmul(&Matrix::zeros(5, 0)).unwrap(),
+            Matrix::zeros(4, 0)
+        );
+    }
+
+    #[test]
+    fn blocked_transpose_odd_tile_sizes() {
+        for (r, c) in [(1, 1), (33, 65), (70, 31), (2, 200)] {
+            let m = Matrix::from_fn(r, c, |i, j| (i * c + j) as f64);
+            let t = m.transpose();
+            assert_eq!(t.shape(), (c, r));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t[(j, i)], m[(i, j)]);
+                }
+            }
+        }
     }
 
     #[test]

@@ -104,12 +104,29 @@ pub fn pairwise_sq_distances(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgErr
         .map(|r| r.iter().map(|v| v * v).sum())
         .collect();
     let cross = a.matmul(&b.transpose())?;
-    let mut out = Matrix::zeros(a.rows(), b.rows());
-    for i in 0..a.rows() {
-        for j in 0..b.rows() {
-            let d = a_sq[i] + b_sq[j] - 2.0 * cross[(i, j)];
-            out[(i, j)] = d.max(0.0);
+    let (n, k) = (a.rows(), b.rows());
+    let mut out = Matrix::zeros(n, k);
+    if n == 0 || k == 0 {
+        return Ok(out);
+    }
+    // Assembly is elementwise over disjoint output rows, so fanning it
+    // out over the pool cannot change the result.
+    let fill = |r0: usize, block: &mut [f64]| {
+        for (local, orow) in block.chunks_mut(k).enumerate() {
+            let i = r0 + local;
+            let crow = cross.row(i);
+            let ai = a_sq[i];
+            for ((o, &bj), &c) in orow.iter_mut().zip(&b_sq).zip(crow) {
+                *o = (ai + bj - 2.0 * c).max(0.0);
+            }
         }
+    };
+    let pool = cnd_parallel::current();
+    if n * k >= 1 << 15 && pool.threads() > 1 {
+        let min_rows = n.div_ceil(pool.threads()).max(16);
+        pool.par_map_rows(out.as_mut_slice(), n, k, min_rows, fill);
+    } else {
+        fill(0, out.as_mut_slice());
     }
     Ok(out)
 }

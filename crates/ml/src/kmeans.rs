@@ -12,6 +12,31 @@ use rand::Rng;
 
 use crate::MlError;
 
+/// Fixed assignment-chunk row count: chunk boundaries never depend on
+/// the pool size, so assignments and inertia are identical at every
+/// `CND_THREADS`.
+const ASSIGN_CHUNK_ROWS: usize = 512;
+
+/// Nearest-centroid index for every row of a pairwise-distance matrix,
+/// fanned out over the [`cnd_parallel::current`] pool. Argmin over a row
+/// is exact, so the result is independent of pool size.
+fn nearest_centroids(d: &Matrix) -> Vec<usize> {
+    let n = d.rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    let pool = cnd_parallel::current();
+    let chunks = pool.par_chunks(n, ASSIGN_CHUNK_ROWS, |r| {
+        r.map(|i| vector::argmin(d.row(i)).expect("k >= 1").0)
+            .collect::<Vec<usize>>()
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
 /// A fitted K-Means model.
 ///
 /// # Example
@@ -66,9 +91,9 @@ impl KMeans {
         for it in 0..max_iter.max(1) {
             iterations = it + 1;
             let d = stats::pairwise_sq_distances(x, &centroids)?;
+            let nearest = nearest_centroids(&d);
             let mut changed = false;
-            for (i, slot) in assignment.iter_mut().enumerate() {
-                let (best, _) = vector::argmin(d.row(i)).expect("k >= 1");
+            for (slot, best) in assignment.iter_mut().zip(nearest) {
                 if *slot != best {
                     *slot = best;
                     changed = true;
@@ -136,9 +161,7 @@ impl KMeans {
             });
         }
         let d = stats::pairwise_sq_distances(x, &self.centroids)?;
-        Ok((0..x.rows())
-            .map(|i| vector::argmin(d.row(i)).expect("k >= 1").0)
-            .collect())
+        Ok(nearest_centroids(&d))
     }
 }
 
@@ -181,9 +204,20 @@ fn kmeans_pp_init<R: Rng + ?Sized>(x: &Matrix, k: usize, rng: &mut R) -> Result<
 
 fn compute_inertia(x: &Matrix, centroids: &Matrix) -> Result<f64, MlError> {
     let d = stats::pairwise_sq_distances(x, centroids)?;
-    Ok((0..x.rows())
-        .map(|i| vector::argmin(d.row(i)).expect("k >= 1").1)
-        .sum())
+    // Per-chunk sums accumulate in ascending row order and are combined
+    // with an ordered tree reduction, so the total is bit-identical at
+    // every pool size.
+    Ok(cnd_parallel::current()
+        .par_reduce(
+            d.rows(),
+            ASSIGN_CHUNK_ROWS,
+            |r| {
+                r.map(|i| vector::argmin(d.row(i)).expect("k >= 1").1)
+                    .sum::<f64>()
+            },
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0))
 }
 
 /// Selects `K` with the elbow method over `k_range` (inclusive).

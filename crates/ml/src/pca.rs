@@ -10,6 +10,10 @@ use cnd_linalg::{eigen, stats, Matrix};
 
 use crate::MlError;
 
+/// Fixed scoring-chunk row count. Chunk boundaries never depend on the
+/// pool size, so FRE scores are bit-identical at every `CND_THREADS`.
+const SCORE_CHUNK_ROWS: usize = 256;
+
 /// How many principal components to retain.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ComponentSelection {
@@ -110,13 +114,14 @@ impl Pca {
                 n.max(1)
             }
         };
-        // Keep the first n_keep columns of the eigenvector matrix.
+        // Keep the first n_keep columns of the eigenvector matrix,
+        // copying row slices rather than indexing element by element.
         let d = x.cols();
         let mut components = Matrix::zeros(d, n_keep);
         for r in 0..d {
-            for c in 0..n_keep {
-                components[(r, c)] = eig.eigenvectors[(r, c)];
-            }
+            components
+                .row_mut(r)
+                .copy_from_slice(&eig.eigenvectors.row(r)[..n_keep]);
         }
         Ok(Pca {
             mean,
@@ -224,14 +229,48 @@ impl Pca {
     /// Feature reconstruction error `FRE(h) = ‖h − T⁻¹(T(h))‖²` per row —
     /// the CND-IDS anomaly score.
     ///
+    /// Scoring is row-independent, so batches are split into fixed
+    /// `SCORE_CHUNK_ROWS`-row chunks fanned out over the
+    /// [`cnd_parallel::current`] pool; each chunk runs the exact serial
+    /// pipeline (center → project → reconstruct → squared row norm), so
+    /// the scores are bit-identical at every pool size.
+    ///
     /// # Errors
     ///
     /// Returns [`MlError::DimensionMismatch`] on a feature-count mismatch.
     pub fn reconstruction_errors(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
         self.check_dim(x)?;
-        let projected = self.transform(x)?;
-        let reconstructed = self.inverse_transform(&projected)?;
-        let diff = x.sub(&reconstructed)?;
+        if x.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        // Transposing the components once per call (not per chunk) keeps
+        // the per-chunk work to two small matmuls.
+        let components_t = self.components.transpose();
+        let pool = cnd_parallel::current();
+        let chunks = pool.par_chunks(x.rows(), SCORE_CHUNK_ROWS, |r| {
+            self.score_rows(x, r.start, r.end, &components_t)
+        });
+        let mut scores = Vec::with_capacity(x.rows());
+        for chunk in chunks {
+            scores.extend(chunk?);
+        }
+        Ok(scores)
+    }
+
+    /// Serial FRE scores for rows `start..end` of `x`.
+    fn score_rows(
+        &self,
+        x: &Matrix,
+        start: usize,
+        end: usize,
+        components_t: &Matrix,
+    ) -> Result<Vec<f64>, MlError> {
+        let xb = x.slice_rows(start, end)?;
+        let projected = xb.sub_row_broadcast(&self.mean)?.matmul(&self.components)?;
+        let reconstructed = projected
+            .matmul(components_t)?
+            .add_row_broadcast(&self.mean)?;
+        let diff = xb.sub(&reconstructed)?;
         Ok(diff
             .iter_rows()
             .map(|r| r.iter().map(|v| v * v).sum())

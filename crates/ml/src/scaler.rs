@@ -186,7 +186,7 @@ mod tests {
     fn standard_scaler_constant_feature_maps_to_zero() {
         let x = Matrix::from_fn(5, 2, |i, j| if j == 0 { 7.0 } else { i as f64 });
         let (_, z) = StandardScaler::fit_transform(&x).unwrap();
-        assert!(z.col(0).iter().all(|&v| v == 0.0));
+        assert!(z.col_iter(0).all(|v| v == 0.0));
     }
 
     #[test]
@@ -210,8 +210,8 @@ mod tests {
             assert!((-1e-12..=1.0 + 1e-12).contains(&v));
         }
         // Extremes hit exactly 0 and 1.
-        assert!(z.col(0).iter().any(|&v| v.abs() < 1e-12));
-        assert!(z.col(0).iter().any(|&v| (v - 1.0).abs() < 1e-12));
+        assert!(z.col_iter(0).any(|v| v.abs() < 1e-12));
+        assert!(z.col_iter(0).any(|v| (v - 1.0).abs() < 1e-12));
     }
 
     #[test]

@@ -3,6 +3,15 @@ use rand::Rng;
 
 use crate::{Activation, Linear, NnError, Optimizer};
 
+/// Fixed row-chunk size for batch-parallel inference. Boundaries never
+/// depend on the pool size, and every per-row output is computed by the
+/// same serial kernel sequence, so batched parallel inference is
+/// bit-identical to the serial pass.
+const FORWARD_CHUNK_ROWS: usize = 64;
+
+/// Minimum batch rows before inference fans out over the pool.
+const PAR_FORWARD_MIN_ROWS: usize = 128;
+
 /// One layer of a [`Sequential`] network.
 #[derive(Debug, Clone)]
 pub enum Layer {
@@ -156,10 +165,28 @@ impl Sequential {
 
     /// Forward pass without caching (inference mode, `&self`).
     ///
+    /// Large batches are split into fixed [`FORWARD_CHUNK_ROWS`]-row
+    /// chunks scored concurrently on the [`cnd_parallel::current`] pool
+    /// and restacked in order; every row passes through the identical
+    /// serial layer sequence, so the output is bit-identical to a fully
+    /// serial pass at any `CND_THREADS`.
+    ///
     /// # Panics
     ///
     /// Panics if an internal shape mismatch occurs.
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let pool = cnd_parallel::current();
+        if x.rows() >= PAR_FORWARD_MIN_ROWS && pool.threads() > 1 {
+            let outs = pool.par_chunks(x.rows(), FORWARD_CHUNK_ROWS, |r| {
+                let xb = x.slice_rows(r.start, r.end).expect("chunk bounds in range");
+                self.forward_inference_serial(&xb)
+            });
+            return Matrix::vstack_all(&outs).expect("chunks share column count");
+        }
+        self.forward_inference_serial(x)
+    }
+
+    fn forward_inference_serial(&self, x: &Matrix) -> Matrix {
         let mut h = x.clone();
         for layer in &self.layers {
             h = match layer {

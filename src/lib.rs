@@ -6,6 +6,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`parallel`] | `cnd-parallel` | scoped thread pool, deterministic chunking |
 //! | [`linalg`] | `cnd-linalg` | dense matrices, Jacobi eigen, statistics |
 //! | [`nn`] | `cnd-nn` | MLP layers, backprop, Adam, MSE/triplet losses |
 //! | [`ml`] | `cnd-ml` | K-Means (+elbow), PCA (+FRE), scalers |
@@ -48,3 +49,4 @@ pub use cnd_linalg as linalg;
 pub use cnd_metrics as metrics;
 pub use cnd_ml as ml;
 pub use cnd_nn as nn;
+pub use cnd_parallel as parallel;

@@ -1,0 +1,206 @@
+//! Determinism guarantees of the parallel compute substrate.
+//!
+//! The `cnd-parallel` pool promises that, in deterministic mode (the
+//! default), every parallelized kernel is **bit-identical** to its
+//! serial execution at any thread count: chunk boundaries are fixed
+//! (never derived from the pool size) and reductions combine partials
+//! with an ordered tree. These tests pin that guarantee across thread
+//! counts {1, 2, 4, 7} and adversarial shapes (empty, 1×N, N×1,
+//! non-multiples of the blocking factors).
+
+use cnd_ids::linalg::Matrix;
+use cnd_ids::ml::pca::{ComponentSelection, Pca};
+use cnd_ids::ml::KMeans;
+use cnd_ids::nn::{Activation, Sequential};
+use cnd_ids::parallel::ThreadPool;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Thread counts exercised for every property: serial, even splits, and
+/// a prime count that never divides the test shapes evenly.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Exact bit patterns of a matrix (distinguishes `0.0` from `-0.0`).
+fn matrix_bits(m: &Matrix) -> Vec<u64> {
+    m.iter().map(|v| v.to_bits()).collect()
+}
+
+fn slice_bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Runs `f` once per thread count and asserts all outputs agree bitwise
+/// with the serial (1-thread) run via `bits`.
+fn assert_pool_invariant<T, F, B>(f: F, bits: B)
+where
+    F: Fn(&ThreadPool) -> T,
+    B: Fn(&T) -> Vec<u64>,
+{
+    let reference = {
+        let pool = ThreadPool::new(1);
+        let out = pool.install(|| f(&pool));
+        bits(&out)
+    };
+    for &t in &THREAD_COUNTS[1..] {
+        let pool = ThreadPool::new(t);
+        let out = pool.install(|| f(&pool));
+        assert_eq!(
+            bits(&out),
+            reference,
+            "output diverged from serial at {t} threads"
+        );
+    }
+}
+
+/// Strategy: multiplicable matrix pair with shapes large enough that
+/// many cases cross the parallel-dispatch thresholds.
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..=80, 1usize..=70, 1usize..=90).prop_flat_map(|(n, m, p)| {
+        (
+            prop::collection::vec(-10.0..10.0f64, n * m),
+            prop::collection::vec(-10.0..10.0f64, m * p),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Matrix::from_vec(n, m, a).expect("sized"),
+                    Matrix::from_vec(m, p, b).expect("sized"),
+                )
+            })
+    })
+}
+
+/// Strategy: a data matrix with enough rows to span several scoring
+/// chunks and enough spread for PCA/k-means to be well-posed.
+fn data_matrix() -> impl Strategy<Value = Matrix> {
+    (20usize..=300, 2usize..=12).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-50.0..50.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_bit_identical_across_thread_counts((a, b) in matmul_pair()) {
+        let reference = a.matmul_naive(&b).expect("shapes agree");
+        assert_pool_invariant(
+            |_| a.matmul(&b).expect("shapes agree"),
+            matrix_bits,
+        );
+        // The blocked kernel also agrees exactly with the naive oracle:
+        // per-output-element accumulation order is identical.
+        prop_assert_eq!(
+            matrix_bits(&a.matmul(&b).expect("shapes agree")),
+            matrix_bits(&reference)
+        );
+    }
+
+    #[test]
+    fn transpose_bit_identical_across_thread_counts((a, _b) in matmul_pair()) {
+        assert_pool_invariant(|_| a.transpose(), matrix_bits);
+    }
+
+    #[test]
+    fn pca_scores_bit_identical_across_thread_counts(x in data_matrix()) {
+        let k = (x.cols() / 2).max(1);
+        let pca = Pca::fit(&x, ComponentSelection::Fixed(k)).expect("fits");
+        assert_pool_invariant(
+            |_| pca.reconstruction_errors(&x).expect("scores"),
+            |v| slice_bits(v),
+        );
+    }
+
+    #[test]
+    fn kmeans_identical_across_thread_counts(x in data_matrix()) {
+        let k = 4.min(x.rows());
+        assert_pool_invariant(
+            |_| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+                let km = KMeans::fit(&x, k, 40, &mut rng).expect("fits");
+                let labels = km.predict(&x).expect("dims match");
+                (matrix_bits(km.centroids()), km.inertia().to_bits(), labels)
+            },
+            |(centroids, inertia, labels)| {
+                let mut bits = centroids.clone();
+                bits.push(*inertia);
+                bits.extend(labels.iter().map(|&l| l as u64));
+                bits
+            },
+        );
+    }
+
+    #[test]
+    fn forward_inference_bit_identical_across_thread_counts(x in data_matrix()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let net = Sequential::mlp(&[x.cols(), 16, 8], Activation::Relu, &mut rng);
+        assert_pool_invariant(|_| net.forward_inference(&x), matrix_bits);
+    }
+}
+
+/// Shapes chosen to stress boundaries: empty, single row/column, and
+/// sizes that are not multiples of the 64/32 blocking factors.
+#[test]
+fn matmul_adversarial_shapes_match_naive_at_every_thread_count() {
+    let shapes: [(usize, usize, usize); 7] = [
+        (0, 5, 3),
+        (3, 0, 4),
+        (4, 5, 0),
+        (1, 200, 1),
+        (200, 1, 200),
+        (65, 67, 33),
+        (129, 63, 66),
+    ];
+    for (n, m, p) in shapes {
+        let a = Matrix::from_fn(n, m, |i, j| ((i * 31 + j * 17) % 23) as f64 - 11.0);
+        let b = Matrix::from_fn(m, p, |i, j| ((i * 13 + j * 7) % 19) as f64 - 9.0);
+        let oracle = a.matmul_naive(&b).expect("shapes agree");
+        for t in THREAD_COUNTS {
+            let pool = ThreadPool::new(t);
+            let out = pool.install(|| a.matmul(&b).expect("shapes agree"));
+            assert_eq!(
+                matrix_bits(&out),
+                matrix_bits(&oracle),
+                "({n}x{m})*({m}x{p}) diverged at {t} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn pca_scoring_spans_many_chunks_bit_identically() {
+    // 1000 rows = four 256-row chunks, the last one partial.
+    let x = Matrix::from_fn(1000, 16, |i, j| ((i * 29 + j * 3) % 31) as f64 / 31.0);
+    let pca = Pca::fit(&x, ComponentSelection::Fixed(8)).expect("fits");
+    assert_pool_invariant(
+        |_| pca.reconstruction_errors(&x).expect("scores"),
+        |v| slice_bits(v),
+    );
+}
+
+#[test]
+fn empty_batches_are_handled() {
+    let x = Matrix::from_fn(50, 6, |i, j| (i + j) as f64);
+    let pca = Pca::fit(&x, ComponentSelection::Fixed(3)).expect("fits");
+    let empty = Matrix::zeros(0, 6);
+    for t in THREAD_COUNTS {
+        let pool = ThreadPool::new(t);
+        let scores = pool.install(|| pca.reconstruction_errors(&empty).expect("scores"));
+        assert!(scores.is_empty(), "{t} threads");
+    }
+}
+
+#[test]
+fn non_deterministic_mode_still_correct_for_row_independent_kernels() {
+    // With determinism off, chunk sizes may scale with the pool — row
+    // maps (matmul) remain exact; only reduction association may change.
+    let a = Matrix::from_fn(90, 80, |i, j| ((i * 7 + j) % 13) as f64);
+    let b = Matrix::from_fn(80, 70, |i, j| ((i + j * 5) % 11) as f64);
+    let oracle = a.matmul_naive(&b).expect("shapes agree");
+    let pool = ThreadPool::builder()
+        .threads(4)
+        .deterministic(false)
+        .build();
+    let out = pool.install(|| a.matmul(&b).expect("shapes agree"));
+    assert_eq!(matrix_bits(&out), matrix_bits(&oracle));
+}
