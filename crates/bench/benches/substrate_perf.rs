@@ -139,7 +139,13 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-fn write_json(path: &str, quick: bool, threads: usize, results: &[Measurement]) {
+fn write_json(
+    path: &str,
+    quick: bool,
+    threads: usize,
+    results: &[Measurement],
+    phases: &cnd_obs::PhaseReport,
+) {
     let mut entries = Vec::with_capacity(results.len());
     for m in results {
         entries.push(format!(
@@ -159,10 +165,25 @@ fn write_json(path: &str, quick: bool, threads: usize, results: &[Measurement]) 
             m.bit_identical,
         ));
     }
+    let phase_entries: Vec<String> = phases
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"span\": \"{}\", \"count\": {}, \"total_us\": {}, \"self_us\": {}}}",
+                json_escape_free(&r.name),
+                r.count,
+                r.total,
+                r.self_time,
+            )
+        })
+        .collect();
     let body = format!(
         "{{\n  \"bench\": \"substrate_perf\",\n  \"quick\": {quick},\n  \
-         \"parallel_threads\": {threads},\n  \"results\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+         \"parallel_threads\": {threads},\n  \"results\": [\n{}\n  ],\n  \
+         \"phases\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+        phase_entries.join(",\n"),
     );
     std::fs::write(path, body).expect("BENCH_substrate.json is writable");
 }
@@ -182,13 +203,29 @@ fn main() {
         parallel.is_deterministic(),
     );
 
+    // Trace each kernel measurement so the report can carry a
+    // per-phase timing breakdown next to the rates.
+    cnd_obs::reset(cnd_obs::ClockKind::Wall);
+    cnd_obs::set_enabled(true);
+
     let (mm_n, reps) = if quick { (192, 2) } else { (512, 3) };
     let (score_rows, score_cols) = if quick { (2_000, 32) } else { (20_000, 64) };
     let results = vec![
-        bench_matmul(mm_n, reps, &serial, parallel),
-        bench_pca_score(score_rows, score_cols, reps, &serial, parallel),
-        bench_cfe_forward(score_rows, score_cols, reps, &serial, parallel),
+        {
+            let _s = cnd_obs::span!("bench.matmul");
+            bench_matmul(mm_n, reps, &serial, parallel)
+        },
+        {
+            let _s = cnd_obs::span!("bench.pca_score");
+            bench_pca_score(score_rows, score_cols, reps, &serial, parallel)
+        },
+        {
+            let _s = cnd_obs::span!("bench.cfe_forward");
+            bench_cfe_forward(score_rows, score_cols, reps, &serial, parallel)
+        },
     ];
+    cnd_obs::set_enabled(false);
+    let phases = cnd_obs::phase_report(&cnd_obs::snapshot_jsonl()).expect("bench trace parses");
 
     let widths = [22, 12, 12, 9, 14, 14, 9];
     println!(
@@ -232,6 +269,6 @@ fn main() {
     // Benches run with the package dir as cwd; anchor the report at the
     // workspace root so CI can find it at a fixed path.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json");
-    write_json(path, quick, parallel.threads(), &results);
+    write_json(path, quick, parallel.threads(), &results, &phases);
     println!("\nwrote {path}");
 }

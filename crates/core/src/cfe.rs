@@ -341,6 +341,7 @@ impl ContinualFeatureExtractor {
         x_train: &Matrix,
         n_c: &Matrix,
     ) -> Result<(Vec<u8>, usize), CoreError> {
+        let _span = cnd_obs::span!("cfe.pseudo_labels", rows = x_train.rows());
         let upper = self.config.max_k.min(x_train.rows());
         let elbow_k = kmeans::select_k_elbow(x_train, 1..=upper, 60, &mut self.rng)?;
         // The geometric elbow under-selects K on smooth inertia curves
@@ -377,6 +378,11 @@ impl ContinualFeatureExtractor {
         x_train: &Matrix,
         n_c: &Matrix,
     ) -> Result<TrainStats, CoreError> {
+        let _span = cnd_obs::span!(
+            "cfe.train",
+            experience = self.experiences_trained,
+            rows = x_train.rows(),
+        );
         if x_train.cols() != self.input_dim || n_c.cols() != self.input_dim {
             return Err(CoreError::Nn(cnd_nn::NnError::BatchMismatch {
                 left: x_train.shape(),
@@ -399,6 +405,7 @@ impl ContinualFeatureExtractor {
         let mut last_epoch = (0.0, 0.0, 0.0);
         let mut first_epoch_loss: Option<f64> = None;
         for epoch in 0..self.config.epochs {
+            let _epoch_span = cnd_obs::span!("cfe.epoch", epoch = epoch);
             // Shuffle each epoch.
             for i in (1..n).rev() {
                 let j = self.rng.gen_range(0..=i);
@@ -415,6 +422,12 @@ impl ContinualFeatureExtractor {
                 sums.2 += cl;
                 batches += 1;
             }
+            if cnd_obs::enabled() {
+                let denom = batches.max(1) as f64;
+                cnd_obs::histogram_record("cfe.loss.cs.value", sums.0 / denom);
+                cnd_obs::histogram_record("cfe.loss.rec.value", sums.1 / denom);
+                cnd_obs::histogram_record("cfe.loss.cl.value", sums.2 / denom);
+            }
             // Divergence guard: a NaN input row or an exploding update
             // poisons the epoch mean; abort instead of finishing the
             // experience with destroyed weights. The caller (training
@@ -422,6 +435,7 @@ impl ContinualFeatureExtractor {
             let epoch_loss =
                 (sums.0 + self.config.lambda_r * sums.1 + self.config.lambda_cl * sums.2)
                     / batches.max(1) as f64;
+            cnd_obs::histogram_record("cfe.loss.total.value", epoch_loss);
             if !epoch_loss.is_finite() {
                 return Err(CoreError::TrainingDiverged {
                     epoch,
@@ -455,6 +469,7 @@ impl ContinualFeatureExtractor {
         }
         self.update_reservoir(x_train);
         self.experiences_trained += 1;
+        cnd_obs::counter_add("cfe.train.count", 1);
         Ok(TrainStats {
             k_selected,
             pseudo_anomalous_fraction,

@@ -126,13 +126,22 @@ impl CndIds {
     ///
     /// Propagates CFE and PCA errors.
     pub fn train_experience(&mut self, x_train: &Matrix) -> Result<TrainStats, CoreError> {
+        let _span = cnd_obs::span!(
+            "pipeline.train",
+            experience = self.experiences_trained(),
+            rows = x_train.rows(),
+        );
         let xs = self.scaler.transform(x_train)?;
         let stats = self.cfe.train_experience(&xs, &self.clean_normal_scaled)?;
-        let h_nc = self.cfe.encode(&self.clean_normal_scaled)?;
+        let h_nc = {
+            let _encode = cnd_obs::span!("pipeline.encode", rows = self.clean_normal_scaled.rows());
+            self.cfe.encode(&self.clean_normal_scaled)?
+        };
         let pca = Pca::fit(
             &h_nc,
             ComponentSelection::VarianceFraction(self.config.pca_variance),
         )?;
+        cnd_obs::gauge_set("pipeline.pca_components.value", pca.n_components() as f64);
         self.pca = Some(pca);
         Ok(stats)
     }
@@ -156,9 +165,13 @@ impl CndIds {
     ///
     /// Returns [`CoreError::NotTrained`] before the first experience.
     pub fn anomaly_scores(&self, x: &Matrix) -> Result<Vec<f64>, CoreError> {
+        let _span = cnd_obs::span!("pipeline.score", rows = x.rows());
         let pca = self.pca.as_ref().ok_or(CoreError::NotTrained)?;
         let xs = self.scaler.transform(x)?;
-        let h = self.cfe.encode(&xs)?;
+        let h = {
+            let _encode = cnd_obs::span!("pipeline.encode", rows = x.rows());
+            self.cfe.encode(&xs)?
+        };
         Ok(pca.reconstruction_errors(&h)?)
     }
 }

@@ -165,16 +165,27 @@ impl InputGuard {
     /// reason returned.
     pub fn admit(&mut self, row: &[f64]) -> Option<RejectReason> {
         let reason = self.check(row)?;
+        cnd_obs::counter_add("resilience.quarantine.count", 1);
         match reason {
-            RejectReason::NonFinite => self.stats.non_finite += 1,
-            RejectReason::DimensionMismatch => self.stats.dimension_mismatch += 1,
-            RejectReason::OutOfRange => self.stats.out_of_range += 1,
+            RejectReason::NonFinite => {
+                self.stats.non_finite += 1;
+                cnd_obs::counter_add("resilience.quarantine.non_finite.count", 1);
+            }
+            RejectReason::DimensionMismatch => {
+                self.stats.dimension_mismatch += 1;
+                cnd_obs::counter_add("resilience.quarantine.dimension_mismatch.count", 1);
+            }
+            RejectReason::OutOfRange => {
+                self.stats.out_of_range += 1;
+                cnd_obs::counter_add("resilience.quarantine.out_of_range.count", 1);
+            }
         }
         if self.config.quarantine_capacity > 0 {
             self.quarantine.push_back((row.to_vec(), reason));
             if self.quarantine.len() > self.config.quarantine_capacity {
                 self.quarantine.pop_front();
                 self.stats.evicted += 1;
+                cnd_obs::counter_add("resilience.quarantine.evicted.count", 1);
             }
         }
         Some(reason)
@@ -475,6 +486,11 @@ impl fmt::Display for HealthReport {
         )?;
         writeln!(
             f,
+            "quarantine: evicted {}, drift-rejected {}",
+            self.quarantine.evicted, self.drift_rejections,
+        )?;
+        writeln!(
+            f,
             "training:   {} experiences, {} successes, {} failures ({} consecutive), {} rollbacks",
             self.experiences_trained,
             self.retrain_successes,
@@ -499,6 +515,107 @@ impl fmt::Display for HealthReport {
                 .map_or_else(|| "none".to_string(), |t| format!("{t:?}")),
             self.last_failure.as_deref().unwrap_or("none"),
         )
+    }
+}
+
+/// Extracts every unsigned integer in `line`, in order.
+fn line_counters(line: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut current: Option<u64> = None;
+    for c in line.chars() {
+        if let Some(d) = c.to_digit(10) {
+            current = Some(current.unwrap_or(0) * 10 + d as u64);
+        } else if let Some(n) = current.take() {
+            out.push(n);
+        }
+    }
+    if let Some(n) = current {
+        out.push(n);
+    }
+    out
+}
+
+impl std::str::FromStr for HealthReport {
+    type Err = String;
+
+    /// Parses the exact [`Display`](fmt::Display) format back into a
+    /// report, so health output can round-trip through logs and the CLI.
+    /// A `last_failure` message is recovered verbatim except that the
+    /// literal string `"none"` maps to `None`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        fn line<'a>(s: &'a str, prefix: &str) -> Result<&'a str, String> {
+            s.lines()
+                .find_map(|l| l.strip_prefix(prefix))
+                .map(str::trim)
+                .ok_or_else(|| format!("missing {prefix:?} line"))
+        }
+        fn take<const N: usize>(line: &str, label: &str) -> Result<[u64; N], String> {
+            let nums = line_counters(line);
+            nums.get(..N)
+                .and_then(|s| <[u64; N]>::try_from(s).ok())
+                .ok_or_else(|| format!("{label}: expected {N} counters, found {}", nums.len()))
+        }
+
+        let mode = match line(s, "mode:")? {
+            "normal" => Mode::Normal,
+            "degraded" => Mode::Degraded,
+            other => return Err(format!("unknown mode {other:?}")),
+        };
+        // "seen A, accepted B, quarantined C (nan/inf D, dim E, range F), dropped G"
+        let [flows_seen, flows_accepted, total, non_finite, dimension_mismatch, out_of_range, flows_dropped] =
+            take::<7>(line(s, "flows:")?, "flows")?;
+        if total != non_finite + dimension_mismatch + out_of_range {
+            return Err(format!(
+                "inconsistent quarantine total {total} vs parts {non_finite}+{dimension_mismatch}+{out_of_range}"
+            ));
+        }
+        let [evicted, drift_rejections] = take::<2>(line(s, "quarantine:")?, "quarantine")?;
+        let [experiences_trained, retrain_successes, total_failures, consecutive_failures, rollbacks] =
+            take::<5>(line(s, "training:")?, "training")?;
+        let retry_line = line(s, "retry:")?;
+        let flows_until_retry = if retry_line == "ready" {
+            0
+        } else {
+            take::<1>(retry_line, "retry")?[0] as usize
+        };
+        let [buffered] = take::<1>(line(s, "buffered:")?, "buffered")?;
+        let last = line(s, "last:")?;
+        let rest = last.strip_prefix("trigger ").ok_or("malformed last line")?;
+        let (trigger_word, failure_part) =
+            rest.split_once(", failure ").ok_or("malformed last line")?;
+        let last_trigger = match trigger_word {
+            "none" => None,
+            "DriftDetected" => Some(Trigger::DriftDetected),
+            "BufferFull" => Some(Trigger::BufferFull),
+            "Manual" => Some(Trigger::Manual),
+            other => return Err(format!("unknown trigger {other:?}")),
+        };
+        let last_failure = match failure_part {
+            "none" => None,
+            f => Some(f.to_string()),
+        };
+        Ok(HealthReport {
+            mode,
+            quarantine: QuarantineStats {
+                non_finite,
+                dimension_mismatch,
+                out_of_range,
+                evicted,
+            },
+            flows_seen,
+            flows_accepted,
+            flows_dropped,
+            experiences_trained: experiences_trained as usize,
+            retrain_successes,
+            total_failures,
+            consecutive_failures: consecutive_failures as u32,
+            rollbacks,
+            last_trigger,
+            last_failure,
+            flows_until_retry,
+            buffered: buffered as usize,
+            drift_rejections,
+        })
     }
 }
 
@@ -726,6 +843,7 @@ impl ResilientStreamingCndIds {
             let excess = self.buffer.len() - sc.max_buffer;
             self.buffer.drain(0..excess);
             self.flows_dropped += excess as u64;
+            cnd_obs::counter_add("resilience.flows.dropped.count", excess as u64);
         }
         Ok(ResilientEvent::Buffered {
             buffered: self.buffer.len(),
@@ -784,6 +902,11 @@ impl ResilientStreamingCndIds {
     /// One watchdog-supervised training attempt: snapshot, (optionally
     /// fault-injected) train, and on failure rollback + backoff.
     fn attempt_train(&mut self, trigger: Trigger) -> Result<ResilientEvent, CoreError> {
+        let _span = cnd_obs::span!(
+            "stream.retrain",
+            samples = self.buffer.len(),
+            trigger = trigger.as_str(),
+        );
         let snapshot = self.model.clone();
         self.attempts += 1;
         self.last_trigger = Some(trigger);
@@ -803,6 +926,10 @@ impl ResilientStreamingCndIds {
                 self.mode = Mode::Normal;
                 self.retrain_successes += 1;
                 self.last_failure = None;
+                cnd_obs::counter_add("resilience.retrain.success.count", 1);
+                if recovered {
+                    cnd_obs::counter_add("resilience.degraded.exit.count", 1);
+                }
                 Ok(ResilientEvent::ExperienceTrained {
                     samples,
                     trigger,
@@ -815,9 +942,14 @@ impl ResilientStreamingCndIds {
                 self.rollbacks += 1;
                 self.consecutive_failures += 1;
                 self.total_failures += 1;
+                cnd_obs::counter_add("resilience.retrain.failure.count", 1);
+                cnd_obs::counter_add("resilience.rollback.count", 1);
                 let failure = err.to_string();
                 self.last_failure = Some(failure.clone());
                 if self.consecutive_failures >= self.config.retry.max_attempts {
+                    if self.mode == Mode::Normal {
+                        cnd_obs::counter_add("resilience.degraded.enter.count", 1);
+                    }
                     self.mode = Mode::Degraded;
                 }
                 self.flows_until_retry = self.config.retry.backoff_flows(self.consecutive_failures);
@@ -826,6 +958,7 @@ impl ResilientStreamingCndIds {
                     let excess = self.buffer.len() - cap;
                     self.buffer.drain(0..excess);
                     self.flows_dropped += excess as u64;
+                    cnd_obs::counter_add("resilience.flows.dropped.count", excess as u64);
                 }
                 Ok(ResilientEvent::TrainingFailed {
                     trigger,
@@ -932,6 +1065,70 @@ mod tests {
         assert_eq!(stats.evicted, 7);
         assert_eq!(guard.drain_quarantine().len(), 3);
         assert_eq!(guard.quarantined().count(), 0);
+    }
+
+    #[test]
+    fn health_report_display_round_trips() {
+        let report = HealthReport {
+            mode: Mode::Degraded,
+            quarantine: QuarantineStats {
+                non_finite: 12,
+                dimension_mismatch: 3,
+                out_of_range: 7,
+                evicted: 2,
+            },
+            flows_seen: 1000,
+            flows_accepted: 978,
+            flows_dropped: 40,
+            experiences_trained: 5,
+            retrain_successes: 5,
+            total_failures: 4,
+            consecutive_failures: 3,
+            rollbacks: 4,
+            last_trigger: Some(Trigger::DriftDetected),
+            last_failure: Some("training diverged at epoch 2 (loss NaN)".to_string()),
+            flows_until_retry: 2000,
+            buffered: 150,
+            drift_rejections: 9,
+        };
+        let text = report.to_string();
+        // The rendered text names every counter an operator needs.
+        for needle in [
+            "mode:       degraded",
+            "quarantined 22",
+            "nan/inf 12",
+            "evicted 2",
+            "drift-rejected 9",
+            "next attempt in 2000 flows",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let parsed: HealthReport = text.parse().expect("parses back");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn health_report_round_trips_none_fields_and_ready_retry() {
+        let report = HealthReport {
+            mode: Mode::Normal,
+            quarantine: QuarantineStats::default(),
+            flows_seen: 0,
+            flows_accepted: 0,
+            flows_dropped: 0,
+            experiences_trained: 0,
+            retrain_successes: 0,
+            total_failures: 0,
+            consecutive_failures: 0,
+            rollbacks: 0,
+            last_trigger: None,
+            last_failure: None,
+            flows_until_retry: 0,
+            buffered: 0,
+            drift_rejections: 0,
+        };
+        let parsed: HealthReport = report.to_string().parse().expect("parses back");
+        assert_eq!(parsed, report);
+        assert!("garbage".parse::<HealthReport>().is_err());
     }
 
     #[test]

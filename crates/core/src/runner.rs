@@ -166,6 +166,7 @@ pub fn evaluate_continual(
             constraint: "need at least 2 experiences",
         });
     }
+    let _run_span = cnd_obs::span!("runner.evaluate", experiences = m);
     let pooled = pool_tests(split)?;
     let mut f1_matrix = ResultMatrix::new(m)?;
     let mut pr_auc_per_step = Vec::with_capacity(m);
@@ -174,19 +175,25 @@ pub fn evaluate_continual(
 
     for i in 0..m {
         let t0 = Instant::now();
-        model.train_experience(&split.experiences[i])?;
+        {
+            let _train = cnd_obs::span!("runner.train", experience = i);
+            model.train_experience(&split.experiences[i])?;
+        }
         train_seconds += t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let (preds, step_pr_auc) = match model.scores(&pooled.x)? {
-            Some(scores) => {
-                let sel = best_f1_threshold(&scores, &pooled.y)?;
-                let ap = pr_auc(&scores, &pooled.y).ok();
-                (apply_threshold(&scores, sel.threshold), ap)
-            }
-            None => {
-                let preds = model.predict(&pooled.x)?.ok_or(CoreError::NotTrained)?;
-                (preds, None)
+        let (preds, step_pr_auc) = {
+            let _score = cnd_obs::span!("runner.score", experience = i, rows = pooled.x.rows());
+            match model.scores(&pooled.x)? {
+                Some(scores) => {
+                    let sel = best_f1_threshold(&scores, &pooled.y)?;
+                    let ap = pr_auc(&scores, &pooled.y).ok();
+                    (apply_threshold(&scores, sel.threshold), ap)
+                }
+                None => {
+                    let preds = model.predict(&pooled.x)?.ok_or(CoreError::NotTrained)?;
+                    (preds, None)
+                }
             }
         };
         let elapsed_ms = t1.elapsed().as_secs_f64() * 1e3;
@@ -195,11 +202,13 @@ pub fn evaluate_continual(
         }
         pr_auc_per_step.push(step_pr_auc);
 
+        let _eval = cnd_obs::span!("runner.eval", experience = i);
         for (j, &(lo, hi)) in pooled.bounds.iter().enumerate() {
             let f1 = f1_score(&preds[lo..hi], &pooled.y[lo..hi])?;
             f1_matrix.set(i, j, f1);
         }
     }
+    cnd_obs::counter_add("runner.experiences.count", m as u64);
 
     Ok(ContinualOutcome {
         name: model.name().to_string(),
@@ -252,12 +261,17 @@ pub fn evaluate_static_detector(
     detector: &mut dyn NoveltyDetector,
     split: &ContinualSplit,
 ) -> Result<StaticOutcome, CoreError> {
+    let _run_span = cnd_obs::span!("runner.static", rows = split.clean_normal.rows());
     let t0 = Instant::now();
-    detector.fit(&split.clean_normal)?;
+    {
+        let _fit = cnd_obs::span!("runner.train");
+        detector.fit(&split.clean_normal)?;
+    }
     let fit_seconds = t0.elapsed().as_secs_f64();
 
     let pooled = pool_tests(split)?;
     let t1 = Instant::now();
+    let _score = cnd_obs::span!("runner.score", rows = pooled.x.rows());
     let pooled_scores = detector.anomaly_scores(&pooled.x)?;
     let inference_ms_per_sample = t1.elapsed().as_secs_f64() * 1e3 / pooled.x.rows().max(1) as f64;
 
@@ -323,6 +337,11 @@ pub fn evaluate_resilient_streaming(
             constraint: "must be >= 1",
         });
     }
+    let _run_span = cnd_obs::span!(
+        "runner.stream",
+        experiences = split.experiences.len(),
+        chunk = chunk,
+    );
     let mut trained = 0u64;
     let mut failed = 0u64;
     let mut count = |event: &ResilientEvent| match event {
@@ -330,7 +349,8 @@ pub fn evaluate_resilient_streaming(
         ResilientEvent::TrainingFailed { .. } => failed += 1,
         ResilientEvent::Buffered { .. } => {}
     };
-    for exp in &split.experiences {
+    for (i, exp) in split.experiences.iter().enumerate() {
+        let _ingest = cnd_obs::span!("runner.ingest", experience = i, rows = exp.train_x.rows());
         let n = exp.train_x.rows();
         let mut at = 0;
         while at < n {
@@ -346,6 +366,7 @@ pub fn evaluate_resilient_streaming(
         }
     }
     let (pooled_f1, pr_auc_val) = if stream.can_score() {
+        let _eval = cnd_obs::span!("runner.eval");
         let pooled = pool_tests(split)?;
         let scores = stream.anomaly_scores(&pooled.x)?;
         let sel = best_f1_threshold(&scores, &pooled.y)?;

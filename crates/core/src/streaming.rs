@@ -108,6 +108,7 @@ impl DriftDetector {
     pub fn observe(&mut self, value: f64) -> bool {
         if !value.is_finite() {
             self.rejected += 1;
+            cnd_obs::counter_add("stream.drift.rejected.count", 1);
             return self.fired;
         }
         if !self.calibrated {
@@ -146,6 +147,17 @@ pub enum Trigger {
     BufferFull,
     /// The caller forced a flush ([`StreamingCndIds::flush`]).
     Manual,
+}
+
+impl Trigger {
+    /// Stable lowercase name (used in metric names and health reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Trigger::DriftDetected => "drift",
+            Trigger::BufferFull => "buffer_full",
+            Trigger::Manual => "manual",
+        }
+    }
 }
 
 /// The outcome of pushing a batch of flows into the stream.
@@ -202,25 +214,34 @@ impl Default for StreamingConfig {
 ///
 /// # Example
 ///
+/// A bounded ingest loop (every line compiles under doctests; `no_run`
+/// only skips execution, since `fast` training is still too slow for
+/// the doctest budget):
+///
 /// ```no_run
-/// use cnd_core::streaming::{StreamingCndIds, StreamEvent, StreamingConfig};
+/// use cnd_core::streaming::{StreamEvent, StreamingCndIds, StreamingConfig};
 /// use cnd_core::{CndIds, CndIdsConfig};
 /// use cnd_linalg::Matrix;
-/// # fn next_flows() -> Matrix { unimplemented!() }
-/// # fn clean_normal() -> Matrix { unimplemented!() }
 ///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let model = CndIds::new(CndIdsConfig::fast(7), &clean_normal())?;
-/// let mut stream = StreamingCndIds::new(model, StreamingConfig::default());
-/// loop {
-///     match stream.push_flows(&next_flows())? {
-///         StreamEvent::ExperienceTrained { samples, trigger, .. } => {
-///             eprintln!("retrained on {samples} flows ({trigger:?})");
+/// fn main() -> Result<(), Box<dyn std::error::Error>> {
+///     let clean_normal = Matrix::from_fn(60, 6, |i, j| ((i * 13 + j * 7) % 17) as f64 / 17.0);
+///     let model = CndIds::new(CndIdsConfig::fast(7), &clean_normal)?;
+///     let mut stream = StreamingCndIds::new(model, StreamingConfig::default());
+///     for batch in 0..10usize {
+///         let flows = Matrix::from_fn(100, 6, |i, j| {
+///             (((i + batch * 100) * 13 + j * 7) % 17) as f64 / 17.0
+///         });
+///         match stream.push_flows(&flows)? {
+///             StreamEvent::ExperienceTrained { samples, trigger, .. } => {
+///                 println!("retrained on {samples} flows ({trigger:?})");
+///             }
+///             StreamEvent::Buffered { buffered } => {
+///                 println!("buffered: {buffered}");
+///             }
 ///         }
-///         StreamEvent::Buffered { .. } => {}
 ///     }
+///     Ok(())
 /// }
-/// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct StreamingCndIds {
@@ -310,9 +331,20 @@ impl StreamingCndIds {
     }
 
     fn train_on_buffer(&mut self, trigger: Trigger) -> Result<StreamEvent, CoreError> {
+        let _span = cnd_obs::span!(
+            "stream.retrain",
+            samples = self.buffer.len(),
+            trigger = trigger.as_str(),
+        );
         let x = Matrix::from_rows(&self.buffer)?;
         let stats = self.model.train_experience(&x)?;
         let samples = self.buffer.len();
+        cnd_obs::counter_add("stream.retrain.count", 1);
+        match trigger {
+            Trigger::DriftDetected => cnd_obs::counter_add("stream.retrain.drift.count", 1),
+            Trigger::BufferFull => cnd_obs::counter_add("stream.retrain.buffer_full.count", 1),
+            Trigger::Manual => cnd_obs::counter_add("stream.retrain.manual.count", 1),
+        }
         self.buffer.clear();
         self.drift.reset();
         Ok(StreamEvent::ExperienceTrained {

@@ -64,6 +64,7 @@ impl Pca {
     ///   `(0, 1]` or a fixed count is zero.
     /// * Propagates eigendecomposition failures.
     pub fn fit(x: &Matrix, selection: ComponentSelection) -> Result<Self, MlError> {
+        let _span = cnd_obs::span!("pca.fit", rows = x.rows(), cols = x.cols());
         if x.rows() == 0 {
             return Err(MlError::EmptyInput);
         }
@@ -99,6 +100,7 @@ impl Pca {
             }
             r
         };
+        cnd_obs::counter_add("pca.fit.count", 1);
         let n_keep = match selection {
             ComponentSelection::Fixed(n) => n.min(eigenvalues.len()),
             ComponentSelection::VarianceFraction(f) => {
@@ -239,10 +241,12 @@ impl Pca {
     ///
     /// Returns [`MlError::DimensionMismatch`] on a feature-count mismatch.
     pub fn reconstruction_errors(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        let _span = cnd_obs::span!("pca.score", rows = x.rows());
         self.check_dim(x)?;
         if x.rows() == 0 {
             return Ok(Vec::new());
         }
+        cnd_obs::counter_add("pca.score.rows.count", x.rows() as u64);
         // Transposing the components once per call (not per chunk) keeps
         // the per-chunk work to two small matmuls.
         let components_t = self.components.transpose();

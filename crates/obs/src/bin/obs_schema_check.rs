@@ -1,0 +1,77 @@
+//! `obs-schema-check` — validates a JSONL trace file.
+//!
+//! Usage: `obs-schema-check <trace.jsonl> [--require-span <name>]...`
+//!
+//! Exits 0 when the trace is structurally valid (and every required
+//! span name appears), 1 otherwise. Used by the CI `obs-smoke` job.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut required: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--require-span" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--require-span needs a value");
+                    return ExitCode::FAILURE;
+                }
+                required.push(&args[i + 1]);
+                i += 2;
+            }
+            "-h" | "--help" => {
+                println!("usage: obs-schema-check <trace.jsonl> [--require-span <name>]...");
+                return ExitCode::SUCCESS;
+            }
+            p if path.is_none() => {
+                path = Some(p);
+                i += 1;
+            }
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: obs-schema-check <trace.jsonl> [--require-span <name>]...");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lines = match cnd_obs::trace::validate_jsonl(&text) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("INVALID trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match cnd_obs::phase_report(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("INVALID trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for name in &required {
+        if report.row(name).is_none() {
+            eprintln!("INVALID trace {path}: required span {name:?} not present");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "OK {path}: {lines} lines, {} span names, root total {} {}",
+        report.rows.len(),
+        report.root_total,
+        report.unit
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,132 @@
+//! Time sources for the observability layer.
+//!
+//! Every timestamp in a trace comes from a [`Clock`]. Production uses
+//! [`WallClock`] (microseconds since the recorder was created); tests
+//! and reproducibility checks use [`DeterministicClock`], a pure
+//! monotonic counter that advances by exactly one tick per reading, so
+//! two identical runs produce byte-identical traces regardless of
+//! machine speed or pool size.
+
+use std::time::Instant;
+
+/// Which clock implementation a recorder is using. Written into the
+/// trace meta line so consumers know how to interpret timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockKind {
+    /// Real elapsed time, microsecond resolution.
+    Wall,
+    /// A deterministic monotonic counter (one tick per reading).
+    Deterministic,
+}
+
+impl ClockKind {
+    /// Stable lowercase name used in the trace meta record.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockKind::Wall => "wall",
+            ClockKind::Deterministic => "deterministic",
+        }
+    }
+
+    /// Unit label for timestamps produced under this clock.
+    pub fn unit(self) -> &'static str {
+        match self {
+            ClockKind::Wall => "us",
+            ClockKind::Deterministic => "tick",
+        }
+    }
+}
+
+/// A monotonic time source. `now` takes `&mut self` so deterministic
+/// implementations can advance internal state; the recorder serializes
+/// all access behind its lock.
+pub trait Clock: Send {
+    /// Current timestamp. Must be monotonically non-decreasing.
+    fn now(&mut self) -> u64;
+
+    /// Which kind of clock this is (controls trace metadata and
+    /// volatile-metric filtering).
+    fn kind(&self) -> ClockKind;
+}
+
+/// Microseconds elapsed since the clock was constructed.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock anchored at "now".
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&mut self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn kind(&self) -> ClockKind {
+        ClockKind::Wall
+    }
+}
+
+/// A deterministic monotonic counter: every reading returns the next
+/// integer. Trace timestamps become a pure function of the sequence of
+/// instrumentation calls, which is what makes byte-identical traces
+/// possible across machines and thread counts.
+#[derive(Debug, Default)]
+pub struct DeterministicClock {
+    tick: u64,
+}
+
+impl DeterministicClock {
+    /// A deterministic clock starting at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for DeterministicClock {
+    fn now(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn kind(&self) -> ClockKind {
+        ClockKind::Deterministic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_clock_counts_ticks() {
+        let mut c = DeterministicClock::new();
+        assert_eq!(c.now(), 1);
+        assert_eq!(c.now(), 2);
+        assert_eq!(c.now(), 3);
+        assert_eq!(c.kind(), ClockKind::Deterministic);
+        assert_eq!(c.kind().unit(), "tick");
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let mut c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert_eq!(c.kind().name(), "wall");
+    }
+}

@@ -1,0 +1,267 @@
+//! Phase-time breakdown computed from a parsed trace.
+//!
+//! The same aggregation backs three consumers: the CLI `observe`
+//! subcommand (replay a JSONL file), the end-of-run summary table, and
+//! the bench harness (which attaches the per-phase rows to
+//! `BENCH_*.json`). Aggregation is by span *name*: all `cfe.epoch`
+//! spans fold into one row with a call count, total time, and self
+//! time (total minus time spent in child spans).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::trace::{parse_json, Json};
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// Span name (e.g. `cfe.train`).
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of span durations (clock units).
+    pub total: u64,
+    /// Total minus time covered by child spans (clock units).
+    pub self_time: u64,
+}
+
+/// A full phase report for one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Clock kind from the meta line (`wall` / `deterministic`).
+    pub clock: String,
+    /// Timestamp unit from the meta line (`us` / `tick`).
+    pub unit: String,
+    /// Sum of durations of root spans (parent id 0) — the denominator
+    /// for percentage columns.
+    pub root_total: u64,
+    /// Rows sorted by descending total time, then name.
+    pub rows: Vec<PhaseRow>,
+}
+
+struct OpenSpan {
+    name: String,
+    parent: u64,
+    begin: u64,
+    child_time: u64,
+}
+
+/// Builds a phase report from JSONL trace text. Tolerates metric lines
+/// (they are skipped); fails on unparseable lines or span_end without a
+/// matching span_begin.
+pub fn phase_report(text: &str) -> Result<PhaseReport, String> {
+    let mut clock = String::from("wall");
+    let mut unit = String::from("us");
+    let mut open: BTreeMap<u64, OpenSpan> = BTreeMap::new();
+    let mut agg: BTreeMap<String, PhaseRow> = BTreeMap::new();
+    let mut root_total = 0u64;
+
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let obj = parse_json(line).map_err(|e| format!("line {n}: {e}"))?;
+        match obj.get("ev").and_then(Json::as_str) {
+            Some("meta") => {
+                if let Some(c) = obj.get("clock").and_then(Json::as_str) {
+                    clock = c.to_string();
+                }
+                if let Some(u) = obj.get("unit").and_then(Json::as_str) {
+                    unit = u.to_string();
+                }
+            }
+            Some("span_begin") => {
+                let id = obj
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("line {n}: span_begin missing id"))?;
+                open.insert(
+                    id,
+                    OpenSpan {
+                        name: obj
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .unwrap_or("?")
+                            .to_string(),
+                        parent: obj.get("parent").and_then(Json::as_u64).unwrap_or(0),
+                        begin: obj.get("t").and_then(Json::as_u64).unwrap_or(0),
+                        child_time: 0,
+                    },
+                );
+            }
+            Some("span_end") => {
+                let id = obj
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("line {n}: span_end missing id"))?;
+                let span = open
+                    .remove(&id)
+                    .ok_or(format!("line {n}: span_end for unopened id {id}"))?;
+                let end = obj.get("t").and_then(Json::as_u64).unwrap_or(span.begin);
+                let dur = end.saturating_sub(span.begin);
+                let row = agg.entry(span.name.clone()).or_insert(PhaseRow {
+                    name: span.name.clone(),
+                    count: 0,
+                    total: 0,
+                    self_time: 0,
+                });
+                row.count += 1;
+                row.total += dur;
+                row.self_time += dur.saturating_sub(span.child_time);
+                if span.parent == 0 {
+                    root_total += dur;
+                } else if let Some(parent) = open.get_mut(&span.parent) {
+                    parent.child_time += dur;
+                }
+            }
+            _ => {} // metric lines and unknown kinds are not timing data
+        }
+    }
+
+    let mut rows: Vec<PhaseRow> = agg.into_values().collect();
+    rows.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.name.cmp(&b.name)));
+    Ok(PhaseReport {
+        clock,
+        unit,
+        root_total,
+        rows,
+    })
+}
+
+impl PhaseReport {
+    /// Fraction of root-span time covered by the named spans (used by
+    /// the coverage acceptance check): sum of `total` over `names`
+    /// divided by `root_total`.
+    pub fn coverage(&self, names: &[&str]) -> f64 {
+        if self.root_total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self
+            .rows
+            .iter()
+            .filter(|r| names.contains(&r.name.as_str()))
+            .map(|r| r.total)
+            .sum();
+        covered as f64 / self.root_total as f64
+    }
+
+    /// Row lookup by span name.
+    pub fn row(&self, name: &str) -> Option<&PhaseRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Renders the human-readable phase table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "phase breakdown (clock: {}, unit: {}, root total: {})",
+            self.clock, self.unit, self.root_total
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>12} {:>12} {:>7}",
+            "span", "count", "total", "self", "%root"
+        );
+        for r in &self.rows {
+            let pct = if self.root_total == 0 {
+                0.0
+            } else {
+                100.0 * r.total as f64 / self.root_total as f64
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>12} {:>12} {:>6.1}%",
+                r.name, r.count, r.total, r.self_time, pct
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockKind;
+    use crate::metrics::Registry;
+    use crate::trace::{to_jsonl, Event};
+
+    fn nested_trace() -> String {
+        // root (t 0..100) containing two children: a (10..40), b (50..90).
+        let events = vec![
+            Event::SpanBegin {
+                t: 0,
+                id: 1,
+                parent: 0,
+                name: "root",
+                fields: vec![],
+            },
+            Event::SpanBegin {
+                t: 10,
+                id: 2,
+                parent: 1,
+                name: "a",
+                fields: vec![],
+            },
+            Event::SpanEnd {
+                t: 40,
+                id: 2,
+                dur: 30,
+            },
+            Event::SpanBegin {
+                t: 50,
+                id: 3,
+                parent: 1,
+                name: "b",
+                fields: vec![],
+            },
+            Event::SpanEnd {
+                t: 90,
+                id: 3,
+                dur: 40,
+            },
+            Event::SpanEnd {
+                t: 100,
+                id: 1,
+                dur: 100,
+            },
+        ];
+        to_jsonl(
+            ClockKind::Deterministic,
+            &events,
+            0,
+            &Registry::default(),
+            false,
+        )
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let report = phase_report(&nested_trace()).expect("report");
+        assert_eq!(report.root_total, 100);
+        let root = report.row("root").unwrap();
+        assert_eq!(root.total, 100);
+        assert_eq!(root.self_time, 30); // 100 - 30 - 40
+        assert_eq!(report.row("a").unwrap().total, 30);
+        assert_eq!(report.row("b").unwrap().total, 40);
+    }
+
+    #[test]
+    fn coverage_is_child_time_over_root() {
+        let report = phase_report(&nested_trace()).expect("report");
+        let cov = report.coverage(&["a", "b"]);
+        assert!((cov - 0.7).abs() < 1e-12, "got {cov}");
+        assert_eq!(report.coverage(&["missing"]), 0.0);
+    }
+
+    #[test]
+    fn rows_sort_by_descending_total() {
+        let report = phase_report(&nested_trace()).expect("report");
+        let names: Vec<&str> = report.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["root", "b", "a"]);
+        let table = report.render();
+        assert!(table.contains("phase breakdown"));
+        assert!(table.contains("root"));
+    }
+}

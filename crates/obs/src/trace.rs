@@ -1,0 +1,646 @@
+//! Trace events, JSONL serialization, and a minimal JSON reader.
+//!
+//! A trace is a sequence of JSON objects, one per line:
+//!
+//! ```text
+//! {"ev":"meta","version":1,"clock":"deterministic","unit":"tick"}
+//! {"ev":"span_begin","t":1,"id":1,"parent":0,"name":"runner.evaluate","fields":{...}}
+//! {"ev":"span_end","t":8,"id":1,"dur":7}
+//! {"ev":"counter","name":"stream.retrain.count","value":3}
+//! {"ev":"hist","name":"cfe.epoch.loss.value","count":10,...}
+//! ```
+//!
+//! Serialization is fully deterministic: events in recording order,
+//! metrics sorted by name, floats formatted with `{:?}` (shortest
+//! round-trip representation), object keys emitted in a fixed order.
+//! The reader side is a tiny recursive-descent JSON parser — enough to
+//! replay traces for `observe` and the schema-check binary without any
+//! external dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::clock::ClockKind;
+use crate::metrics::{Metric, MetricValue, Registry};
+use crate::Value;
+
+/// Trace format version written into the meta line.
+pub const TRACE_VERSION: u64 = 1;
+
+/// One recorded event (spans only; metrics are snapshotted at flush).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opened: timestamp, span id, parent id (0 = root), name,
+    /// and the fields captured at open time.
+    SpanBegin {
+        /// Timestamp (clock units).
+        t: u64,
+        /// Unique span id (1-based).
+        id: u64,
+        /// Parent span id, 0 when the span has no parent.
+        parent: u64,
+        /// Span name (`subsystem.verb` taxonomy).
+        name: &'static str,
+        /// Fields captured when the span opened.
+        fields: Vec<(&'static str, Value)>,
+    },
+    /// A span closed: timestamp, span id, and duration in clock units.
+    SpanEnd {
+        /// Timestamp (clock units).
+        t: u64,
+        /// Id of the span being closed.
+        id: u64,
+        /// `end - begin` in clock units.
+        dur: u64,
+    },
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => write_f64(*f, out),
+        Value::Str(s) => {
+            out.push('"');
+            escape_json(s, out);
+            out.push('"');
+        }
+    }
+}
+
+/// JSON has no NaN/inf literals; map them to null so the line stays
+/// parseable. `{:?}` on f64 is the shortest round-trip form, which is
+/// both compact and deterministic.
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let _ = write!(out, "{f:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_event(ev: &Event, out: &mut String) {
+    match ev {
+        Event::SpanBegin {
+            t,
+            id,
+            parent,
+            name,
+            fields,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"span_begin\",\"t\":{t},\"id\":{id},\"parent\":{parent},\"name\":\""
+            );
+            escape_json(name, out);
+            out.push('"');
+            if !fields.is_empty() {
+                out.push_str(",\"fields\":{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_json(k, out);
+                    out.push_str("\":");
+                    write_value(v, out);
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        Event::SpanEnd { t, id, dur } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"span_end\",\"t\":{t},\"id\":{id},\"dur\":{dur}}}"
+            );
+        }
+    }
+}
+
+fn write_metric(name: &str, m: &Metric, out: &mut String) {
+    let _ = write!(out, "{{\"ev\":\"{}\",\"name\":\"", m.value.kind());
+    escape_json(name, out);
+    out.push_str("\",");
+    match &m.value {
+        MetricValue::Counter(c) => {
+            let _ = write!(out, "\"value\":{c}");
+        }
+        MetricValue::Gauge(g) => {
+            out.push_str("\"value\":");
+            write_f64(*g, out);
+        }
+        MetricValue::Histogram(h) => {
+            let _ = write!(
+                out,
+                "\"count\":{},\"zero\":{},\"rejected\":{},\"sum\":",
+                h.count, h.zero, h.rejected
+            );
+            write_f64(h.sum, out);
+            out.push_str(",\"min\":");
+            match h.min {
+                Some(v) => write_f64(v, out),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"max\":");
+            match h.max {
+                Some(v) => write_f64(v, out),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"buckets\":{");
+            for (i, (e, c)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{e}\":{c}");
+            }
+            out.push('}');
+        }
+    }
+    out.push('}');
+}
+
+/// Serializes a full trace (meta line, events in order, then metrics
+/// sorted by name) to a JSONL string. When `include_volatile` is false,
+/// volatile metrics are omitted — the deterministic-clock path uses
+/// this so traces stay byte-identical across pool sizes.
+pub fn to_jsonl(
+    clock: ClockKind,
+    events: &[Event],
+    dropped: u64,
+    metrics: &Registry,
+    include_volatile: bool,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"ev\":\"meta\",\"version\":{TRACE_VERSION},\"clock\":\"{}\",\"unit\":\"{}\",\"dropped\":{dropped}}}",
+        clock.name(),
+        clock.unit()
+    );
+    for ev in events {
+        write_event(ev, &mut out);
+        out.push('\n');
+    }
+    for (name, m) in metrics.iter() {
+        if m.volatile && !include_volatile {
+            continue;
+        }
+        write_metric(name, m, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (just enough to replay our own traces).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (key order normalized to a BTreeMap).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field lookup (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as u64 (must be a non-negative integer).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar, not a byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']' got {other:?}")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return Err(format!("expected ',' or '}}' got {other:?}")),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document from `s` (trailing whitespace allowed).
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Structural validation of a JSONL trace. Checks that the first line
+/// is a versioned meta record, every line parses, every `span_end`
+/// matches an open `span_begin`, durations are consistent, and metric
+/// lines carry the fields their kind requires. Returns the number of
+/// lines validated.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut lines = 0usize;
+    let mut open: BTreeMap<u64, u64> = BTreeMap::new(); // id -> begin t
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let obj = parse_json(line).map_err(|e| format!("line {n}: {e}"))?;
+        let ev = obj
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {n}: missing \"ev\""))?;
+        if lines == 0 {
+            if ev != "meta" {
+                return Err(format!("line {n}: first line must be meta, got {ev}"));
+            }
+            let version = obj
+                .get("version")
+                .and_then(Json::as_u64)
+                .ok_or(format!("line {n}: meta missing version"))?;
+            if version != TRACE_VERSION {
+                return Err(format!("line {n}: unsupported trace version {version}"));
+            }
+            obj.get("clock")
+                .and_then(Json::as_str)
+                .ok_or(format!("line {n}: meta missing clock"))?;
+        } else {
+            match ev {
+                "meta" => return Err(format!("line {n}: duplicate meta")),
+                "span_begin" => {
+                    let id = obj
+                        .get("id")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("line {n}: span_begin missing id"))?;
+                    let t = obj
+                        .get("t")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("line {n}: span_begin missing t"))?;
+                    obj.get("name")
+                        .and_then(Json::as_str)
+                        .ok_or(format!("line {n}: span_begin missing name"))?;
+                    if open.insert(id, t).is_some() {
+                        return Err(format!("line {n}: duplicate span id {id}"));
+                    }
+                }
+                "span_end" => {
+                    let id = obj
+                        .get("id")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("line {n}: span_end missing id"))?;
+                    let t = obj
+                        .get("t")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("line {n}: span_end missing t"))?;
+                    let dur = obj
+                        .get("dur")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("line {n}: span_end missing dur"))?;
+                    let begin = open
+                        .remove(&id)
+                        .ok_or(format!("line {n}: span_end for unopened id {id}"))?;
+                    if t < begin || t - begin != dur {
+                        return Err(format!(
+                            "line {n}: span {id} duration mismatch (begin {begin}, end {t}, dur {dur})"
+                        ));
+                    }
+                }
+                "counter" | "gauge" => {
+                    obj.get("name")
+                        .and_then(Json::as_str)
+                        .ok_or(format!("line {n}: {ev} missing name"))?;
+                    if obj.get("value").is_none() {
+                        return Err(format!("line {n}: {ev} missing value"));
+                    }
+                }
+                "hist" => {
+                    obj.get("name")
+                        .and_then(Json::as_str)
+                        .ok_or(format!("line {n}: hist missing name"))?;
+                    for field in ["count", "zero", "rejected"] {
+                        obj.get(field)
+                            .and_then(Json::as_u64)
+                            .ok_or(format!("line {n}: hist missing {field}"))?;
+                    }
+                    if !matches!(obj.get("buckets"), Some(Json::Obj(_))) {
+                        return Err(format!("line {n}: hist missing buckets object"));
+                    }
+                }
+                other => return Err(format!("line {n}: unknown event kind {other}")),
+            }
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("empty trace".into());
+    }
+    if let Some((&id, _)) = open.iter().next() {
+        return Err(format!("span {id} never closed"));
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> String {
+        let mut reg = Registry::default();
+        reg.counter_add("stream.retrain.count", 3, false);
+        reg.histogram_record("cfe.epoch.loss.value", 0.5, false);
+        reg.gauge_set("pool.threads.value", 4.0, true);
+        let events = vec![
+            Event::SpanBegin {
+                t: 1,
+                id: 1,
+                parent: 0,
+                name: "runner.evaluate",
+                fields: vec![("experiences", Value::UInt(5))],
+            },
+            Event::SpanBegin {
+                t: 2,
+                id: 2,
+                parent: 1,
+                name: "cfe.train",
+                fields: vec![],
+            },
+            Event::SpanEnd {
+                t: 3,
+                id: 2,
+                dur: 1,
+            },
+            Event::SpanEnd {
+                t: 4,
+                id: 1,
+                dur: 3,
+            },
+        ];
+        to_jsonl(ClockKind::Deterministic, &events, 0, &reg, false)
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_validator() {
+        let text = sample_trace();
+        let lines = validate_jsonl(&text).expect("valid trace");
+        // meta + 4 span events + 2 non-volatile metrics.
+        assert_eq!(lines, 7);
+        assert!(!text.contains("pool.threads.value"), "volatile excluded");
+    }
+
+    #[test]
+    fn volatile_metrics_are_included_on_request() {
+        let mut reg = Registry::default();
+        reg.gauge_set("pool.threads.value", 4.0, true);
+        let text = to_jsonl(ClockKind::Wall, &[], 0, &reg, true);
+        assert!(text.contains("pool.threads.value"));
+        validate_jsonl(&text).expect("valid trace");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let j = parse_json(r#"{"a":[1,2.5,-3e2],"b":{"c":"x\"y\nz"},"d":null,"e":true}"#)
+            .expect("parse");
+        assert_eq!(
+            j.get("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-300.0)])
+        );
+        assert_eq!(
+            j.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\"y\nz")
+        );
+        assert_eq!(j.get("d"), Some(&Json::Null));
+        assert_eq!(j.get("e"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_jsonl("").is_err());
+        assert!(validate_jsonl("{\"ev\":\"span_end\",\"t\":1,\"id\":1,\"dur\":0}").is_err());
+        let no_close = "{\"ev\":\"meta\",\"version\":1,\"clock\":\"wall\",\"unit\":\"us\",\"dropped\":0}\n{\"ev\":\"span_begin\",\"t\":1,\"id\":1,\"parent\":0,\"name\":\"x\"}";
+        assert!(validate_jsonl(no_close)
+            .unwrap_err()
+            .contains("never closed"));
+        let bad_dur = "{\"ev\":\"meta\",\"version\":1,\"clock\":\"wall\",\"unit\":\"us\",\"dropped\":0}\n{\"ev\":\"span_begin\",\"t\":5,\"id\":1,\"parent\":0,\"name\":\"x\"}\n{\"ev\":\"span_end\",\"t\":9,\"id\":1,\"dur\":3}";
+        assert!(validate_jsonl(bad_dur).unwrap_err().contains("mismatch"));
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(sample_trace(), sample_trace());
+    }
+}

@@ -218,6 +218,7 @@ impl ThreadPoolBuilder {
                 .expect("failed to spawn pool worker");
             handles.push(handle);
         }
+        cnd_obs::gauge_set_volatile("pool.threads.value", threads as f64);
         ThreadPool {
             shared: Arc::clone(&shared),
             threads,
@@ -258,7 +259,11 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         };
         match job {
-            Some(j) => j(),
+            Some(j) => {
+                // Volatile: which thread runs a job is scheduling luck.
+                cnd_obs::counter_add_volatile("pool.jobs.worker.count", 1);
+                j()
+            }
             None => return,
         }
     }
@@ -381,6 +386,9 @@ impl ThreadPool {
             }
             match self.shared.try_pop() {
                 Some(job) => {
+                    // Volatile: the owner "steals" whatever the workers
+                    // have not dequeued yet.
+                    cnd_obs::counter_add_volatile("pool.jobs.owner_stolen.count", 1);
                     let was = IN_POOL.with(|f| f.replace(true));
                     job();
                     IN_POOL.with(|f| f.set(was));
@@ -548,11 +556,13 @@ impl<'scope> Scope<'_, 'scope> {
         F: FnOnce() + Send + 'scope,
     {
         if self.pool.threads <= 1 || in_pool() {
+            cnd_obs::counter_add_volatile("pool.jobs.inline.count", 1);
             if catch_unwind(AssertUnwindSafe(f)).is_err() {
                 self.latch.panicked.store(true, Ordering::SeqCst);
             }
             return;
         }
+        cnd_obs::counter_add_volatile("pool.jobs.queued.count", 1);
         self.latch.add();
         let latch = Arc::clone(&self.latch);
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);

@@ -1,0 +1,51 @@
+//! Observed run: trace a full continual evaluation with `cnd-obs` and
+//! print the phase-time breakdown, metrics, and span coverage.
+//!
+//! ```sh
+//! cargo run --release --example observed_run
+//! ```
+//!
+//! Unlike `quickstart` (which only traces when `CND_OBS` is set), this
+//! example always enables the observability layer, writes the JSONL
+//! trace to a temp file, and then replays it through the same
+//! `phase_report` machinery that backs `cnd-ids-cli observe`.
+
+use cnd_ids::core::runner::evaluate_continual;
+use cnd_ids::core::{CndIds, CndIdsConfig};
+use cnd_ids::datasets::{continual, DatasetProfile, GeneratorConfig};
+use cnd_ids::obs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Wall clock: real microsecond timings. Use `Session::deterministic()`
+    // (or `CND_OBS=det` in the CLI) for byte-reproducible traces instead.
+    let _session = obs::Session::wall();
+
+    let seed = 7;
+    let data = DatasetProfile::WustlIiot.generate(&GeneratorConfig::small(seed))?;
+    let split = continual::prepare(&data, 3, 0.7, seed)?;
+    println!(
+        "tracing a continual run: {} experiences on {} samples",
+        split.len(),
+        data.len()
+    );
+
+    let mut model = CndIds::new(CndIdsConfig::fast(seed), &split.clean_normal)?;
+    let outcome = evaluate_continual(&mut model, &split)?;
+    println!("AVG = {:.3}", outcome.f1_matrix.avg());
+
+    // Snapshot the trace, persist it, and replay it as a phase report.
+    let jsonl = obs::snapshot_jsonl();
+    let path = std::env::temp_dir().join("cnd_ids_observed_run.jsonl");
+    std::fs::write(&path, &jsonl)?;
+    let lines = obs::trace::validate_jsonl(&jsonl).map_err(std::io::Error::other)?;
+    println!("\ntrace: {} ({lines} JSONL lines)", path.display());
+
+    let report = obs::phase_report(&jsonl).map_err(std::io::Error::other)?;
+    print!("{}", report.render());
+    let cov = report.coverage(&["runner.train", "runner.score", "runner.eval"]);
+    println!(
+        "runner phases cover {:.1}% of the traced wall time",
+        100.0 * cov
+    );
+    Ok(())
+}

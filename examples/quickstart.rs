@@ -4,12 +4,16 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Set `CND_OBS=1` to trace the run (phase summary on stderr) and
+//! `CND_OBS_OUT=<path>` to also write the JSONL trace.
 
 use cnd_ids::core::runner::evaluate_continual;
 use cnd_ids::core::{CndIds, CndIdsConfig};
 use cnd_ids::datasets::{continual, DatasetProfile, GeneratorConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs_on = cnd_ids::obs::init_from_env();
     let seed = 7;
     let profile = DatasetProfile::WustlIiot;
 
@@ -55,5 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  inference: {:.4} ms/sample, training: {:.1} s total",
         outcome.inference_ms_per_sample, outcome.train_seconds
     );
+    if obs_on {
+        if let Some(path) = cnd_ids::obs::flush_to_env_path()? {
+            eprintln!("trace written to {}", path.display());
+        }
+        eprint!("{}", cnd_ids::obs::summary());
+    }
     Ok(())
 }

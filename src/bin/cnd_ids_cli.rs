@@ -16,7 +16,16 @@
 //!   pipeline over the stream (optionally with seeded input corruption)
 //!   and print pooled detection quality; `--health` appends the
 //!   pipeline's final health report.
+//! * `observe <trace.jsonl>` — validate a trace written by `--trace-out`
+//!   (or `CND_OBS_OUT`) and print the phase-time breakdown.
 //! * `profiles` — list the built-in dataset profiles.
+//!
+//! Observability: setting `CND_OBS=1` (wall clock) or `CND_OBS=det`
+//! (deterministic clock) — or passing `--trace-out <path>` to any
+//! subcommand — records spans and metrics via `cnd-obs`. `--trace-out`
+//! writes the JSONL trace to the given path; with `CND_OBS` alone a
+//! summary table is printed to stderr (and the trace goes to
+//! `CND_OBS_OUT` when that is set).
 //!
 //! Exit code is non-zero on any error; messages go to stderr.
 
@@ -31,8 +40,27 @@ use cnd_metrics::threshold::{apply_threshold, quantile_threshold};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = match parse_flag::<String>(&args, "--trace-out", String::new()) {
+        Ok(s) if s.is_empty() => None,
+        Ok(s) => Some(std::path::PathBuf::from(s)),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let env_enabled = cnd_obs::init_from_env();
+    if trace_out.is_some() && !env_enabled {
+        cnd_obs::reset(cnd_obs::ClockKind::Wall);
+        cnd_obs::set_enabled(true);
+    }
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if let Err(msg) = finish_observability(trace_out.as_deref(), env_enabled) {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -42,13 +70,41 @@ fn main() -> ExitCode {
     }
 }
 
+/// Writes/flushes the recorded trace after a successful run: `--trace-out`
+/// gets the JSONL file, `CND_OBS_OUT` is honoured, and a plain `CND_OBS`
+/// run prints the phase/metric summary to stderr.
+fn finish_observability(
+    trace_out: Option<&std::path::Path>,
+    env_enabled: bool,
+) -> Result<(), String> {
+    if !cnd_obs::enabled() {
+        return Ok(());
+    }
+    if let Some(path) = trace_out {
+        cnd_obs::write_jsonl(path).map_err(|e| format!("--trace-out {}: {e}", path.display()))?;
+        eprintln!("trace written to {}", path.display());
+    }
+    if let Some(path) = cnd_obs::flush_to_env_path().map_err(|e| format!("CND_OBS_OUT: {e}"))? {
+        eprintln!("trace written to {}", path.display());
+    }
+    if env_enabled {
+        eprint!("{}", cnd_obs::summary());
+    }
+    Ok(())
+}
+
 const USAGE: &str = "usage:
   cnd-ids-cli profiles
   cnd-ids-cli generate <profile> <out.csv> [--seed N] [--samples N]
   cnd-ids-cli run <data.csv> [--experiences M] [--seed N] [--paper]
   cnd-ids-cli train <data.csv> <model.txt> [--experiences M] [--seed N]
   cnd-ids-cli score <model.txt> <data.csv> [--quantile Q]
-  cnd-ids-cli stream <data.csv> [--experiences M] [--seed N] [--chunk N] [--fault-rate R] [--health]";
+  cnd-ids-cli stream <data.csv> [--experiences M] [--seed N] [--chunk N] [--fault-rate R] [--health]
+  cnd-ids-cli observe <trace.jsonl>
+
+observability: every subcommand accepts --trace-out <path> to record a
+span/metric trace; CND_OBS=1 (wall) or CND_OBS=det (deterministic)
+enables tracing with a stderr summary, CND_OBS_OUT=<path> writes JSONL.";
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match args.iter().position(|a| a == name) {
@@ -94,6 +150,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("train") => cmd_train(&args[1..]),
         Some("score") => cmd_score(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("observe") => cmd_observe(&args[1..]),
         Some(other) => Err(format!("unknown subcommand {other:?}")),
         None => Err("no subcommand given".into()),
     }
@@ -227,6 +284,20 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             println!("  {line}");
         }
     }
+    Ok(())
+}
+
+fn cmd_observe(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("observe: missing <trace.jsonl>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let lines =
+        cnd_obs::trace::validate_jsonl(&text).map_err(|e| format!("{path}: invalid trace: {e}"))?;
+    let report = cnd_obs::phase_report(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "trace: {path} ({lines} lines, schema v{})",
+        cnd_obs::trace::TRACE_VERSION
+    );
+    print!("{}", report.render());
     Ok(())
 }
 

@@ -14,6 +14,7 @@
 //! | [`datasets`] | `cnd-datasets` | synthetic Table-I profiles, CL splits, CSV loader |
 //! | [`metrics`] | `cnd-metrics` | F1, Best-F, PR-AUC/ROC-AUC, AVG/Fwd/BwdTrans |
 //! | [`core`] | `cnd-core` | CFE, `L_CND`, CND-IDS pipeline, ADCN/LwF, runner |
+//! | [`obs`] | `cnd-obs` | spans, metrics registry, JSONL traces, phase reports |
 //!
 //! # Quickstart
 //!
@@ -49,4 +50,5 @@ pub use cnd_linalg as linalg;
 pub use cnd_metrics as metrics;
 pub use cnd_ml as ml;
 pub use cnd_nn as nn;
+pub use cnd_obs as obs;
 pub use cnd_parallel as parallel;

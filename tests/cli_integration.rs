@@ -130,7 +130,12 @@ fn stream_subcommand_reports_health() {
     assert!(stdout.contains("pooled best-F F1"), "stdout: {stdout}");
     assert!(stdout.contains("health report:"), "stdout: {stdout}");
     assert!(stdout.contains("mode:"), "stdout: {stdout}");
+    // The health report must expose every quarantine counter, including
+    // the eviction/drift lines added with the observability layer.
     assert!(stdout.contains("quarantined"), "stdout: {stdout}");
+    assert!(stdout.contains("nan/inf"), "stdout: {stdout}");
+    assert!(stdout.contains("evicted"), "stdout: {stdout}");
+    assert!(stdout.contains("drift-rejected"), "stdout: {stdout}");
 
     let out = Command::new(cli())
         .args([
@@ -147,6 +152,81 @@ fn stream_subcommand_reports_health() {
     );
 
     std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn trace_out_then_observe_round_trip() {
+    let csv = tmp("trace_data.csv");
+    let trace = tmp("trace.jsonl");
+    let out = Command::new(cli())
+        .args([
+            "generate",
+            "WUSTL-IIoT",
+            csv.to_str().expect("utf8 path"),
+            "--seed",
+            "11",
+            "--samples",
+            "1500",
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // `--trace-out` must enable tracing on its own (no CND_OBS needed).
+    let out = Command::new(cli())
+        .env_remove("CND_OBS")
+        .env_remove("CND_OBS_OUT")
+        .args([
+            "run",
+            csv.to_str().expect("utf8 path"),
+            "--experiences",
+            "2",
+            "--seed",
+            "11",
+            "--trace-out",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(
+        out.status.success(),
+        "run --trace-out failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let jsonl = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(jsonl.starts_with("{\"ev\":\"meta\""), "first line is meta");
+    for span in ["runner.train", "runner.score", "cfe.train", "pca.fit"] {
+        assert!(jsonl.contains(span), "trace missing span {span}");
+    }
+
+    let out = Command::new(cli())
+        .args(["observe", trace.to_str().expect("utf8 path")])
+        .output()
+        .expect("CLI runs");
+    assert!(
+        out.status.success(),
+        "observe failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("phase breakdown"), "stdout: {stdout}");
+    assert!(stdout.contains("runner.evaluate"), "stdout: {stdout}");
+    assert!(stdout.contains("cfe.train"), "stdout: {stdout}");
+
+    // A corrupt trace must be rejected with a non-zero exit.
+    std::fs::write(&trace, "not json\n").expect("overwrite trace");
+    let out = Command::new(cli())
+        .args(["observe", trace.to_str().expect("utf8 path")])
+        .output()
+        .expect("CLI runs");
+    assert!(!out.status.success(), "corrupt trace must be rejected");
+
+    std::fs::remove_file(&csv).ok();
+    std::fs::remove_file(&trace).ok();
 }
 
 #[test]
