@@ -271,4 +271,7 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json");
     write_json(path, quick, parallel.threads(), &results, &phases);
     println!("\nwrote {path}");
+    println!(
+        "gate against the committed baseline with: cnd-ids-cli bench-check BENCH_substrate.json"
+    );
 }

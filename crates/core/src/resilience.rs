@@ -468,6 +468,11 @@ pub struct HealthReport {
     pub buffered: usize,
     /// Non-finite scores rejected by the drift detector.
     pub drift_rejections: u64,
+    /// Distribution-level verdict (PSI / symmetric KL) from the drift
+    /// detector's observed twin: how far the score distribution moved
+    /// across the most recent retrain. `None` until two retrains have
+    /// produced comparable score windows.
+    pub score_drift: Option<cnd_obs::DriftVerdict>,
 }
 
 impl fmt::Display for HealthReport {
@@ -489,6 +494,17 @@ impl fmt::Display for HealthReport {
             "quarantine: evicted {}, drift-rejected {}",
             self.quarantine.evicted, self.drift_rejections,
         )?;
+        match self.score_drift {
+            // {:?} floats round-trip exactly through FromStr.
+            Some(v) => writeln!(
+                f,
+                "drift:      psi {:?}, kl {:?}, {}",
+                v.psi,
+                v.sym_kl,
+                if v.drifted { "drifted" } else { "stable" }
+            )?,
+            None => writeln!(f, "drift:      no verdict yet")?,
+        }
         writeln!(
             f,
             "training:   {} experiences, {} successes, {} failures ({} consecutive), {} rollbacks",
@@ -570,6 +586,28 @@ impl std::str::FromStr for HealthReport {
             ));
         }
         let [evicted, drift_rejections] = take::<2>(line(s, "quarantine:")?, "quarantine")?;
+        let drift_line = line(s, "drift:")?;
+        let score_drift = if drift_line == "no verdict yet" {
+            None
+        } else {
+            let rest = drift_line
+                .strip_prefix("psi ")
+                .ok_or("malformed drift line")?;
+            let (psi_s, rest) = rest.split_once(", kl ").ok_or("malformed drift line")?;
+            let (kl_s, flag) = rest.split_once(", ").ok_or("malformed drift line")?;
+            let psi: f64 = psi_s.parse().map_err(|_| "bad drift psi".to_string())?;
+            let sym_kl: f64 = kl_s.parse().map_err(|_| "bad drift kl".to_string())?;
+            let drifted = match flag {
+                "drifted" => true,
+                "stable" => false,
+                other => return Err(format!("unknown drift flag {other:?}")),
+            };
+            Some(cnd_obs::DriftVerdict {
+                psi,
+                sym_kl,
+                drifted,
+            })
+        };
         let [experiences_trained, retrain_successes, total_failures, consecutive_failures, rollbacks] =
             take::<5>(line(s, "training:")?, "training")?;
         let retry_line = line(s, "retry:")?;
@@ -615,6 +653,7 @@ impl std::str::FromStr for HealthReport {
             flows_until_retry,
             buffered: buffered as usize,
             drift_rejections,
+            score_drift,
         })
     }
 }
@@ -776,6 +815,7 @@ impl ResilientStreamingCndIds {
             flows_until_retry: self.flows_until_retry,
             buffered: self.buffer.len(),
             drift_rejections: self.drift.rejected(),
+            score_drift: self.drift.last_verdict(),
         }
     }
 
@@ -1090,6 +1130,11 @@ mod tests {
             flows_until_retry: 2000,
             buffered: 150,
             drift_rejections: 9,
+            score_drift: Some(cnd_obs::DriftVerdict {
+                psi: 0.375,
+                sym_kl: 0.6428571428571429,
+                drifted: true,
+            }),
         };
         let text = report.to_string();
         // The rendered text names every counter an operator needs.
@@ -1099,6 +1144,8 @@ mod tests {
             "nan/inf 12",
             "evicted 2",
             "drift-rejected 9",
+            "psi 0.375",
+            "drifted",
             "next attempt in 2000 flows",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
@@ -1125,10 +1172,41 @@ mod tests {
             flows_until_retry: 0,
             buffered: 0,
             drift_rejections: 0,
+            score_drift: None,
         };
         let parsed: HealthReport = report.to_string().parse().expect("parses back");
         assert_eq!(parsed, report);
         assert!("garbage".parse::<HealthReport>().is_err());
+    }
+
+    #[test]
+    fn health_report_round_trips_stable_drift_verdict() {
+        let report = HealthReport {
+            mode: Mode::Normal,
+            quarantine: QuarantineStats::default(),
+            flows_seen: 10,
+            flows_accepted: 10,
+            flows_dropped: 0,
+            experiences_trained: 2,
+            retrain_successes: 2,
+            total_failures: 0,
+            consecutive_failures: 0,
+            rollbacks: 0,
+            last_trigger: Some(Trigger::Manual),
+            last_failure: None,
+            flows_until_retry: 0,
+            buffered: 0,
+            drift_rejections: 0,
+            score_drift: Some(cnd_obs::DriftVerdict {
+                psi: 0.01171875,
+                sym_kl: 0.0078125,
+                drifted: false,
+            }),
+        };
+        let text = report.to_string();
+        assert!(text.contains("stable"));
+        let parsed: HealthReport = text.parse().expect("parses back");
+        assert_eq!(parsed, report);
     }
 
     #[test]

@@ -133,6 +133,48 @@ struct PooledTest {
     bounds: Vec<(usize, usize)>,
 }
 
+/// Folds this step's scores into the drift monitor and appends one
+/// `quality` event (F1 row, PR-AUC, threshold, running continual
+/// summary, score histogram) to the trace stream. Only called while
+/// observability is enabled; every float comes from seeded model math,
+/// so the event is identical across pool sizes.
+fn emit_quality_record(
+    i: usize,
+    f1_matrix: &ResultMatrix,
+    pr_auc: Option<f64>,
+    threshold: Option<f64>,
+    scores: Option<&[f64]>,
+    monitor: &mut cnd_obs::DriftMonitor,
+) {
+    if let Some(scores) = scores {
+        for &s in scores {
+            monitor.observe(s);
+        }
+    }
+    let score_hist = monitor.current_histogram().clone();
+    if let Some(v) = monitor.rotate() {
+        cnd_obs::histogram_record("quality.drift.psi.value", v.psi);
+        cnd_obs::histogram_record("quality.drift.sym_kl.value", v.sym_kl);
+        if v.drifted {
+            cnd_obs::counter_add("quality.drift.flagged.count", 1);
+        }
+    }
+    let summary = f1_matrix.partial_summary(i);
+    cnd_obs::gauge_set("quality.avg.value", summary.avg);
+    cnd_obs::gauge_set("quality.fwd_trans.value", summary.fwd_trans);
+    cnd_obs::gauge_set("quality.bwd_trans.value", summary.bwd_trans);
+    cnd_obs::quality_record(cnd_obs::QualityRecord {
+        experience: i,
+        f1_row: f1_matrix.row(i).to_vec(),
+        pr_auc,
+        threshold,
+        avg: summary.avg,
+        fwd_trans: summary.fwd_trans,
+        bwd_trans: summary.bwd_trans,
+        scores: score_hist,
+    });
+}
+
 fn pool_tests(split: &ContinualSplit) -> Result<PooledTest, CoreError> {
     let mats: Vec<&Matrix> = split.experiences.iter().map(|e| &e.test_x).collect();
     let x = Matrix::vstack_all(mats)?;
@@ -173,6 +215,7 @@ pub fn evaluate_continual(
     let mut train_seconds = 0.0;
     let mut inference_ms_per_sample = 0.0;
 
+    let mut score_monitor = cnd_obs::DriftMonitor::default();
     for i in 0..m {
         let t0 = Instant::now();
         {
@@ -182,17 +225,18 @@ pub fn evaluate_continual(
         train_seconds += t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let (preds, step_pr_auc) = {
+        let (preds, step_pr_auc, scores, threshold) = {
             let _score = cnd_obs::span!("runner.score", experience = i, rows = pooled.x.rows());
             match model.scores(&pooled.x)? {
                 Some(scores) => {
                     let sel = best_f1_threshold(&scores, &pooled.y)?;
                     let ap = pr_auc(&scores, &pooled.y).ok();
-                    (apply_threshold(&scores, sel.threshold), ap)
+                    let preds = apply_threshold(&scores, sel.threshold);
+                    (preds, ap, Some(scores), Some(sel.threshold))
                 }
                 None => {
                     let preds = model.predict(&pooled.x)?.ok_or(CoreError::NotTrained)?;
-                    (preds, None)
+                    (preds, None, None, None)
                 }
             }
         };
@@ -206,6 +250,16 @@ pub fn evaluate_continual(
         for (j, &(lo, hi)) in pooled.bounds.iter().enumerate() {
             let f1 = f1_score(&preds[lo..hi], &pooled.y[lo..hi])?;
             f1_matrix.set(i, j, f1);
+        }
+        if cnd_obs::enabled() {
+            emit_quality_record(
+                i,
+                &f1_matrix,
+                step_pr_auc,
+                threshold,
+                scores.as_deref(),
+                &mut score_monitor,
+            );
         }
     }
     cnd_obs::counter_add("runner.experiences.count", m as u64);

@@ -53,6 +53,11 @@ pub struct DriftDetector {
     current_sum: f64,
     fired: bool,
     rejected: u64,
+    /// Observed twin: full log-bucketed distributions of the same
+    /// signal, rotated at each [`DriftDetector::reset`], so a retrain
+    /// trigger is explainable post-hoc (PSI / symmetric KL between the
+    /// regime before and after — see DESIGN.md §9).
+    monitor: cnd_obs::DriftMonitor,
 }
 
 impl DriftDetector {
@@ -76,6 +81,7 @@ impl DriftDetector {
             current_sum: 0.0,
             fired: false,
             rejected: 0,
+            monitor: cnd_obs::DriftMonitor::default(),
         }
     }
 
@@ -90,13 +96,32 @@ impl DriftDetector {
     }
 
     /// Discards all state (called after retraining so the detector
-    /// re-calibrates on the new regime).
+    /// re-calibrates on the new regime). The observed twin rotates its
+    /// window here: the distribution that led to this reset becomes the
+    /// reference the next regime is compared against, and the verdict
+    /// (PSI / symmetric KL) is published as metrics and kept for
+    /// [`DriftDetector::last_verdict`].
     pub fn reset(&mut self) {
         self.reference.clear();
         self.current.clear();
         self.current_sum = 0.0;
         self.calibrated = false;
         self.fired = false;
+        if let Some(v) = self.monitor.rotate() {
+            cnd_obs::histogram_record("stream.drift.psi.value", v.psi);
+            cnd_obs::histogram_record("stream.drift.sym_kl.value", v.sym_kl);
+            if v.drifted {
+                cnd_obs::counter_add("stream.drift.confirmed.count", 1);
+            }
+        }
+    }
+
+    /// The distribution-level verdict from the most recent reset that
+    /// had a reference regime to compare against (`None` until the
+    /// second reset). This is the post-hoc explanation of the last
+    /// retrain trigger: how far the score distribution actually moved.
+    pub fn last_verdict(&self) -> Option<cnd_obs::DriftVerdict> {
+        self.monitor.last_verdict()
     }
 
     /// Feeds one observation; returns `true` when drift fires. After a
@@ -111,6 +136,7 @@ impl DriftDetector {
             cnd_obs::counter_add("stream.drift.rejected.count", 1);
             return self.fired;
         }
+        self.monitor.observe(value);
         if !self.calibrated {
             self.reference.push(value);
             if self.reference.len() == self.window {
@@ -418,6 +444,30 @@ mod tests {
     #[should_panic(expected = "window must be >= 2")]
     fn drift_detector_validates_window() {
         DriftDetector::new(1, 3.0);
+    }
+
+    #[test]
+    fn drift_detector_observed_twin_explains_resets() {
+        let mut det = DriftDetector::new(10, 3.0);
+        assert!(det.last_verdict().is_none());
+        for i in 0..20 {
+            det.observe(1.0 + (i % 4) as f64 * 0.1);
+        }
+        det.reset(); // first rotation stores the reference, no verdict
+        assert!(det.last_verdict().is_none());
+        for i in 0..20 {
+            det.observe(1.0 + (i % 4) as f64 * 0.1);
+        }
+        det.reset();
+        let v = det.last_verdict().expect("second reset compares regimes");
+        assert!(!v.drifted, "same regime: {v:?}");
+        for _ in 0..20 {
+            det.observe(500.0);
+        }
+        det.reset();
+        let v = det.last_verdict().expect("verdict after shifted regime");
+        assert!(v.drifted, "large shift must be confirmed: {v:?}");
+        assert!(v.psi > 0.25);
     }
 
     #[test]

@@ -135,6 +135,60 @@ impl ResultMatrix {
             bwd_trans: self.bwd_trans(),
         }
     }
+
+    /// Row `train_exp` of the matrix (the F1 scores on every test
+    /// experience after training through `train_exp`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `train_exp >= experiences()`.
+    pub fn row(&self, train_exp: usize) -> &[f64] {
+        assert!(train_exp < self.m, "index out of bounds");
+        &self.values[train_exp * self.m..(train_exp + 1) * self.m]
+    }
+
+    /// The summary metrics restricted to the first `through + 1`
+    /// training experiences — what the quality timeline reports while
+    /// the run is still in flight:
+    ///
+    /// * `avg` — diagonal mean over rows `0..=through`;
+    /// * `fwd_trans` — mean of `R_kj` for `k <= through`, `j > k`
+    ///   (every future experience, including ones not yet trained on);
+    /// * `bwd_trans` — `Σ_{j<i} (R_ij − R_jj) / (i(i+1)/2)` with
+    ///   `i = through` (0.0 at the first step, where no past exists).
+    ///
+    /// At `through == experiences() - 1` each component equals the full
+    /// [`ResultMatrix::summary`] (the paper's `j = m−1` backward term
+    /// is identically zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `through >= experiences()`.
+    pub fn partial_summary(&self, through: usize) -> ContinualSummary {
+        assert!(through < self.m, "index out of bounds");
+        let i = through;
+        let avg = (0..=i).map(|k| self.get(k, k)).sum::<f64>() / (i + 1) as f64;
+        let mut fwd = 0.0;
+        let mut fwd_n = 0usize;
+        for k in 0..=i {
+            for j in (k + 1)..self.m {
+                fwd += self.get(k, j);
+                fwd_n += 1;
+            }
+        }
+        let fwd_trans = if fwd_n == 0 { 0.0 } else { fwd / fwd_n as f64 };
+        let bwd_trans = if i == 0 {
+            0.0
+        } else {
+            let s: f64 = (0..i).map(|j| self.get(i, j) - self.get(j, j)).sum();
+            s / ((i + 1) * i / 2) as f64
+        };
+        ContinualSummary {
+            avg,
+            fwd_trans,
+            bwd_trans,
+        }
+    }
 }
 
 /// The three continual-learning summary metrics of the paper's Fig. 3.
@@ -243,6 +297,50 @@ mod tests {
         assert_eq!(s.avg, r.avg());
         assert_eq!(s.fwd_trans, r.fwd_trans());
         assert_eq!(s.bwd_trans, r.bwd_trans());
+    }
+
+    #[test]
+    fn row_returns_train_experience_slice() {
+        let r = example();
+        assert_eq!(r.row(1), &[0.8, 0.7, 0.5]);
+        assert_eq!(r.row(0).len(), 3);
+    }
+
+    #[test]
+    fn partial_summary_matches_full_summary_at_last_step() {
+        let r = example();
+        let partial = r.partial_summary(2);
+        let full = r.summary();
+        assert!((partial.avg - full.avg).abs() < 1e-12);
+        assert!((partial.fwd_trans - full.fwd_trans).abs() < 1e-12);
+        assert!((partial.bwd_trans - full.bwd_trans).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_summary_first_step() {
+        let r = example();
+        let s = r.partial_summary(0);
+        assert!((s.avg - 0.9).abs() < 1e-12);
+        // Row 0's future entries: (0.5 + 0.4) / 2.
+        assert!((s.fwd_trans - 0.45).abs() < 1e-12);
+        assert_eq!(s.bwd_trans, 0.0);
+    }
+
+    #[test]
+    fn partial_summary_mid_run() {
+        let r = example();
+        let s = r.partial_summary(1);
+        assert!((s.avg - (0.9 + 0.7) / 2.0).abs() < 1e-12);
+        // Pairs k<=1, j>k: (0,1) (0,2) (1,2) -> (0.5 + 0.4 + 0.5) / 3.
+        assert!((s.fwd_trans - 1.4 / 3.0).abs() < 1e-12);
+        // i=1: (R_10 - R_00) / 1 = 0.8 - 0.9.
+        assert!((s.bwd_trans - (-0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn partial_summary_out_of_bounds_panics() {
+        let _ = example().partial_summary(3);
     }
 
     #[test]

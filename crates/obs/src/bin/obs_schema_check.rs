@@ -1,16 +1,22 @@
 //! `obs-schema-check` — validates a JSONL trace file.
 //!
-//! Usage: `obs-schema-check <trace.jsonl> [--require-span <name>]...`
+//! Usage: `obs-schema-check <trace.jsonl> [--require-span <name>]...
+//! [--require-quality N]`
 //!
 //! Exits 0 when the trace is structurally valid (and every required
-//! span name appears), 1 otherwise. Used by the CI `obs-smoke` job.
+//! span name appears, and at least N `quality` events are present),
+//! 1 otherwise. Used by the CI `obs-smoke` and `quality-gate` jobs.
 
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: obs-schema-check <trace.jsonl> [--require-span <name>]... [--require-quality N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<&str> = None;
     let mut required: Vec<&str> = Vec::new();
+    let mut require_quality: usize = 0;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -22,8 +28,16 @@ fn main() -> ExitCode {
                 required.push(&args[i + 1]);
                 i += 2;
             }
+            "--require-quality" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--require-quality needs a count");
+                    return ExitCode::FAILURE;
+                };
+                require_quality = n;
+                i += 2;
+            }
             "-h" | "--help" => {
-                println!("usage: obs-schema-check <trace.jsonl> [--require-span <name>]...");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             p if path.is_none() => {
@@ -37,7 +51,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: obs-schema-check <trace.jsonl> [--require-span <name>]...");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(path) {
@@ -67,8 +81,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let quality = text
+        .lines()
+        .filter(|l| l.starts_with("{\"ev\":\"quality\""))
+        .count();
+    if quality < require_quality {
+        eprintln!("INVALID trace {path}: {quality} quality events, need >= {require_quality}");
+        return ExitCode::FAILURE;
+    }
     println!(
-        "OK {path}: {lines} lines, {} span names, root total {} {}",
+        "OK {path}: {lines} lines, {} span names, {quality} quality events, root total {} {}",
         report.rows.len(),
         report.root_total,
         report.unit

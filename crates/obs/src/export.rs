@@ -1,0 +1,310 @@
+//! Live export: Prometheus text exposition and a JSON health snapshot
+//! served from a background `TcpListener` thread.
+//!
+//! Scrape endpoints (std-only, no HTTP library):
+//!
+//! * `GET /metrics` — the metrics registry in Prometheus text
+//!   exposition format 0.0.4 (counters, gauges, and log-bucketed
+//!   histograms rendered as cumulative `_bucket{le="..."}` series).
+//! * `GET /health`  — a one-object JSON snapshot of recorder state
+//!   (enabled flag, clock kind, event/drop/metric counts).
+//!
+//! The exporter is gated behind `CND_OBS_LISTEN` (e.g.
+//! `CND_OBS_LISTEN=127.0.0.1:9464`); bind to port 0 for an ephemeral
+//! port and read it back with [`Exporter::local_addr`]. The serving
+//! thread polls a non-blocking accept loop so shutdown (on drop) never
+//! blocks on a dead socket.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::metrics::{Histogram, MetricValue};
+
+/// Maps a dotted metric name to a Prometheus-legal one: every char
+/// outside `[A-Za-z0-9_:]` becomes `_`, and a leading digit gets a
+/// `_` prefix.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Prometheus sample value: plain shortest-round-trip decimal, with
+/// the spec's spellings for non-finite values.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn write_histogram(name: &str, h: &Histogram, out: &mut String) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = h.zero;
+    if h.zero > 0 {
+        out.push_str(&format!("{name}_bucket{{le=\"0\"}} {cumulative}\n"));
+    }
+    for (&e, &c) in &h.buckets {
+        cumulative += c;
+        let le = prom_f64(((e + 1) as f64).exp2());
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", prom_f64(h.sum)));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+    if h.rejected > 0 {
+        out.push_str(&format!("# TYPE {name}_rejected counter\n"));
+        out.push_str(&format!("{name}_rejected {}\n", h.rejected));
+    }
+}
+
+/// Renders the current metrics registry (volatile metrics included —
+/// a live scrape wants everything) as Prometheus text exposition.
+pub fn prometheus_text() -> String {
+    let r = crate::recorder();
+    let mut out = String::new();
+    out.push_str("# TYPE cnd_obs_events counter\n");
+    out.push_str(&format!("cnd_obs_events {}\n", r.events.len()));
+    out.push_str("# TYPE cnd_obs_dropped counter\n");
+    out.push_str(&format!("cnd_obs_dropped {}\n", r.dropped));
+    for (name, m) in r.metrics.iter() {
+        let pname = sanitize_name(name);
+        match &m.value {
+            MetricValue::Counter(c) => {
+                out.push_str(&format!("# TYPE {pname} counter\n{pname} {c}\n"));
+            }
+            MetricValue::Gauge(g) => {
+                out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", prom_f64(*g)));
+            }
+            MetricValue::Histogram(h) => write_histogram(&pname, h, &mut out),
+        }
+    }
+    out
+}
+
+/// Renders the recorder's health snapshot as a one-line JSON object.
+pub fn health_json() -> String {
+    let enabled = crate::enabled();
+    let r = crate::recorder();
+    format!(
+        "{{\"status\":\"ok\",\"enabled\":{},\"clock\":\"{}\",\"events\":{},\"dropped\":{},\"metrics\":{}}}",
+        enabled,
+        r.clock.kind().name(),
+        r.events.len(),
+        r.dropped,
+        r.metrics.len()
+    )
+}
+
+fn respond(conn: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = conn.write_all(head.as_bytes());
+    let _ = conn.write_all(body.as_bytes());
+    let _ = conn.flush();
+}
+
+fn handle_connection(conn: &mut TcpStream) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 2048];
+    let mut filled = 0usize;
+    // Read until the end of the request head (we ignore any body).
+    while filled < buf.len() {
+        match conn.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..filled]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        respond(conn, "405 Method Not Allowed", "text/plain", "GET only\n");
+        return;
+    }
+    match path {
+        "/metrics" => respond(
+            conn,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &prometheus_text(),
+        ),
+        "/health" => respond(conn, "200 OK", "application/json", &health_json()),
+        _ => respond(conn, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn serve(listener: TcpListener, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut conn, _)) => {
+                let _ = conn.set_nonblocking(false);
+                handle_connection(&mut conn);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// A background metrics/health HTTP listener. Dropping it stops the
+/// serving thread.
+#[derive(Debug)]
+pub struct Exporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Exporter {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, or `127.0.0.1:0` for an
+    /// ephemeral port) and starts serving `/metrics` and `/health`.
+    pub fn start(addr: &str) -> std::io::Result<Exporter> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cnd-obs-exporter".to_string())
+            .spawn(move || serve(listener, thread_stop))?;
+        Ok(Exporter {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for Exporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Starts an exporter when `CND_OBS_LISTEN` is set. Returns `None`
+/// (after a stderr warning on bind failure) otherwise. The CLI holds
+/// the returned guard for the life of the process.
+pub fn init_exporter_from_env() -> Option<Exporter> {
+    let addr = std::env::var("CND_OBS_LISTEN").ok()?;
+    match Exporter::start(&addr) {
+        Ok(exporter) => {
+            eprintln!(
+                "cnd-obs: serving /metrics and /health on http://{}",
+                exporter.local_addr()
+            );
+            Some(exporter)
+        }
+        Err(e) => {
+            eprintln!("cnd-obs: CND_OBS_LISTEN={addr} bind failed: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Session;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: cnd\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("send");
+        let mut body = String::new();
+        conn.read_to_string(&mut body).expect("read");
+        body
+    }
+
+    #[test]
+    fn sanitizes_metric_names() {
+        assert_eq!(
+            sanitize_name("stream.retrain.count"),
+            "stream_retrain_count"
+        );
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn prometheus_text_covers_all_metric_kinds() {
+        let _session = Session::deterministic();
+        crate::counter_add("test.export.count", 3);
+        crate::gauge_set("test.export.value", 1.5);
+        crate::histogram_record("test.export.hist", 0.0);
+        crate::histogram_record("test.export.hist", 3.0);
+        crate::histogram_record("test.export.hist", f64::NAN);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE test_export_count counter\ntest_export_count 3\n"));
+        assert!(text.contains("# TYPE test_export_value gauge\ntest_export_value 1.5\n"));
+        assert!(text.contains("test_export_hist_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("test_export_hist_bucket{le=\"4.0\"} 2\n"));
+        assert!(text.contains("test_export_hist_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("test_export_hist_count 2\n"));
+        assert!(text.contains("test_export_hist_rejected 1\n"));
+    }
+
+    #[test]
+    fn exporter_serves_metrics_and_health_over_tcp() {
+        let _session = Session::wall();
+        crate::counter_add("test.live.count", 7);
+        let exporter = Exporter::start("127.0.0.1:0").expect("bind ephemeral");
+        let addr = exporter.local_addr();
+
+        let metrics = http_get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("test_live_count 7"));
+
+        let health = http_get(addr, "/health");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        let body = health.split("\r\n\r\n").nth(1).expect("body");
+        let obj = crate::json::parse_json(body.trim()).expect("health is JSON");
+        assert_eq!(
+            obj.get("status").and_then(crate::json::Json::as_str),
+            Some("ok")
+        );
+
+        let missing = http_get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        drop(exporter); // must join without hanging
+    }
+}

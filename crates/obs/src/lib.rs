@@ -35,12 +35,18 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod clock;
+pub mod export;
+pub mod json;
 pub mod metrics;
+pub mod quality;
 pub mod report;
 pub mod trace;
 
 pub use clock::{Clock, ClockKind, DeterministicClock, WallClock};
+pub use export::{init_exporter_from_env, Exporter};
+pub use quality::{DriftMonitor, DriftThresholds, DriftVerdict, QualityRecord};
 pub use report::{phase_report, PhaseReport, PhaseRow};
 
 use std::cell::RefCell;
@@ -364,6 +370,23 @@ pub fn histogram_record_volatile(name: &str, v: f64) {
     }
 }
 
+/// Appends a per-experience [`QualityRecord`] to the trace stream as a
+/// typed `quality` event. No-op while disabled; counts against the
+/// same event cap as spans. Quality floats come from seeded model
+/// math, so the event is safe in deterministic traces.
+pub fn quality_record(record: QualityRecord) {
+    if !enabled() {
+        return;
+    }
+    let mut r = recorder();
+    if r.events.len() >= EVENT_CAP {
+        r.dropped += 1;
+        return;
+    }
+    let t = r.clock.now();
+    r.events.push(Event::Quality { t, record });
+}
+
 // ---------------------------------------------------------------------
 // Sinks
 // ---------------------------------------------------------------------
@@ -572,6 +595,31 @@ mod tests {
             let text = snapshot_jsonl();
             assert!(text.contains("test.volatile.count"));
         }
+    }
+
+    #[test]
+    fn quality_records_enter_the_trace_stream() {
+        let _session = Session::deterministic();
+        let mut scores = metrics::Histogram::default();
+        scores.record(1.0);
+        let record = QualityRecord {
+            experience: 0,
+            f1_row: vec![1.0],
+            pr_auc: None,
+            threshold: None,
+            avg: 1.0,
+            fwd_trans: 0.0,
+            bwd_trans: 0.0,
+            scores,
+        };
+        set_enabled(false);
+        quality_record(record.clone());
+        set_enabled(true);
+        assert!(!snapshot_jsonl().contains("\"ev\":\"quality\""));
+        quality_record(record);
+        let text = snapshot_jsonl();
+        assert!(text.contains("\"ev\":\"quality\""));
+        trace::validate_jsonl(&text).expect("trace validates");
     }
 
     #[test]

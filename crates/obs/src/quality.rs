@@ -1,0 +1,322 @@
+//! Model-quality telemetry: per-experience quality records and
+//! score-distribution drift monitoring.
+//!
+//! CND-IDS's continual evaluation produces, per experience, an F1
+//! matrix row, PR-AUC, the Best-F threshold, and the running continual
+//! summary (AVG / FwdTrans / BwdTrans). A [`QualityRecord`] packages
+//! those together with a log-bucketed histogram of the novelty scores
+//! so the trace stream carries *model* quality next to timing spans.
+//!
+//! Drift between score distributions is measured on the histograms
+//! with two standard divergences (DESIGN.md §9):
+//!
+//! * **PSI** (population stability index):
+//!   `Σ_b (p_b − q_b) · ln(p_b / q_b)` — the industry-standard
+//!   monitoring statistic; `> 0.25` is conventionally "major shift".
+//! * **Symmetric KL**: `(KL(p‖q) + KL(q‖p)) / 2` — a smoother
+//!   companion that weights tail buckets less aggressively.
+//!
+//! Both are computed over the union of occupied buckets (plus the zero
+//! bucket) with additive smoothing, so empty buckets never produce
+//! infinities and the result is deterministic for identical inputs.
+
+use crate::metrics::Histogram;
+
+/// Per-experience model-quality payload carried by `quality` trace
+/// events. All floats come from seeded, bit-reproducible model math,
+/// so records are safe to include in deterministic traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityRecord {
+    /// Experience index (0-based).
+    pub experience: usize,
+    /// Row `i` of the F1 matrix: F1 on each experience's test set after
+    /// training on experience `i`.
+    pub f1_row: Vec<f64>,
+    /// PR-AUC over the pooled test set at this step, if computed.
+    pub pr_auc: Option<f64>,
+    /// Best-F selected threshold at this step, if one was selected.
+    pub threshold: Option<f64>,
+    /// Continual AVG over experiences seen so far (diagonal mean).
+    pub avg: f64,
+    /// Forward transfer over experiences seen so far.
+    pub fwd_trans: f64,
+    /// Backward transfer over experiences seen so far (0 at step 0).
+    pub bwd_trans: f64,
+    /// Log-bucketed histogram of the novelty scores at this step.
+    pub scores: Histogram,
+}
+
+/// Thresholds above which a [`DriftVerdict`] flags drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftThresholds {
+    /// PSI above this is drift (0.25 = conventional "major shift").
+    pub psi: f64,
+    /// Symmetric KL above this is drift.
+    pub sym_kl: f64,
+}
+
+impl Default for DriftThresholds {
+    fn default() -> Self {
+        DriftThresholds {
+            psi: 0.25,
+            sym_kl: 0.5,
+        }
+    }
+}
+
+/// Outcome of comparing two score distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftVerdict {
+    /// Population stability index between the two histograms.
+    pub psi: f64,
+    /// Symmetric Kullback-Leibler divergence.
+    pub sym_kl: f64,
+    /// `true` when either statistic exceeded its threshold.
+    pub drifted: bool,
+}
+
+/// Additive smoothing constant for bucket probabilities. Keeps both
+/// divergences finite when a bucket is occupied on one side only.
+const SMOOTHING: f64 = 0.5;
+
+/// Sentinel bucket key for the histogram's dedicated zero bucket.
+const ZERO_BUCKET: i32 = i32::MIN;
+
+/// Smoothed probability vectors for `p` and `q` over the union of
+/// their occupied buckets (zero bucket included). Empty union → empty
+/// vectors.
+fn aligned_probabilities(p: &Histogram, q: &Histogram) -> (Vec<f64>, Vec<f64>) {
+    let mut keys: Vec<i32> = Vec::new();
+    if p.zero > 0 || q.zero > 0 {
+        keys.push(ZERO_BUCKET);
+    }
+    keys.extend(p.buckets.keys().copied());
+    for &k in q.buckets.keys() {
+        if !p.buckets.contains_key(&k) {
+            keys.push(k);
+        }
+    }
+    keys.sort_unstable();
+    if keys.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let count = |h: &Histogram, k: i32| -> f64 {
+        if k == ZERO_BUCKET {
+            h.zero as f64
+        } else {
+            h.buckets.get(&k).copied().unwrap_or(0) as f64
+        }
+    };
+    let k_total = keys.len() as f64;
+    let p_total = p.count as f64 + SMOOTHING * k_total;
+    let q_total = q.count as f64 + SMOOTHING * k_total;
+    let pv = keys
+        .iter()
+        .map(|&k| (count(p, k) + SMOOTHING) / p_total)
+        .collect();
+    let qv = keys
+        .iter()
+        .map(|&k| (count(q, k) + SMOOTHING) / q_total)
+        .collect();
+    (pv, qv)
+}
+
+/// Population stability index between two histograms (0 when both are
+/// empty). Always finite and non-negative.
+pub fn psi(p: &Histogram, q: &Histogram) -> f64 {
+    let (pv, qv) = aligned_probabilities(p, q);
+    pv.iter()
+        .zip(&qv)
+        .map(|(&a, &b)| (a - b) * (a / b).ln())
+        .sum()
+}
+
+/// Symmetric KL divergence `(KL(p‖q) + KL(q‖p)) / 2` between two
+/// histograms (0 when both are empty). Always finite and non-negative.
+pub fn symmetric_kl(p: &Histogram, q: &Histogram) -> f64 {
+    let (pv, qv) = aligned_probabilities(p, q);
+    let kl = |x: &[f64], y: &[f64]| -> f64 {
+        x.iter()
+            .zip(y)
+            .map(|(&a, &b)| a * (a / b).ln())
+            .sum::<f64>()
+    };
+    (kl(&pv, &qv) + kl(&qv, &pv)) / 2.0
+}
+
+/// Compares two histograms against thresholds.
+pub fn compare(previous: &Histogram, current: &Histogram, th: DriftThresholds) -> DriftVerdict {
+    let psi = psi(previous, current);
+    let sym_kl = symmetric_kl(previous, current);
+    DriftVerdict {
+        psi,
+        sym_kl,
+        drifted: psi > th.psi || sym_kl > th.sym_kl,
+    }
+}
+
+/// Rolling score-distribution monitor: accumulates scores into a
+/// current histogram and, on [`DriftMonitor::rotate`], compares it
+/// against the previous window's histogram.
+///
+/// This is the *observed twin* of the streaming `DriftDetector`: the
+/// detector decides when to retrain from a mean shift, while the
+/// monitor keeps the full distributions so the trigger is explainable
+/// after the fact (which buckets moved, by how much).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftMonitor {
+    thresholds: DriftThresholds,
+    previous: Option<Histogram>,
+    current: Histogram,
+    last: Option<DriftVerdict>,
+    rotations: u64,
+}
+
+impl Default for DriftMonitor {
+    fn default() -> Self {
+        Self::new(DriftThresholds::default())
+    }
+}
+
+impl DriftMonitor {
+    /// A monitor with the given drift thresholds.
+    pub fn new(thresholds: DriftThresholds) -> Self {
+        DriftMonitor {
+            thresholds,
+            previous: None,
+            current: Histogram::default(),
+            last: None,
+            rotations: 0,
+        }
+    }
+
+    /// Records one score into the current window.
+    pub fn observe(&mut self, score: f64) {
+        self.current.record(score);
+    }
+
+    /// Scores accepted into the current (un-rotated) window.
+    pub fn observed(&self) -> u64 {
+        self.current.count
+    }
+
+    /// The current window's histogram (snapshot for quality records).
+    pub fn current_histogram(&self) -> &Histogram {
+        &self.current
+    }
+
+    /// Closes the current window: compares it against the previous
+    /// window (when one exists), stores it as the new reference, and
+    /// returns the verdict. Returns `None` on the first rotation (no
+    /// reference yet) or when the current window is empty (the
+    /// reference is kept untouched so a burst of rejected values cannot
+    /// blind the monitor).
+    pub fn rotate(&mut self) -> Option<DriftVerdict> {
+        if self.current.count == 0 {
+            self.current = Histogram::default();
+            return None;
+        }
+        let window = std::mem::take(&mut self.current);
+        let verdict = self
+            .previous
+            .as_ref()
+            .map(|prev| compare(prev, &window, self.thresholds));
+        self.previous = Some(window);
+        self.rotations += 1;
+        if verdict.is_some() {
+            self.last = verdict;
+        }
+        verdict
+    }
+
+    /// The verdict from the most recent comparing rotation.
+    pub fn last_verdict(&self) -> Option<DriftVerdict> {
+        self.last
+    }
+
+    /// Number of completed (non-empty) rotations.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(values: &[f64]) -> Histogram {
+        let mut h = Histogram::default();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn identical_distributions_have_near_zero_divergence() {
+        let p = hist(&[0.5, 1.0, 1.5, 2.0, 4.0, 0.0]);
+        let v = compare(&p, &p.clone(), DriftThresholds::default());
+        assert!(v.psi.abs() < 1e-12, "psi {}", v.psi);
+        assert!(v.sym_kl.abs() < 1e-12, "kl {}", v.sym_kl);
+        assert!(!v.drifted);
+    }
+
+    #[test]
+    fn shifted_distributions_flag_drift() {
+        let low: Vec<f64> = (0..200).map(|i| 0.5 + (i % 7) as f64 * 0.1).collect();
+        let high: Vec<f64> = (0..200).map(|i| 64.0 + (i % 7) as f64 * 8.0).collect();
+        let v = compare(&hist(&low), &hist(&high), DriftThresholds::default());
+        assert!(v.psi > 0.25, "psi {}", v.psi);
+        assert!(v.sym_kl > 0.5, "kl {}", v.sym_kl);
+        assert!(v.drifted);
+    }
+
+    #[test]
+    fn divergences_are_finite_with_disjoint_and_empty_buckets() {
+        let p = hist(&[1.0, 1.5]);
+        let q = hist(&[1024.0, 2048.0]);
+        assert!(psi(&p, &q).is_finite());
+        assert!(symmetric_kl(&p, &q).is_finite());
+        let empty = Histogram::default();
+        assert_eq!(psi(&empty, &empty), 0.0);
+        assert_eq!(symmetric_kl(&empty, &empty), 0.0);
+        assert!(psi(&p, &empty).is_finite());
+    }
+
+    #[test]
+    fn zero_bucket_participates_in_divergence() {
+        let p = hist(&[0.0, 0.0, 0.0, 0.0]);
+        let q = hist(&[8.0, 8.0, 8.0, 8.0]);
+        let v = compare(&p, &q, DriftThresholds::default());
+        assert!(v.drifted, "all-zero vs all-large must drift: {v:?}");
+    }
+
+    #[test]
+    fn monitor_rotation_protocol() {
+        let mut m = DriftMonitor::default();
+        assert!(m.rotate().is_none(), "empty window");
+        for i in 0..50 {
+            m.observe(1.0 + (i % 3) as f64 * 0.25);
+        }
+        assert_eq!(m.observed(), 50);
+        assert!(m.rotate().is_none(), "first window has no reference");
+        assert!(m.last_verdict().is_none());
+        for i in 0..50 {
+            m.observe(1.0 + (i % 3) as f64 * 0.25);
+        }
+        let v = m.rotate().expect("second rotation compares");
+        assert!(!v.drifted);
+        for _ in 0..50 {
+            m.observe(512.0);
+        }
+        let v = m.rotate().expect("third rotation compares");
+        assert!(v.drifted);
+        assert_eq!(m.last_verdict(), Some(v));
+        assert_eq!(m.rotations(), 3);
+        // An all-rejected window must not clobber the reference.
+        m.observe(f64::NAN);
+        assert!(m.rotate().is_none());
+        assert_eq!(m.rotations(), 3);
+        assert_eq!(m.last_verdict(), Some(v));
+    }
+}

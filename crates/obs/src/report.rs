@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::trace::{parse_json, Json};
+use crate::json::{parse_json, Json};
 
 /// Aggregated timing for one span name.
 #[derive(Debug, Clone, PartialEq)]
@@ -178,6 +178,47 @@ impl PhaseReport {
         }
         out
     }
+
+    /// Renders a flamegraph-style self-time profile: the top `limit`
+    /// span names by self time, each with a bar scaled to its share of
+    /// the summed self time. Self time (total minus child time) is the
+    /// honest "where did the cycles actually go" ranking — a parent
+    /// span that only dispatches to children sinks to the bottom.
+    pub fn render_top(&self, limit: usize) -> String {
+        const BAR_WIDTH: usize = 32;
+        let mut rows: Vec<&PhaseRow> = self.rows.iter().collect();
+        rows.sort_by(|a, b| {
+            b.self_time
+                .cmp(&a.self_time)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        let self_total: u64 = rows.iter().map(|r| r.self_time).sum();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "top self-time spans (clock: {}, unit: {}, total self: {})",
+            self.clock, self.unit, self_total
+        );
+        if self_total == 0 {
+            out.push_str("  no self time recorded\n");
+            return out;
+        }
+        for r in rows.iter().take(limit.max(1)) {
+            let share = r.self_time as f64 / self_total as f64;
+            let filled = ((share * BAR_WIDTH as f64).round() as usize).min(BAR_WIDTH);
+            let _ = writeln!(
+                out,
+                "  {:<28} {:<width$} {:>5.1}% {:>12} x{}",
+                r.name,
+                "#".repeat(filled),
+                100.0 * share,
+                r.self_time,
+                r.count,
+                width = BAR_WIDTH
+            );
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -263,5 +304,130 @@ mod tests {
         let table = report.render();
         assert!(table.contains("phase breakdown"));
         assert!(table.contains("root"));
+    }
+
+    #[test]
+    fn render_top_ranks_by_self_time() {
+        let report = phase_report(&nested_trace()).expect("report");
+        let top = report.render_top(10);
+        // Self times: b=40, a=30, root=30 (100 - 70); b leads.
+        let lines: Vec<&str> = top.lines().collect();
+        assert!(lines[0].contains("total self: 100"));
+        assert!(lines[1].trim_start().starts_with('b'), "{top}");
+        assert!(top.contains('#'));
+        // limit=1 keeps only the header and the leader.
+        assert_eq!(report.render_top(1).lines().count(), 2);
+    }
+
+    fn trace_of(events: Vec<Event>) -> String {
+        to_jsonl(
+            ClockKind::Deterministic,
+            &events,
+            0,
+            &Registry::default(),
+            false,
+        )
+    }
+
+    #[test]
+    fn empty_trace_renders_stably() {
+        let report = phase_report(&trace_of(vec![])).expect("meta-only trace");
+        assert_eq!(report.root_total, 0);
+        assert!(report.rows.is_empty());
+        assert_eq!(report.coverage(&["anything"]), 0.0);
+        assert!(report.render().contains("root total: 0"));
+        assert!(report.render_top(5).contains("no self time recorded"));
+        // Fully empty text (no meta line) also parses to an empty report.
+        let report = phase_report("").expect("empty text");
+        assert!(report.rows.is_empty());
+    }
+
+    #[test]
+    fn single_span_trace_is_all_self_time() {
+        let report = phase_report(&trace_of(vec![
+            Event::SpanBegin {
+                t: 5,
+                id: 1,
+                parent: 0,
+                name: "only",
+                fields: vec![],
+            },
+            Event::SpanEnd {
+                t: 9,
+                id: 1,
+                dur: 4,
+            },
+        ]))
+        .expect("report");
+        assert_eq!(report.root_total, 4);
+        let row = report.row("only").unwrap();
+        assert_eq!((row.count, row.total, row.self_time), (1, 4, 4));
+        assert!((report.coverage(&["only"]) - 1.0).abs() < 1e-12);
+        assert!(report.render_top(3).contains("only"));
+    }
+
+    #[test]
+    fn zero_self_time_spans_do_not_panic_or_divide_by_zero() {
+        // Parent fully covered by its child: parent self time is 0.
+        let report = phase_report(&trace_of(vec![
+            Event::SpanBegin {
+                t: 0,
+                id: 1,
+                parent: 0,
+                name: "wrapper",
+                fields: vec![],
+            },
+            Event::SpanBegin {
+                t: 0,
+                id: 2,
+                parent: 1,
+                name: "inner",
+                fields: vec![],
+            },
+            Event::SpanEnd {
+                t: 10,
+                id: 2,
+                dur: 10,
+            },
+            Event::SpanEnd {
+                t: 10,
+                id: 1,
+                dur: 10,
+            },
+        ]))
+        .expect("report");
+        assert_eq!(report.row("wrapper").unwrap().self_time, 0);
+        let top = report.render_top(5);
+        assert!(top.contains("inner"));
+        assert!(top.contains("wrapper"));
+        // Zero-duration spans everywhere: render paths stay finite.
+        let report = phase_report(&trace_of(vec![
+            Event::SpanBegin {
+                t: 3,
+                id: 1,
+                parent: 0,
+                name: "instant",
+                fields: vec![],
+            },
+            Event::SpanEnd {
+                t: 3,
+                id: 1,
+                dur: 0,
+            },
+        ]))
+        .expect("report");
+        assert_eq!(report.root_total, 0);
+        assert!(report.render().contains("instant"));
+        assert!(report.render_top(5).contains("no self time recorded"));
+    }
+
+    #[test]
+    fn coverage_with_unknown_names_is_zero_not_panic() {
+        let report = phase_report(&nested_trace()).expect("report");
+        assert_eq!(report.coverage(&[]), 0.0);
+        assert_eq!(report.coverage(&["missing", "also.missing"]), 0.0);
+        // Mix of known and unknown only counts the known.
+        assert!((report.coverage(&["a", "missing"]) - 0.3).abs() < 1e-12);
+        assert!(report.row("missing").is_none());
     }
 }

@@ -13,16 +13,20 @@
 //! Serialization is fully deterministic: events in recording order,
 //! metrics sorted by name, floats formatted with `{:?}` (shortest
 //! round-trip representation), object keys emitted in a fixed order.
-//! The reader side is a tiny recursive-descent JSON parser — enough to
-//! replay traces for `observe` and the schema-check binary without any
-//! external dependency.
+//! The reader side is the shared [`crate::json`] recursive-descent
+//! parser — enough to replay traces for `observe` and the schema-check
+//! binary without any external dependency.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::clock::ClockKind;
-use crate::metrics::{Metric, MetricValue, Registry};
+use crate::json::{escape_json, write_f64};
+use crate::metrics::{Histogram, Metric, MetricValue, Registry};
+use crate::quality::QualityRecord;
 use crate::Value;
+
+pub use crate::json::{parse_json, Json};
 
 /// Trace format version written into the meta line.
 pub const TRACE_VERSION: u64 = 1;
@@ -53,22 +57,15 @@ pub enum Event {
         /// `end - begin` in clock units.
         dur: u64,
     },
-}
-
-fn escape_json(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
+    /// A per-experience model-quality record (F1 row, PR-AUC, continual
+    /// summary, novelty-score histogram). Emitted by the experiment
+    /// runner once per experience.
+    Quality {
+        /// Timestamp (clock units).
+        t: u64,
+        /// The quality payload.
+        record: QualityRecord,
+    },
 }
 
 fn write_value(v: &Value, out: &mut String) {
@@ -88,14 +85,39 @@ fn write_value(v: &Value, out: &mut String) {
     }
 }
 
-/// JSON has no NaN/inf literals; map them to null so the line stays
-/// parseable. `{:?}` on f64 is the shortest round-trip form, which is
-/// both compact and deterministic.
-fn write_f64(f: f64, out: &mut String) {
-    if f.is_finite() {
-        let _ = write!(out, "{f:?}");
-    } else {
-        out.push_str("null");
+/// Writes the field list shared by `hist` metric lines and the `scores`
+/// object inside `quality` events (everything after the opening brace).
+fn write_histogram_body(h: &Histogram, out: &mut String) {
+    let _ = write!(
+        out,
+        "\"count\":{},\"zero\":{},\"rejected\":{},\"sum\":",
+        h.count, h.zero, h.rejected
+    );
+    write_f64(h.sum, out);
+    out.push_str(",\"min\":");
+    match h.min {
+        Some(v) => write_f64(v, out),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"max\":");
+    match h.max {
+        Some(v) => write_f64(v, out),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"buckets\":{");
+    for (i, (e, c)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{e}\":{c}");
+    }
+    out.push('}');
+}
+
+fn write_opt_f64(v: Option<f64>, out: &mut String) {
+    match v {
+        Some(v) => write_f64(v, out),
+        None => out.push_str("null"),
     }
 }
 
@@ -135,6 +157,32 @@ fn write_event(ev: &Event, out: &mut String) {
                 "{{\"ev\":\"span_end\",\"t\":{t},\"id\":{id},\"dur\":{dur}}}"
             );
         }
+        Event::Quality { t, record } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"quality\",\"t\":{t},\"experience\":{},\"f1\":[",
+                record.experience
+            );
+            for (i, v) in record.f1_row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_f64(*v, out);
+            }
+            out.push_str("],\"pr_auc\":");
+            write_opt_f64(record.pr_auc, out);
+            out.push_str(",\"threshold\":");
+            write_opt_f64(record.threshold, out);
+            out.push_str(",\"avg\":");
+            write_f64(record.avg, out);
+            out.push_str(",\"fwd_trans\":");
+            write_f64(record.fwd_trans, out);
+            out.push_str(",\"bwd_trans\":");
+            write_f64(record.bwd_trans, out);
+            out.push_str(",\"scores\":{");
+            write_histogram_body(&record.scores, out);
+            out.push_str("}}");
+        }
     }
 }
 
@@ -150,32 +198,7 @@ fn write_metric(name: &str, m: &Metric, out: &mut String) {
             out.push_str("\"value\":");
             write_f64(*g, out);
         }
-        MetricValue::Histogram(h) => {
-            let _ = write!(
-                out,
-                "\"count\":{},\"zero\":{},\"rejected\":{},\"sum\":",
-                h.count, h.zero, h.rejected
-            );
-            write_f64(h.sum, out);
-            out.push_str(",\"min\":");
-            match h.min {
-                Some(v) => write_f64(v, out),
-                None => out.push_str("null"),
-            }
-            out.push_str(",\"max\":");
-            match h.max {
-                Some(v) => write_f64(v, out),
-                None => out.push_str("null"),
-            }
-            out.push_str(",\"buckets\":{");
-            for (i, (e, c)) in h.buckets.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                let _ = write!(out, "\"{e}\":{c}");
-            }
-            out.push('}');
-        }
+        MetricValue::Histogram(h) => write_histogram_body(h, out),
     }
     out.push('}');
 }
@@ -210,241 +233,6 @@ pub fn to_jsonl(
         out.push('\n');
     }
     out
-}
-
-// ---------------------------------------------------------------------
-// Minimal JSON reader (just enough to replay our own traces).
-// ---------------------------------------------------------------------
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (parsed as f64).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object (key order normalized to a BTreeMap).
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    /// Object field lookup (None for non-objects / missing keys).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s.as_str()),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload as u64 (must be a non-negative integer).
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
-            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
-            Some(b't') => self.parse_lit("true", Json::Bool(true)),
-            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
-            Some(b'n') => self.parse_lit("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.parse_number(),
-            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
-        }
-    }
-
-    fn parse_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'/') => s.push('/'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b't') => s.push('\t'),
-                        Some(b'b') => s.push('\u{8}'),
-                        Some(b'f') => s.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = std::str::from_utf8(hex)
-                                .ok()
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or("bad \\u escape")?;
-                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("bad escape {other:?}")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Copy a full UTF-8 scalar, not a byte.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid utf-8".to_string())?;
-                    let c = rest.chars().next().unwrap();
-                    s.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("expected ',' or ']' got {other:?}")),
-            }
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            map.insert(key, value);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(map));
-                }
-                other => return Err(format!("expected ',' or '}}' got {other:?}")),
-            }
-        }
-    }
-}
-
-/// Parses one JSON document from `s` (trailing whitespace allowed).
-pub fn parse_json(s: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        bytes: s.as_bytes(),
-        pos: 0,
-    };
-    let v = p.parse_value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing data at byte {}", p.pos));
-    }
-    Ok(v)
 }
 
 /// Structural validation of a JSONL trace. Checks that the first line
@@ -541,6 +329,39 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
                         return Err(format!("line {n}: hist missing buckets object"));
                     }
                 }
+                "quality" => {
+                    obj.get("t")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("line {n}: quality missing t"))?;
+                    obj.get("experience")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("line {n}: quality missing experience"))?;
+                    let f1 = obj
+                        .get("f1")
+                        .and_then(Json::as_arr)
+                        .ok_or(format!("line {n}: quality missing f1 array"))?;
+                    if f1.iter().any(|v| !matches!(v, Json::Num(_) | Json::Null)) {
+                        return Err(format!("line {n}: quality f1 entries must be numbers"));
+                    }
+                    for field in ["avg", "fwd_trans", "bwd_trans"] {
+                        if obj.get(field).is_none() {
+                            return Err(format!("line {n}: quality missing {field}"));
+                        }
+                    }
+                    let scores = obj
+                        .get("scores")
+                        .and_then(Json::as_obj)
+                        .ok_or(format!("line {n}: quality missing scores object"))?;
+                    for field in ["count", "zero", "rejected"] {
+                        scores
+                            .get(field)
+                            .and_then(Json::as_u64)
+                            .ok_or(format!("line {n}: quality scores missing {field}"))?;
+                    }
+                    if !matches!(scores.get("buckets"), Some(Json::Obj(_))) {
+                        return Err(format!("line {n}: quality scores missing buckets"));
+                    }
+                }
                 other => return Err(format!("line {n}: unknown event kind {other}")),
             }
         }
@@ -612,19 +433,58 @@ mod tests {
     }
 
     #[test]
-    fn parser_handles_escapes_and_nesting() {
-        let j = parse_json(r#"{"a":[1,2.5,-3e2],"b":{"c":"x\"y\nz"},"d":null,"e":true}"#)
-            .expect("parse");
-        assert_eq!(
-            j.get("a").unwrap(),
-            &Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-300.0)])
+    fn quality_events_serialize_and_validate() {
+        let mut scores = Histogram::default();
+        for v in [0.5, 1.5, 2.5, 0.0] {
+            scores.record(v);
+        }
+        let record = QualityRecord {
+            experience: 1,
+            f1_row: vec![0.9, 0.45],
+            pr_auc: Some(0.875),
+            threshold: Some(1.25),
+            avg: 0.675,
+            fwd_trans: 0.45,
+            bwd_trans: 0.0,
+            scores,
+        };
+        let events = vec![Event::Quality { t: 3, record }];
+        let text = to_jsonl(
+            ClockKind::Deterministic,
+            &events,
+            0,
+            &Registry::default(),
+            false,
         );
+        validate_jsonl(&text).expect("quality trace validates");
+        let line = text.lines().nth(1).unwrap();
+        let obj = parse_json(line).expect("quality line parses");
+        assert_eq!(obj.get("ev").and_then(Json::as_str), Some("quality"));
+        assert_eq!(obj.get("experience").and_then(Json::as_u64), Some(1));
         assert_eq!(
-            j.get("b").unwrap().get("c").unwrap().as_str(),
-            Some("x\"y\nz")
+            obj.get("f1").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
         );
-        assert_eq!(j.get("d"), Some(&Json::Null));
-        assert_eq!(j.get("e"), Some(&Json::Bool(true)));
+        assert_eq!(obj.get("pr_auc").and_then(Json::as_f64), Some(0.875));
+        let scores = obj.get("scores").unwrap();
+        assert_eq!(scores.get("count").and_then(Json::as_u64), Some(4));
+        assert_eq!(scores.get("zero").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn quality_events_with_missing_fields_are_rejected() {
+        let meta =
+            "{\"ev\":\"meta\",\"version\":1,\"clock\":\"wall\",\"unit\":\"us\",\"dropped\":0}";
+        let no_scores = format!(
+            "{meta}\n{{\"ev\":\"quality\",\"t\":1,\"experience\":0,\"f1\":[0.5],\"avg\":0.5,\"fwd_trans\":0.0,\"bwd_trans\":0.0}}"
+        );
+        assert!(validate_jsonl(&no_scores)
+            .unwrap_err()
+            .contains("missing scores"));
+        let no_f1 = format!(
+            "{meta}\n{{\"ev\":\"quality\",\"t\":1,\"experience\":0,\"avg\":0.5,\"fwd_trans\":0.0,\"bwd_trans\":0.0,\"scores\":{{\"count\":0,\"zero\":0,\"rejected\":0,\"buckets\":{{}}}}}}"
+        );
+        assert!(validate_jsonl(&no_f1).unwrap_err().contains("missing f1"));
     }
 
     #[test]

@@ -16,8 +16,13 @@
 //!   pipeline over the stream (optionally with seeded input corruption)
 //!   and print pooled detection quality; `--health` appends the
 //!   pipeline's final health report.
-//! * `observe <trace.jsonl>` — validate a trace written by `--trace-out`
-//!   (or `CND_OBS_OUT`) and print the phase-time breakdown.
+//! * `observe <trace.jsonl> [--top [N]]` — validate a trace written by
+//!   `--trace-out` (or `CND_OBS_OUT`) and print the phase-time
+//!   breakdown; `--top` prints a self-time profile instead.
+//! * `bench-check <current> [--baseline <path>] [--update]
+//!   [--tolerance T]` — compare a bench report or quality trace against
+//!   a committed baseline under `baselines/` and exit non-zero on
+//!   regression; `--update` (re)writes the baseline instead.
 //! * `profiles` — list the built-in dataset profiles.
 //!
 //! Observability: setting `CND_OBS=1` (wall clock) or `CND_OBS=det`
@@ -25,7 +30,9 @@
 //! subcommand — records spans and metrics via `cnd-obs`. `--trace-out`
 //! writes the JSONL trace to the given path; with `CND_OBS` alone a
 //! summary table is printed to stderr (and the trace goes to
-//! `CND_OBS_OUT` when that is set).
+//! `CND_OBS_OUT` when that is set). Setting `CND_OBS_LISTEN=<addr>`
+//! additionally serves live Prometheus `/metrics` and JSON `/health`
+//! over HTTP for the lifetime of the process.
 //!
 //! Exit code is non-zero on any error; messages go to stderr.
 
@@ -53,13 +60,15 @@ fn main() -> ExitCode {
         cnd_obs::reset(cnd_obs::ClockKind::Wall);
         cnd_obs::set_enabled(true);
     }
+    // Keep the exporter (if CND_OBS_LISTEN is set) alive until exit.
+    let _exporter = cnd_obs::init_exporter_from_env();
     match run(&args) {
-        Ok(()) => {
+        Ok(code) => {
             if let Err(msg) = finish_observability(trace_out.as_deref(), env_enabled) {
                 eprintln!("error: {msg}");
                 return ExitCode::FAILURE;
             }
-            ExitCode::SUCCESS
+            code
         }
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -100,11 +109,13 @@ const USAGE: &str = "usage:
   cnd-ids-cli train <data.csv> <model.txt> [--experiences M] [--seed N]
   cnd-ids-cli score <model.txt> <data.csv> [--quantile Q]
   cnd-ids-cli stream <data.csv> [--experiences M] [--seed N] [--chunk N] [--fault-rate R] [--health]
-  cnd-ids-cli observe <trace.jsonl>
+  cnd-ids-cli observe <trace.jsonl> [--top [N]]
+  cnd-ids-cli bench-check <current> [--baseline <path>] [--update] [--tolerance T]
 
 observability: every subcommand accepts --trace-out <path> to record a
 span/metric trace; CND_OBS=1 (wall) or CND_OBS=det (deterministic)
-enables tracing with a stderr summary, CND_OBS_OUT=<path> writes JSONL.";
+enables tracing with a stderr summary, CND_OBS_OUT=<path> writes JSONL,
+CND_OBS_LISTEN=<addr> serves live /metrics (Prometheus) and /health.";
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match args.iter().position(|a| a == name) {
@@ -130,7 +141,9 @@ fn profile_by_name(name: &str) -> Result<DatasetProfile, String> {
         })
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let rest = args.get(1..).unwrap_or_default();
+    let done = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match args.first().map(String::as_str) {
         Some("profiles") => {
             for p in DatasetProfile::ALL {
@@ -143,14 +156,15 @@ fn run(args: &[String]) -> Result<(), String> {
                     100.0 * p.attack_fraction()
                 );
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        Some("generate") => cmd_generate(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("train") => cmd_train(&args[1..]),
-        Some("score") => cmd_score(&args[1..]),
-        Some("stream") => cmd_stream(&args[1..]),
-        Some("observe") => cmd_observe(&args[1..]),
+        Some("generate") => done(cmd_generate(rest)),
+        Some("run") => done(cmd_run(rest)),
+        Some("train") => done(cmd_train(rest)),
+        Some("score") => done(cmd_score(rest)),
+        Some("stream") => done(cmd_stream(rest)),
+        Some("observe") => done(cmd_observe(rest)),
+        Some("bench-check") => cmd_bench_check(rest),
         Some(other) => Err(format!("unknown subcommand {other:?}")),
         None => Err("no subcommand given".into()),
     }
@@ -297,8 +311,83 @@ fn cmd_observe(args: &[String]) -> Result<(), String> {
         "trace: {path} ({lines} lines, schema v{})",
         cnd_obs::trace::TRACE_VERSION
     );
-    print!("{}", report.render());
+    match args.iter().position(|a| a == "--top") {
+        None => print!("{}", report.render()),
+        Some(i) => {
+            // --top takes an optional count; default to the ten hottest spans.
+            let limit = match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => v
+                    .parse()
+                    .map_err(|_| format!("invalid value for --top: {v:?}"))?,
+                _ => 10,
+            };
+            print!("{}", report.render_top(limit));
+        }
+    }
     Ok(())
+}
+
+fn cmd_bench_check(args: &[String]) -> Result<ExitCode, String> {
+    use cnd_obs::baseline::{compare, extract_metrics, render_baseline};
+
+    let current_path = args.first().ok_or("bench-check: missing <current>")?;
+    let baseline_path = match parse_flag::<String>(args, "--baseline", String::new())? {
+        s if s.is_empty() => {
+            let stem = std::path::Path::new(current_path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| {
+                    format!("bench-check: cannot derive a stem from {current_path:?}")
+                })?;
+            std::path::PathBuf::from("baselines").join(format!("{stem}.json"))
+        }
+        s => std::path::PathBuf::from(s),
+    };
+    let text = std::fs::read_to_string(current_path).map_err(|e| format!("{current_path}: {e}"))?;
+    let current = extract_metrics(&text).map_err(|e| format!("{current_path}: {e}"))?;
+
+    if args.iter().any(|a| a == "--update") {
+        if let Some(dir) = baseline_path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(&baseline_path, render_baseline(&current))
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "baseline updated: {} ({} metrics)",
+            baseline_path.display(),
+            current.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let tolerance = match parse_flag::<f64>(args, "--tolerance", f64::NAN)? {
+        t if t.is_nan() => None,
+        t if t >= 0.0 => Some(t),
+        t => return Err(format!("--tolerance must be >= 0, got {t}")),
+    };
+    let base_text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "{}: {e} (run `cnd-ids-cli bench-check {current_path} --update` to create it)",
+            baseline_path.display()
+        )
+    })?;
+    let baseline =
+        extract_metrics(&base_text).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+    let report = compare(&current, &baseline, tolerance);
+    print!("{}", report.render());
+    if report.passed {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        // A genuine regression is not a usage error: report it plainly
+        // (no usage blurb) and let CI fail on the exit code.
+        eprintln!(
+            "bench-check: regression against {}",
+            baseline_path.display()
+        );
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 fn cmd_score(args: &[String]) -> Result<(), String> {

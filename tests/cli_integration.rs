@@ -229,6 +229,171 @@ fn trace_out_then_observe_round_trip() {
     std::fs::remove_file(&trace).ok();
 }
 
+/// Satellite: `observe` must exit non-zero when trace validation
+/// fails, even for traces whose lines all parse as JSON individually —
+/// here a structurally invalid trace with an unclosed span.
+#[test]
+fn observe_rejects_unclosed_span_with_nonzero_exit() {
+    let trace = tmp("unclosed.jsonl");
+    std::fs::write(
+        &trace,
+        concat!(
+            "{\"ev\":\"meta\",\"version\":1,\"clock\":\"deterministic\",\"unit\":\"tick\",\"dropped\":0}\n",
+            "{\"ev\":\"span_begin\",\"t\":1,\"id\":1,\"parent\":0,\"name\":\"runner.train\",\"fields\":{}}\n",
+        ),
+    )
+    .expect("write trace");
+    let out = Command::new(cli())
+        .args(["observe", trace.to_str().expect("utf8 path")])
+        .output()
+        .expect("CLI runs");
+    assert!(!out.status.success(), "unclosed span must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid trace"), "stderr: {stderr}");
+    std::fs::remove_file(&trace).ok();
+}
+
+/// `observe --top N` prints a self-time profile instead of the phase
+/// breakdown.
+#[test]
+fn observe_top_prints_self_time_profile() {
+    let trace = tmp("top.jsonl");
+    std::fs::write(
+        &trace,
+        concat!(
+            "{\"ev\":\"meta\",\"version\":1,\"clock\":\"deterministic\",\"unit\":\"tick\",\"dropped\":0}\n",
+            "{\"ev\":\"span_begin\",\"t\":1,\"id\":1,\"parent\":0,\"name\":\"runner.train\",\"fields\":{}}\n",
+            "{\"ev\":\"span_end\",\"t\":5,\"id\":1,\"name\":\"runner.train\",\"dur\":4}\n",
+        ),
+    )
+    .expect("write trace");
+    let out = Command::new(cli())
+        .args(["observe", trace.to_str().expect("utf8 path"), "--top", "5"])
+        .output()
+        .expect("CLI runs");
+    assert!(
+        out.status.success(),
+        "observe --top failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("top self-time spans"), "stdout: {stdout}");
+    assert!(stdout.contains("runner.train"), "stdout: {stdout}");
+    std::fs::remove_file(&trace).ok();
+}
+
+/// Tentpole acceptance criterion: `bench-check` exits zero against the
+/// committed baselines and non-zero on a doctored report with a 10x
+/// slower kernel.
+#[test]
+fn bench_check_passes_committed_pair_and_fails_doctored() {
+    // The committed BENCH_substrate.json vs its committed baseline.
+    let out = Command::new(cli())
+        .args(["bench-check", "BENCH_substrate.json"])
+        .output()
+        .expect("CLI runs");
+    assert!(
+        out.status.success(),
+        "committed pair must pass: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bench-check: PASS"), "stdout: {stdout}");
+
+    // Doctor one serial rate down 10x: that is below the Relative(0.6)
+    // floor, so the check must fail with a non-zero exit.
+    let doctored = tmp("doctored_bench.json");
+    let text = std::fs::read_to_string("BENCH_substrate.json").expect("bench report committed");
+    let needle = "\"serial_rate\":";
+    let at = text.find(needle).expect("serial_rate field") + needle.len();
+    let end = at + text[at..].find([',', '}']).expect("number end");
+    let rate: f64 = text[at..end].trim().parse().expect("rate parses");
+    let slow = format!("{}{}{}", &text[..at], rate / 10.0, &text[end..]);
+    std::fs::write(&doctored, slow).expect("write doctored report");
+
+    let out = Command::new(cli())
+        .args([
+            "bench-check",
+            doctored.to_str().expect("utf8 path"),
+            "--baseline",
+            "baselines/BENCH_substrate.json",
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(!out.status.success(), "doctored report must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "stdout: {stdout}");
+    assert!(stdout.contains("bench-check: FAIL"), "stdout: {stdout}");
+    // A regression is not a usage error: no usage blurb on this path.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("usage:"), "stderr: {stderr}");
+    std::fs::remove_file(&doctored).ok();
+}
+
+/// `bench-check --update` creates a baseline that the same artifact
+/// then passes against; a missing baseline is an error that points at
+/// `--update`.
+#[test]
+fn bench_check_update_workflow_round_trips() {
+    let dir = tmp("bench_baselines");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let baseline = dir.join("roundtrip.json");
+
+    // Without a baseline: fail, and tell the user how to create one.
+    let out = Command::new(cli())
+        .args([
+            "bench-check",
+            "BENCH_substrate.json",
+            "--baseline",
+            baseline.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(!out.status.success(), "missing baseline must fail");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--update"),
+        "error should suggest --update"
+    );
+
+    // --update writes it; a re-check of the identical artifact passes.
+    let out = Command::new(cli())
+        .args([
+            "bench-check",
+            "BENCH_substrate.json",
+            "--baseline",
+            baseline.to_str().expect("utf8 path"),
+            "--update",
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(
+        out.status.success(),
+        "--update failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let written = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(written.starts_with("{\"benchcheck\":1"), "got: {written}");
+
+    let out = Command::new(cli())
+        .args([
+            "bench-check",
+            "BENCH_substrate.json",
+            "--baseline",
+            baseline.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(
+        out.status.success(),
+        "identical artifact must pass its own baseline: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    std::fs::remove_file(&baseline).ok();
+    std::fs::remove_dir(&dir).ok();
+}
+
 #[test]
 fn profiles_subcommand_lists_all() {
     let out = Command::new(cli())

@@ -64,6 +64,95 @@ fn continual_run_spans_cover_at_least_ninety_percent() {
     obs::trace::validate_jsonl(&jsonl).expect("trace validates");
 }
 
+/// Tentpole acceptance criterion: a traced full evaluation emits
+/// exactly one schema-valid `quality` event per experience, carrying
+/// the F1 matrix row, running continual metrics, and the score
+/// histogram.
+#[test]
+fn quality_events_one_per_experience() {
+    let _session = obs::Session::deterministic();
+    let s = split(5);
+    let m = s.len();
+    let mut model = CndIds::new(CndIdsConfig::fast(5), &s.clean_normal).unwrap();
+    evaluate_continual(&mut model, &s).unwrap();
+
+    let jsonl = obs::snapshot_jsonl();
+    obs::trace::validate_jsonl(&jsonl).expect("trace validates");
+    let quality: Vec<&str> = jsonl
+        .lines()
+        .filter(|l| l.starts_with("{\"ev\":\"quality\""))
+        .collect();
+    assert_eq!(quality.len(), m, "one quality event per experience");
+    for (i, line) in quality.iter().enumerate() {
+        let obj = obs::trace::parse_json(line).expect("quality line parses");
+        assert_eq!(
+            obj.get("experience").and_then(|v| v.as_f64()),
+            Some(i as f64)
+        );
+        let f1 = obj.get("f1").and_then(|v| v.as_arr()).expect("f1 row");
+        assert_eq!(f1.len(), m, "f1 row spans all experiences");
+        let scores = obj.get("scores").and_then(|v| v.as_obj()).expect("scores");
+        let count = scores
+            .iter()
+            .find(|(k, _)| k.as_str() == "count")
+            .expect("count");
+        assert!(count.1.as_f64().unwrap() > 0.0, "scores histogram nonempty");
+        for key in ["avg", "fwd_trans", "bwd_trans"] {
+            assert!(
+                obj.get(key).and_then(|v| v.as_f64()).is_some(),
+                "{key} missing"
+            );
+        }
+    }
+}
+
+/// Tentpole acceptance criterion: while a run is live, the exporter
+/// serves valid Prometheus text on /metrics and a JSON health document
+/// on /health.
+#[test]
+fn exporter_serves_metrics_and_health_during_a_run() {
+    use std::io::{Read as _, Write as _};
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut conn = std::net::TcpStream::connect(addr).expect("connect to exporter");
+        write!(
+            conn,
+            "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+        )
+        .expect("send request");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    let _session = obs::Session::wall();
+    let exporter = obs::Exporter::start("127.0.0.1:0").expect("bind ephemeral port");
+
+    let s = split(7);
+    let model = CndIds::new(CndIdsConfig::fast(7), &s.clean_normal).unwrap();
+    let mut stream = ResilientStreamingCndIds::new(model, ResilientConfig::default()).unwrap();
+    evaluate_resilient_streaming(&mut stream, &s, 256).unwrap();
+
+    let metrics = http_get(exporter.local_addr(), "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "got: {metrics}");
+    assert!(
+        metrics.contains("text/plain; version=0.0.4"),
+        "Prometheus content type missing: {metrics}"
+    );
+    assert!(metrics.contains("# TYPE cnd_obs_events counter"));
+    assert!(
+        metrics.contains("# TYPE resilience_retrain_success_count counter"),
+        "domain counter missing from exposition: {metrics}"
+    );
+
+    let health = http_get(exporter.local_addr(), "/health");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "got: {health}");
+    assert!(health.contains("\"status\":\"ok\""), "got: {health}");
+
+    let missing = http_get(exporter.local_addr(), "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "got: {missing}");
+}
+
 /// Satellite: two identical seeded runs under the deterministic clock
 /// produce byte-identical JSONL traces, even when the thread-pool size
 /// differs (scheduling-dependent metrics are excluded as volatile).
