@@ -10,7 +10,8 @@
 //! training-time state and are not persisted; to continue training,
 //! keep the original [`CndIds`] value.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
 
 use cnd_linalg::Matrix;
 use cnd_ml::pca::Pca;
@@ -126,6 +127,48 @@ impl DeployedScorer {
         write_floats(&mut w, self.pca.components().as_slice())?;
         write_floats(&mut w, self.pca.explained_variance())?;
         Ok(())
+    }
+
+    /// Saves the scorer to `path` atomically: the artifact is written
+    /// to a sibling `*.tmp` file through a buffered writer and then
+    /// renamed into place, so a concurrent reader (e.g. a `--watch`
+    /// reloader) can never observe a half-written model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] on filesystem failures.
+    pub fn save_to_path(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let write_result = (|| {
+            let file = std::fs::File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            self.save(&mut w)?;
+            w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            Ok(())
+        })();
+        if let Err(e) = write_result {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(CoreError::Io(e));
+        }
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CoreError::Io(e)
+        })
+    }
+
+    /// Loads a scorer from `path` through a buffered reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] when the file cannot be opened and
+    /// [`CoreError::CorruptModel`] for malformed contents (see
+    /// [`load`](Self::load)).
+    pub fn load_from_path(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let file = std::fs::File::open(path.as_ref()).map_err(CoreError::Io)?;
+        Self::load(BufReader::new(file))
     }
 
     /// Deserializes a scorer.
@@ -341,6 +384,35 @@ mod tests {
         let a = scorer.anomaly_scores(&test).unwrap();
         let b = restored.anomaly_scores(&test).unwrap();
         assert_eq!(a, b, "17-digit float round trip must be exact");
+    }
+
+    #[test]
+    fn path_round_trip_is_exact_and_leaves_no_tmp_file() {
+        let (model, test) = trained_model();
+        let scorer = DeployedScorer::from_model(&model).unwrap();
+        let path = std::env::temp_dir().join(format!("cnd_deploy_path_{}.txt", std::process::id()));
+        scorer.save_to_path(&path).unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(
+            !std::path::Path::new(&tmp).exists(),
+            "tmp staging file must be renamed away"
+        );
+        let restored = DeployedScorer::load_from_path(&path).unwrap();
+        assert_eq!(
+            scorer.anomaly_scores(&test).unwrap(),
+            restored.anomaly_scores(&test).unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_from_missing_path_is_io_error() {
+        let missing = std::env::temp_dir().join("cnd_deploy_definitely_missing.txt");
+        match DeployedScorer::load_from_path(&missing) {
+            Err(CoreError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub enum CoreError {
         /// What was wrong with the artifact.
         reason: &'static str,
     },
+    /// Filesystem I/O failure while saving or loading an artifact.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for CoreError {
@@ -76,6 +78,7 @@ impl fmt::Display for CoreError {
             CoreError::CorruptModel { reason } => {
                 write!(f, "corrupt model artifact: {reason}")
             }
+            CoreError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
@@ -89,6 +92,7 @@ impl Error for CoreError {
             CoreError::Detector(e) => Some(e),
             CoreError::Dataset(e) => Some(e),
             CoreError::Metrics(e) => Some(e),
+            CoreError::Io(e) => Some(e),
             _ => None,
         }
     }
@@ -122,6 +126,11 @@ impl From<DatasetError> for CoreError {
 impl From<MetricsError> for CoreError {
     fn from(e: MetricsError) -> Self {
         CoreError::Metrics(e)
+    }
+}
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
     }
 }
 

@@ -1,0 +1,155 @@
+//! A minimal synchronous client for the `cnd-serve` wire protocol,
+//! used by the CLI `loadgen` subcommand and the integration tests.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{read_reply, write_request, FrameError, Reply, Request, ServerInfo};
+
+/// Default client read timeout: far above any sane batching deadline,
+/// so hitting it means the server is gone, not slow.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Errors a [`ServeClient`] call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The server's reply frame could not be decoded.
+    Protocol(String),
+    /// The server replied, but with a different correlation id than the
+    /// request carried — the stream is out of sync.
+    IdMismatch {
+        /// Id the request carried.
+        sent: u64,
+        /// Id the reply echoed.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(reason) => write!(f, "protocol error: {reason}"),
+            ClientError::IdMismatch { sent, got } => {
+                write!(f, "reply id {got} does not match request id {sent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// A blocking connection to a `cnd-serve` instance. One request is in
+/// flight at a time; ids are assigned sequentially and checked against
+/// the echoed reply id.
+#[derive(Debug)]
+pub struct ServeClient {
+    conn: TcpStream,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connects with `TCP_NODELAY` and a 10 s read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/socket-option failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ClientError> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_nodelay(true)?;
+        conn.set_read_timeout(Some(READ_TIMEOUT))?;
+        Ok(ServeClient { conn, next_id: 1 })
+    }
+
+    fn round_trip(&mut self, make: impl FnOnce(u64) -> Request) -> Result<Reply, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = make(id);
+        write_request(&mut self.conn, &req)?;
+        let reply = read_reply(&mut self.conn)?;
+        let got = reply_id(&reply);
+        if got != id {
+            return Err(ClientError::IdMismatch { sent: id, got });
+        }
+        Ok(reply)
+    }
+
+    /// Scores one flow-feature vector. The reply is whatever the server
+    /// decided: `Score`, `Overloaded`, or `BadRequest`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failures; a typed error *reply* is an `Ok`.
+    pub fn score(&mut self, features: &[f64]) -> Result<Reply, ClientError> {
+        self.round_trip(|id| Request::Score {
+            id,
+            features: features.to_vec(),
+        })
+    }
+
+    /// Asks the server to hot-swap its model from disk. Returns the new
+    /// model version.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] when the server refused the reload
+    /// (the refusal reason is included), plus transport failures.
+    pub fn reload(&mut self) -> Result<u32, ClientError> {
+        match self.round_trip(|id| Request::Reload { id })? {
+            Reply::ReloadOk { model_version, .. } => Ok(model_version),
+            Reply::ReloadFailed { reason, .. } => {
+                Err(ClientError::Protocol(format!("reload refused: {reason}")))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to reload: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's model/counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing failures or an unexpected reply kind.
+    pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
+        match self.round_trip(|id| Request::Info { id })? {
+            Reply::Info { info, .. } => Ok(info),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to info: {other:?}"
+            ))),
+        }
+    }
+}
+
+fn reply_id(reply: &Reply) -> u64 {
+    match *reply {
+        Reply::Score { id, .. }
+        | Reply::BadRequest { id, .. }
+        | Reply::Overloaded { id }
+        | Reply::ReloadOk { id, .. }
+        | Reply::ReloadFailed { id, .. }
+        | Reply::Info { id, .. } => id,
+    }
+}

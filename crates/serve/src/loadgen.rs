@@ -1,0 +1,355 @@
+//! Open-loop load generator for a running `cnd-serve` instance.
+//!
+//! Each worker owns its own connection and fires synthetic flow-feature
+//! vectors (deterministic xorshift stream per worker) either flat-out
+//! or paced to a target aggregate rate. The run reports achieved
+//! flows/s, latency percentiles, and the accept/shed split — and can
+//! exercise a model hot-swap mid-run to prove zero accepted requests
+//! are dropped across the swap.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::client::{ClientError, ServeClient};
+use crate::protocol::{Reply, Verdict};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Total flows to send across all workers.
+    pub flows: usize,
+    /// Concurrent connections.
+    pub concurrency: usize,
+    /// Target aggregate flows/s; `0.0` means open throttle.
+    pub rate: f64,
+    /// Seed for the synthetic feature streams.
+    pub seed: u64,
+    /// Issue a `reload` once half the flows are sent, and require it to
+    /// succeed.
+    pub reload_midway: bool,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            flows: 5000,
+            concurrency: 4,
+            rate: 0.0,
+            seed: 1,
+            reload_midway: false,
+        }
+    }
+}
+
+/// What a load-generation run achieved.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Flows sent (every one received some reply unless it counted as a
+    /// transport error).
+    pub sent: u64,
+    /// Score replies received.
+    pub ok: u64,
+    /// Score replies with an `Alert` verdict.
+    pub alerts: u64,
+    /// Explicit `Overloaded` shed replies.
+    pub shed: u64,
+    /// `BadRequest` replies (should be zero for well-formed load).
+    pub bad_request: u64,
+    /// Requests whose reply never arrived (connection error/timeout).
+    /// Nonzero means the server dropped or broke an accepted stream.
+    pub transport_errors: u64,
+    /// Wall-clock run time in seconds.
+    pub elapsed_s: f64,
+    /// Achieved throughput over sent flows.
+    pub flows_per_s: f64,
+    /// Median request→reply latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request→reply latency, microseconds.
+    pub p99_us: f64,
+    /// Model version reported by the midway reload (when requested).
+    pub reload_version: Option<u32>,
+    /// Distinct model versions observed in score replies.
+    pub versions_seen: Vec<u32>,
+}
+
+impl LoadReport {
+    /// Fraction of sent flows that were admitted and scored.
+    pub fn accept_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.ok as f64 / self.sent as f64
+    }
+
+    /// Bench-check metrics under `rate.<tag>.*`. Latencies are stored
+    /// inverted (1e6/µs) because every bench-check metric is
+    /// higher-is-better.
+    pub fn bench_metrics(&self, tag: &str) -> Vec<(String, f64)> {
+        let inv = |us: f64| if us > 0.0 { 1e6 / us } else { 0.0 };
+        vec![
+            (format!("rate.{tag}.flows_per_s"), self.flows_per_s),
+            (format!("rate.{tag}.p50_inv"), inv(self.p50_us)),
+            (format!("rate.{tag}.p99_inv"), inv(self.p99_us)),
+            (format!("rate.{tag}.accept_ratio"), self.accept_ratio()),
+        ]
+    }
+}
+
+/// Deterministic xorshift64 stream for synthetic features.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+struct WorkerOutcome {
+    ok: u64,
+    alerts: u64,
+    shed: u64,
+    bad_request: u64,
+    transport_errors: u64,
+    latencies_us: Vec<f64>,
+    versions: Vec<u32>,
+}
+
+fn worker(
+    addr: SocketAddr,
+    dim: usize,
+    flows: usize,
+    seed: u64,
+    pace: Option<Duration>,
+    sent: &AtomicU64,
+) -> Result<WorkerOutcome, ClientError> {
+    let mut client = ServeClient::connect(addr)?;
+    let mut rng = XorShift64::new(seed);
+    let mut out = WorkerOutcome {
+        ok: 0,
+        alerts: 0,
+        shed: 0,
+        bad_request: 0,
+        transport_errors: 0,
+        latencies_us: Vec::with_capacity(flows),
+        versions: Vec::new(),
+    };
+    let start = Instant::now();
+    let mut features = vec![0.0f64; dim];
+    for k in 0..flows {
+        if let Some(interval) = pace {
+            // Open-loop pacing: send at the scheduled instant even if
+            // earlier requests were slow.
+            let due = start + interval * k as u32;
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        for v in features.iter_mut() {
+            *v = rng.next_f64();
+        }
+        let t0 = Instant::now();
+        sent.fetch_add(1, Ordering::Relaxed);
+        match client.score(&features) {
+            Ok(Reply::Score {
+                verdict,
+                model_version,
+                ..
+            }) => {
+                out.ok += 1;
+                if verdict == Verdict::Alert {
+                    out.alerts += 1;
+                }
+                if !out.versions.contains(&model_version) {
+                    out.versions.push(model_version);
+                }
+                out.latencies_us.push(t0.elapsed().as_micros() as f64);
+            }
+            Ok(Reply::Overloaded { .. }) => out.shed += 1,
+            Ok(Reply::BadRequest { .. }) => out.bad_request += 1,
+            Ok(_) => out.bad_request += 1,
+            Err(_) => {
+                // The stream is suspect after a transport error;
+                // reconnect so the remaining flows still exercise the
+                // server.
+                out.transport_errors += 1;
+                client = ServeClient::connect(addr)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Linear-interpolated percentile of an unsorted sample, `q` in [0, 1].
+fn percentile_us(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Runs an open-loop load-generation session against `addr`.
+///
+/// The feature dimensionality is discovered from the server's `Info`
+/// snapshot. When [`LoadGenConfig::reload_midway`] is set, a dedicated
+/// control connection issues a `reload` once half the flows are sent.
+///
+/// # Errors
+///
+/// Connect failures, a failed midway reload, or a worker that lost its
+/// connection and could not reconnect.
+pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> Result<LoadReport, ClientError> {
+    let concurrency = cfg.concurrency.max(1);
+    let mut control = ServeClient::connect(addr)?;
+    let dim = control.info()?.n_features as usize;
+    let pace = if cfg.rate > 0.0 {
+        Some(Duration::from_secs_f64(concurrency as f64 / cfg.rate))
+    } else {
+        None
+    };
+    let per_worker = cfg.flows / concurrency;
+    let remainder = cfg.flows % concurrency;
+    let sent = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    let (outcomes, reload_version) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|w| {
+                let flows = per_worker + usize::from(w < remainder);
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(w as u64 + 1);
+                let sent = Arc::clone(&sent);
+                s.spawn(move || worker(addr, dim, flows, seed, pace, &sent))
+            })
+            .collect();
+
+        let reload_version = if cfg.reload_midway {
+            let half = (cfg.flows / 2) as u64;
+            while sent.load(Ordering::Relaxed) < half {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Some(control.reload())
+        } else {
+            None
+        };
+
+        let outcomes: Vec<Result<WorkerOutcome, ClientError>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker panicked"))
+            .collect();
+        (outcomes, reload_version)
+    });
+
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let mut report = LoadReport {
+        elapsed_s,
+        ..LoadReport::default()
+    };
+    let mut latencies = Vec::new();
+    for outcome in outcomes {
+        let o = outcome?;
+        report.ok += o.ok;
+        report.alerts += o.alerts;
+        report.shed += o.shed;
+        report.bad_request += o.bad_request;
+        report.transport_errors += o.transport_errors;
+        latencies.extend(o.latencies_us);
+        for v in o.versions {
+            if !report.versions_seen.contains(&v) {
+                report.versions_seen.push(v);
+            }
+        }
+    }
+    report.versions_seen.sort_unstable();
+    report.sent = sent.load(Ordering::Relaxed);
+    report.flows_per_s = if elapsed_s > 0.0 {
+        report.sent as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    report.p50_us = percentile_us(&latencies, 0.50);
+    report.p99_us = percentile_us(&latencies, 0.99);
+    report.reload_version = match reload_version {
+        Some(r) => Some(r?),
+        None => None,
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_stream_is_deterministic_and_in_range() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..1000 {
+            let va = a.next_f64();
+            assert_eq!(va.to_bits(), b.next_f64().to_bits());
+            assert!((0.0..1.0).contains(&va));
+        }
+        let mut c = XorShift64::new(43);
+        assert_ne!(XorShift64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_us(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_us(&sorted, 1.0), 40.0);
+        assert!((percentile_us(&sorted, 0.5) - 25.0).abs() < 1e-12);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn bench_metrics_are_rate_class_and_inverted() {
+        let report = LoadReport {
+            sent: 100,
+            ok: 90,
+            flows_per_s: 5000.0,
+            p50_us: 200.0,
+            p99_us: 1000.0,
+            ..LoadReport::default()
+        };
+        let metrics = report.bench_metrics("serve");
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("rate.serve.flows_per_s"), 5000.0);
+        assert_eq!(get("rate.serve.p50_inv"), 5000.0);
+        assert_eq!(get("rate.serve.p99_inv"), 1000.0);
+        assert!((get("rate.serve.accept_ratio") - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,797 @@
+//! The micro-batching scoring server.
+//!
+//! # Thread architecture
+//!
+//! ```text
+//! acceptor ──spawns──▶ one reader thread per connection
+//!                          │  parse frame → admission check
+//!                          ▼
+//!                   bounded queue (Mutex<VecDeque> + Condvar)
+//!                          │  drain ≤ max_batch when full OR deadline
+//!                          ▼
+//!                      batcher thread
+//!                          │  one Matrix, one `anomaly_scores` call
+//!                          ▼
+//!                   replies written back per connection
+//! ```
+//!
+//! * **Micro-batching.** The batcher sleeps until the queue is
+//!   non-empty, then drains as soon as `max_batch` requests are queued
+//!   *or* the oldest request has waited `max_delay` — whichever comes
+//!   first. Many 1-row scores become one cache-blocked batched kernel
+//!   pass through `cnd-parallel`.
+//! * **Admission control.** Readers never block on a full queue: past
+//!   `queue_cap` pending requests the frame is answered with an
+//!   explicit `Overloaded` reply and counted as shed. Memory is bounded
+//!   by `queue_cap × n_features`.
+//! * **Hot swap.** The batcher takes one `Arc<VersionedModel>` per
+//!   batch; `reload` swaps the registry pointer between batches, so a
+//!   batch never mixes two models' weights and every reply names the
+//!   version that scored it.
+//! * **Shutdown drains.** An accepted request is never dropped: on
+//!   shutdown the batcher keeps draining until the queue is empty
+//!   before exiting.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cnd_linalg::Matrix;
+use cnd_metrics::threshold::quantile_threshold;
+
+use crate::protocol::{
+    read_request_after_first, write_reply, FrameError, Reply, Request, ServerInfo, Verdict,
+};
+use crate::registry::ModelRegistry;
+use crate::ServeError;
+
+/// Idle poll interval for reader first-byte reads and the acceptor.
+const POLL: Duration = Duration::from_millis(25);
+/// Once a frame has started arriving, allow this long for the rest.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum requests scored in one batch.
+    pub max_batch: usize,
+    /// Maximum time the oldest queued request waits before its batch is
+    /// forced out (the latency half of the batching trade-off).
+    pub max_delay: Duration,
+    /// Bounded admission-queue depth; requests past it are shed.
+    pub queue_cap: usize,
+    /// Explicit alert threshold τ. When `None` the server calibrates a
+    /// per-model-version τ from the first [`calibrate`](Self::calibrate)
+    /// served scores via [`quantile_threshold`].
+    pub threshold: Option<f64>,
+    /// Calibration quantile (used when `threshold` is `None`).
+    pub quantile: f64,
+    /// Calibration window length in scores.
+    pub calibrate: usize,
+    /// When set, a watcher thread polls the model artifact's mtime at
+    /// this interval and hot-swaps on change.
+    pub watch: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 64,
+            max_delay: Duration::from_micros(500),
+            queue_cap: 1024,
+            threshold: None,
+            quantile: 0.95,
+            calibrate: 512,
+            watch: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig {
+                name: "max_batch",
+                constraint: "must be >= 1",
+            });
+        }
+        if self.queue_cap == 0 {
+            return Err(ServeError::InvalidConfig {
+                name: "queue_cap",
+                constraint: "must be >= 1",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.quantile) {
+            return Err(ServeError::InvalidConfig {
+                name: "quantile",
+                constraint: "must be in [0, 1]",
+            });
+        }
+        if self.calibrate == 0 && self.threshold.is_none() {
+            return Err(ServeError::InvalidConfig {
+                name: "calibrate",
+                constraint: "must be >= 1 when no explicit threshold is set",
+            });
+        }
+        if let Some(t) = self.threshold {
+            if !t.is_finite() {
+                return Err(ServeError::InvalidConfig {
+                    name: "threshold",
+                    constraint: "must be finite",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counter snapshot returned by [`Server::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Requests shed with an `Overloaded` reply.
+    pub shed: u64,
+    /// Flows scored.
+    pub scored: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Malformed frames rejected.
+    pub bad_frames: u64,
+    /// Replies that could not be written (client gone).
+    pub reply_failures: u64,
+    /// Successful hot swaps.
+    pub reloads: u64,
+    /// Failed hot swaps (previous model kept serving).
+    pub reload_failures: u64,
+    /// Currently serving model version.
+    pub model_version: u32,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    scored: AtomicU64,
+    batches: AtomicU64,
+    bad_frames: AtomicU64,
+    reply_failures: AtomicU64,
+}
+
+/// One admitted request waiting for its batch.
+#[derive(Debug)]
+struct Pending {
+    id: u64,
+    features: Vec<f64>,
+    conn: Arc<Mutex<TcpStream>>,
+    enqueued: Instant,
+}
+
+#[derive(Debug)]
+struct Shared {
+    queue: Mutex<VecDeque<Pending>>,
+    notify: Condvar,
+    stop: AtomicBool,
+    counters: Counters,
+    registry: ModelRegistry,
+    cfg: ServeConfig,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// A running scoring server; dropping it shuts down and joins every
+/// thread (draining the queue first — accepted requests always get a
+/// reply).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Loads the model at `model_path`, binds `addr` (use port 0 for an
+    /// ephemeral port) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid config, an unreadable/corrupt model, or a
+    /// bind failure.
+    pub fn start(
+        model_path: impl Into<PathBuf>,
+        addr: &str,
+        cfg: ServeConfig,
+    ) -> Result<Server, ServeError> {
+        cfg.validate()?;
+        let registry = ModelRegistry::open(model_path)?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        // Pre-register the admission counters so a Prometheus scrape
+        // sees them at zero before any traffic arrives.
+        cnd_obs::counter_add_volatile("serve.accept.count", 0);
+        cnd_obs::counter_add_volatile("serve.shed.count", 0);
+        cnd_obs::counter_add_volatile("serve.scored.count", 0);
+        cnd_obs::counter_add_volatile("serve.bad_frame.count", 0);
+
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            notify: Condvar::new(),
+            stop: AtomicBool::new(false),
+            counters: Counters::default(),
+            registry,
+            cfg,
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            let conn_threads = Arc::clone(&conn_threads);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("cnd-serve-accept".into())
+                    .spawn(move || accept_loop(listener, shared, conn_threads))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("cnd-serve-batch".into())
+                    .spawn(move || batch_loop(&shared))?,
+            );
+        }
+        if let Some(interval) = shared.cfg.watch {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("cnd-serve-watch".into())
+                    .spawn(move || watch_loop(&shared, interval))?,
+            );
+        }
+        Ok(Server {
+            addr,
+            shared,
+            threads,
+            conn_threads,
+        })
+    }
+
+    /// The bound address (port 0 resolved to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Currently serving model version.
+    pub fn model_version(&self) -> u32 {
+        self.shared.registry.version()
+    }
+
+    /// Hot-swaps to a freshly loaded copy of the model artifact.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelRegistry::reload`]; on error the previous model keeps
+    /// serving.
+    pub fn reload(&self) -> Result<u32, ServeError> {
+        self.shared.registry.reload()
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        let (reloads, reload_failures) = self.shared.registry.reload_counts();
+        ServeStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            scored: c.scored.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            bad_frames: c.bad_frames.load(Ordering::Relaxed),
+            reply_failures: c.reply_failures.load(Ordering::Relaxed),
+            reloads,
+            reload_failures,
+            model_version: self.shared.registry.version(),
+        }
+    }
+
+    /// Stops accepting, drains the queue, joins all threads, and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.notify.notify_all();
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+        let mut conns = self.conn_threads.lock().unwrap_or_else(|e| e.into_inner());
+        for h in conns.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                let shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("cnd-serve-conn".into())
+                    .spawn(move || serve_connection(conn, &shared));
+                let mut handles = conn_threads.lock().unwrap_or_else(|e| e.into_inner());
+                // Reap finished connection threads so a long-lived
+                // server does not accumulate handles.
+                let (done, live): (Vec<_>, Vec<_>) =
+                    handles.drain(..).partition(|h| h.is_finished());
+                *handles = live;
+                drop(handles);
+                for h in done {
+                    let _ = h.join();
+                }
+                if let Ok(h) = spawned {
+                    conn_threads
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(h);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => break,
+        }
+    }
+}
+
+/// Sends `reply` on the connection's serialized write half. Returns
+/// `false` when the client is gone.
+fn send_reply(conn: &Arc<Mutex<TcpStream>>, reply: &Reply) -> bool {
+    let mut w = conn.lock().unwrap_or_else(|e| e.into_inner());
+    write_reply(&mut *w, reply).is_ok()
+}
+
+fn serve_connection(mut conn: TcpStream, shared: &Shared) {
+    let _ = conn.set_nodelay(true);
+    let Ok(write_clone) = conn.try_clone() else {
+        return;
+    };
+    let write_half = Arc::new(Mutex::new(write_clone));
+    if conn.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut first = [0u8; 1];
+    loop {
+        if shared.stopping() {
+            break;
+        }
+        match conn.read(&mut first) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+        // Frame under way: give the rest of it a generous deadline.
+        let _ = conn.set_read_timeout(Some(FRAME_TIMEOUT));
+        let outcome = read_request_after_first(first[0], &mut conn);
+        let _ = conn.set_read_timeout(Some(POLL));
+        match outcome {
+            Ok(Request::Score { id, features }) => handle_score(id, features, &write_half, shared),
+            Ok(Request::Reload { id }) => {
+                let reply = match shared.registry.reload() {
+                    Ok(model_version) => Reply::ReloadOk { id, model_version },
+                    Err(e) => Reply::ReloadFailed {
+                        id,
+                        reason: e.to_string(),
+                    },
+                };
+                if !send_reply(&write_half, &reply) {
+                    break;
+                }
+            }
+            Ok(Request::Info { id }) => {
+                let reply = Reply::Info {
+                    id,
+                    info: info_snapshot(shared),
+                };
+                if !send_reply(&write_half, &reply) {
+                    break;
+                }
+            }
+            Err(FrameError::Closed) => break,
+            Err(FrameError::Malformed { id, reason }) => {
+                bump_bad_frame(shared);
+                let reply = Reply::BadRequest {
+                    id,
+                    reason: reason.to_string(),
+                };
+                if !send_reply(&write_half, &reply) {
+                    break;
+                }
+            }
+            Err(FrameError::Fatal { id, reason }) => {
+                bump_bad_frame(shared);
+                // Best-effort typed reply before closing the broken stream.
+                let _ = send_reply(
+                    &write_half,
+                    &Reply::BadRequest {
+                        id,
+                        reason: reason.to_string(),
+                    },
+                );
+                break;
+            }
+        }
+    }
+}
+
+fn bump_bad_frame(shared: &Shared) {
+    shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+    cnd_obs::counter_add_volatile("serve.bad_frame.count", 1);
+}
+
+fn info_snapshot(shared: &Shared) -> ServerInfo {
+    let c = &shared.counters;
+    let (reloads, _) = shared.registry.reload_counts();
+    let model = shared.registry.current();
+    ServerInfo {
+        model_version: model.version,
+        n_features: model.scorer.n_features() as u32,
+        accepted: c.accepted.load(Ordering::Relaxed),
+        shed: c.shed.load(Ordering::Relaxed),
+        scored: c.scored.load(Ordering::Relaxed),
+        reloads,
+        bad_frames: c.bad_frames.load(Ordering::Relaxed),
+    }
+}
+
+fn handle_score(id: u64, features: Vec<f64>, conn: &Arc<Mutex<TcpStream>>, shared: &Shared) {
+    let expected = shared.registry.current().scorer.n_features();
+    if features.len() != expected {
+        bump_bad_frame(shared);
+        send_reply(
+            conn,
+            &Reply::BadRequest {
+                id,
+                reason: format!(
+                    "feature dimension mismatch: model expects {expected}, frame has {}",
+                    features.len()
+                ),
+            },
+        );
+        return;
+    }
+    let admitted = {
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= shared.cfg.queue_cap {
+            false
+        } else {
+            q.push_back(Pending {
+                id,
+                features,
+                conn: Arc::clone(conn),
+                enqueued: Instant::now(),
+            });
+            shared.notify.notify_one();
+            true
+        }
+    };
+    if admitted {
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        cnd_obs::counter_add_volatile("serve.accept.count", 1);
+    } else {
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        cnd_obs::counter_add_volatile("serve.shed.count", 1);
+        send_reply(conn, &Reply::Overloaded { id });
+    }
+}
+
+/// Per-model-version threshold calibration state.
+#[derive(Default)]
+struct Calibration {
+    samples: Vec<f64>,
+    tau: Option<f64>,
+}
+
+fn batch_loop(shared: &Shared) {
+    let mut calib: HashMap<u32, Calibration> = HashMap::new();
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(front) = q.front() {
+                    if shared.stopping() || q.len() >= shared.cfg.max_batch {
+                        break;
+                    }
+                    let deadline = front.enqueued + shared.cfg.max_delay;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _) = shared
+                        .notify
+                        .wait_timeout(q, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    q = guard;
+                } else {
+                    if shared.stopping() {
+                        return; // queue drained: accepted requests all replied
+                    }
+                    let (guard, _) = shared
+                        .notify
+                        .wait_timeout(q, Duration::from_millis(50))
+                        .unwrap_or_else(|e| e.into_inner());
+                    q = guard;
+                }
+            }
+            cnd_obs::histogram_record_volatile("serve.queue.depth", q.len() as f64);
+            let n = q.len().min(shared.cfg.max_batch);
+            q.drain(..n).collect::<Vec<Pending>>()
+        };
+        process_batch(batch, shared, &mut calib);
+    }
+}
+
+fn process_batch(batch: Vec<Pending>, shared: &Shared, calib: &mut HashMap<u32, Calibration>) {
+    if batch.is_empty() {
+        return;
+    }
+    let model = shared.registry.current();
+    let d = model.scorer.n_features();
+    let n = batch.len();
+    let mut data = Vec::with_capacity(n * d);
+    for p in &batch {
+        data.extend_from_slice(&p.features);
+    }
+    let x = Matrix::from_vec(n, d, data).expect("admitted frames are dimension-checked");
+    let scores = match model.scorer.anomaly_scores(&x) {
+        Ok(s) => s,
+        Err(e) => {
+            // Unreachable with dimension-checked admission, but a
+            // scoring failure must still answer every request.
+            let reason = format!("scoring failed: {e}");
+            for p in &batch {
+                if !send_reply(
+                    &p.conn,
+                    &Reply::BadRequest {
+                        id: p.id,
+                        reason: reason.clone(),
+                    },
+                ) {
+                    shared
+                        .counters
+                        .reply_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            return;
+        }
+    };
+    let tau = match shared.cfg.threshold {
+        Some(t) => Some(t),
+        None => {
+            let state = calib.entry(model.version).or_default();
+            if state.tau.is_none() {
+                state.samples.extend_from_slice(&scores);
+                if state.samples.len() >= shared.cfg.calibrate {
+                    state.tau = quantile_threshold(&state.samples, shared.cfg.quantile).ok();
+                    state.samples = Vec::new();
+                }
+            }
+            state.tau
+        }
+    };
+    shared
+        .counters
+        .scored
+        .fetch_add(n as u64, Ordering::Relaxed);
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    cnd_obs::counter_add_volatile("serve.scored.count", n as u64);
+    cnd_obs::histogram_record_volatile("serve.batch.size", n as f64);
+    for (p, &score) in batch.iter().zip(&scores) {
+        let verdict = match tau {
+            Some(t) if score > t => Verdict::Alert,
+            Some(_) => Verdict::Normal,
+            None => Verdict::Uncalibrated,
+        };
+        let reply = Reply::Score {
+            id: p.id,
+            model_version: model.version,
+            score,
+            verdict,
+        };
+        if send_reply(&p.conn, &reply) {
+            cnd_obs::histogram_record_volatile(
+                "serve.latency.us",
+                p.enqueued.elapsed().as_micros() as f64,
+            );
+        } else {
+            shared
+                .counters
+                .reply_failures
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn watch_loop(shared: &Shared, interval: Duration) {
+    let mtime = |shared: &Shared| {
+        std::fs::metadata(shared.registry.path())
+            .and_then(|m| m.modified())
+            .ok()
+    };
+    let mut last = mtime(shared);
+    while !shared.stopping() {
+        // Sleep in short slices so shutdown stays responsive.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !shared.stopping() {
+            let slice = (interval - slept).min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        if shared.stopping() {
+            break;
+        }
+        let now = mtime(shared);
+        if now.is_some() && now != last {
+            last = now;
+            match shared.registry.reload() {
+                Ok(v) => eprintln!("cnd-serve: watch reload -> model v{v}"),
+                Err(e) => eprintln!("cnd-serve: watch reload failed ({e}); keeping old model"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ServeClient;
+    use crate::test_support::{trained_scorer, TempArtifact};
+
+    fn start(cfg: ServeConfig) -> (Server, TempArtifact) {
+        let scorer = trained_scorer(3);
+        let artifact = TempArtifact::new("server_unit", &scorer);
+        let server = Server::start(artifact.path(), "127.0.0.1:0", cfg).expect("starts");
+        (server, artifact)
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let scorer = trained_scorer(3);
+        let artifact = TempArtifact::new("server_cfg", &scorer);
+        for cfg in [
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_cap: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                quantile: 1.5,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                threshold: Some(f64::NAN),
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                Server::start(artifact.path(), "127.0.0.1:0", cfg),
+                Err(ServeError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn batch_scores_are_row_independent_bit_for_bit() {
+        // The hot-swap determinism guarantee relies on a score being a
+        // pure function of (model, features) regardless of which other
+        // rows share the batch: the blocked matmul fixes its k-order
+        // per weight matrix, so this holds bit-for-bit.
+        let scorer = trained_scorer(3);
+        let d = scorer.n_features();
+        let rows = 64;
+        let x = Matrix::from_fn(rows, d, |i, j| ((i * 7 + j * 13) % 23) as f64 * 0.21 - 1.0);
+        let batched = scorer.anomaly_scores(&x).expect("batch scores");
+        for (i, b) in batched.iter().enumerate() {
+            let row = x.slice_rows(i, i + 1).expect("row slice");
+            let single = scorer.anomaly_scores(&row).expect("single score");
+            assert_eq!(
+                single[0].to_bits(),
+                b.to_bits(),
+                "row {i}: batch composition changed the score bits"
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let (server, _artifact) = start(ServeConfig {
+            // A long delay window so requests are still queued when
+            // shutdown lands.
+            max_delay: Duration::from_millis(500),
+            max_batch: 1024,
+            ..ServeConfig::default()
+        });
+        let addr = server.local_addr();
+        let d = 6;
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                std::thread::spawn(move || {
+                    let mut c = ServeClient::connect(addr).expect("connect");
+                    c.score(&vec![0.1 * (k + 1) as f64; d]).expect("scored")
+                })
+            })
+            .collect();
+        // Give the requests time to enqueue, then shut down mid-window.
+        std::thread::sleep(Duration::from_millis(100));
+        let stats = server.shutdown();
+        for h in handles {
+            match h.join().expect("client thread") {
+                Reply::Score { .. } => {}
+                other => panic!("expected a score reply, got {other:?}"),
+            }
+        }
+        assert_eq!(stats.accepted, 4);
+        assert_eq!(stats.scored, 4, "every accepted request was scored");
+        assert_eq!(stats.reply_failures, 0);
+    }
+
+    #[test]
+    fn watch_reload_swaps_on_mtime_change() {
+        let scorer = trained_scorer(3);
+        let artifact = TempArtifact::new("server_watch", &scorer);
+        let server = Server::start(
+            artifact.path(),
+            "127.0.0.1:0",
+            ServeConfig {
+                watch: Some(Duration::from_millis(50)),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("starts");
+        assert_eq!(server.model_version(), 1);
+        // Rewrite the artifact (atomic tmp+rename bumps mtime).
+        std::thread::sleep(Duration::from_millis(20));
+        trained_scorer(5).save_to_path(artifact.path()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.model_version() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(
+            server.model_version() >= 2,
+            "watcher never picked up the new artifact"
+        );
+        drop(server);
+    }
+}

@@ -30,12 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("2. Freezing and persisting the scorer ...");
     let scorer = DeployedScorer::from_model(&model)?;
     let path = std::env::temp_dir().join("cnd_ids_scorer.txt");
-    scorer.save(std::fs::File::create(&path)?)?;
+    // Atomic tmp+rename save: a live `serve --watch` reloader polling
+    // this path can never read a half-written artifact.
+    scorer.save_to_path(&path)?;
     let bytes = std::fs::metadata(&path)?.len();
     println!("   wrote {} ({bytes} bytes)", path.display());
 
     println!("3. Reloading on the 'monitoring host' ...");
-    let deployed = DeployedScorer::load(std::io::BufReader::new(std::fs::File::open(&path)?))?;
+    let deployed = DeployedScorer::load_from_path(&path)?;
 
     println!("4. Calibrating a label-free threshold (5% alert budget on clean traffic)");
     let calibration = deployed.anomaly_scores(&split.clean_normal)?;

@@ -16,6 +16,15 @@
 //!   pipeline over the stream (optionally with seeded input corruption)
 //!   and print pooled detection quality; `--health` appends the
 //!   pipeline's final health report.
+//! * `serve <model.txt> [--addr A] [--max-batch N] [--max-delay-us U]
+//!   [--queue-cap N] [--threshold T | --quantile Q --calibrate N]
+//!   [--watch [--watch-interval-ms MS]] [--runtime-s S]` — serve the
+//!   frozen model over the `cnd-serve` TCP wire protocol with
+//!   micro-batching, hot-swap reload, and admission control.
+//! * `loadgen <addr> [--flows N] [--concurrency C] [--rate R] [--seed N]
+//!   [--reload-midway] [--tag T] [--out BENCH_serve.json] [--append]` —
+//!   drive open-loop load against a running server and write a
+//!   bench-check report with achieved flows/s and latency percentiles.
 //! * `observe <trace.jsonl> [--top [N]]` — validate a trace written by
 //!   `--trace-out` (or `CND_OBS_OUT`) and print the phase-time
 //!   breakdown; `--top` prints a self-time profile instead.
@@ -109,6 +118,8 @@ const USAGE: &str = "usage:
   cnd-ids-cli train <data.csv> <model.txt> [--experiences M] [--seed N]
   cnd-ids-cli score <model.txt> <data.csv> [--quantile Q]
   cnd-ids-cli stream <data.csv> [--experiences M] [--seed N] [--chunk N] [--fault-rate R] [--health]
+  cnd-ids-cli serve <model.txt> [--addr 127.0.0.1:7071] [--max-batch N] [--max-delay-us U] [--queue-cap N] [--threshold T] [--quantile Q] [--calibrate N] [--watch] [--watch-interval-ms MS] [--runtime-s S]
+  cnd-ids-cli loadgen <addr> [--flows N] [--concurrency C] [--rate R] [--seed N] [--reload-midway] [--tag T] [--out <path>] [--append]
   cnd-ids-cli observe <trace.jsonl> [--top [N]]
   cnd-ids-cli bench-check <current> [--baseline <path>] [--update] [--tolerance T]
 
@@ -163,6 +174,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("train") => done(cmd_train(rest)),
         Some("score") => done(cmd_score(rest)),
         Some("stream") => done(cmd_stream(rest)),
+        Some("serve") => done(cmd_serve(rest)),
+        Some("loadgen") => cmd_loadgen(rest),
         Some("observe") => done(cmd_observe(rest)),
         Some("bench-check") => cmd_bench_check(rest),
         Some(other) => Err(format!("unknown subcommand {other:?}")),
@@ -252,8 +265,9 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
     }
     let scorer = DeployedScorer::from_model(&model).map_err(|e| e.to_string())?;
-    let f = std::fs::File::create(model_out).map_err(|e| e.to_string())?;
-    scorer.save(f).map_err(|e| e.to_string())?;
+    // Atomic tmp+rename write: a concurrent `serve --watch` reloader
+    // can never observe a half-written artifact.
+    scorer.save_to_path(model_out).map_err(|e| e.to_string())?;
     eprintln!(
         "trained on {} experiences; scorer written to {model_out}",
         split.len()
@@ -299,6 +313,146 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use cnd_serve::{ServeConfig, Server};
+
+    let model_path = args.first().ok_or("serve: missing <model.txt>")?;
+    let addr: String = parse_flag(args, "--addr", "127.0.0.1:7071".to_string())?;
+    let max_delay_us: u64 = parse_flag(args, "--max-delay-us", 500)?;
+    let threshold: f64 = parse_flag(args, "--threshold", f64::NAN)?;
+    let watch_interval_ms: u64 = parse_flag(args, "--watch-interval-ms", 500)?;
+    let runtime_s: u64 = parse_flag(args, "--runtime-s", 0)?;
+    let cfg = ServeConfig {
+        max_batch: parse_flag(args, "--max-batch", 64)?,
+        max_delay: std::time::Duration::from_micros(max_delay_us),
+        queue_cap: parse_flag(args, "--queue-cap", 1024)?,
+        threshold: if threshold.is_nan() {
+            None
+        } else {
+            Some(threshold)
+        },
+        quantile: parse_flag(args, "--quantile", 0.95)?,
+        calibrate: parse_flag(args, "--calibrate", 512)?,
+        watch: args
+            .iter()
+            .any(|a| a == "--watch")
+            .then(|| std::time::Duration::from_millis(watch_interval_ms.max(10))),
+    };
+    // Make sure the counters the server records are live so a
+    // CND_OBS_LISTEN /metrics scrape always sees them.
+    if !cnd_obs::enabled() {
+        cnd_obs::reset(cnd_obs::ClockKind::Wall);
+        cnd_obs::set_enabled(true);
+    }
+    let server = Server::start(model_path, &addr, cfg).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {model_path} (model v{}) on {} — protocol v{}",
+        server.model_version(),
+        server.local_addr(),
+        cnd_serve::protocol::PROTOCOL_VERSION
+    );
+    let started = std::time::Instant::now();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        if runtime_s > 0 && started.elapsed() >= std::time::Duration::from_secs(runtime_s) {
+            break;
+        }
+    }
+    let stats = server.shutdown();
+    eprintln!(
+        "served {} flows in {} batches (accepted {}, shed {}, bad frames {}, reloads {}); final model v{}",
+        stats.scored,
+        stats.batches,
+        stats.accepted,
+        stats.shed,
+        stats.bad_frames,
+        stats.reloads,
+        stats.model_version
+    );
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<ExitCode, String> {
+    use cnd_obs::baseline::extract_metrics;
+    use cnd_serve::{run_loadgen, LoadGenConfig};
+    use std::net::ToSocketAddrs as _;
+
+    let addr_str = args.first().ok_or("loadgen: missing <addr>")?;
+    let addr = addr_str
+        .to_socket_addrs()
+        .map_err(|e| format!("loadgen: bad address {addr_str:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("loadgen: address {addr_str:?} resolved to nothing"))?;
+    let cfg = LoadGenConfig {
+        flows: parse_flag(args, "--flows", 5000)?,
+        concurrency: parse_flag(args, "--concurrency", 4)?,
+        rate: parse_flag(args, "--rate", 0.0)?,
+        seed: parse_flag(args, "--seed", 1)?,
+        reload_midway: args.iter().any(|a| a == "--reload-midway"),
+    };
+    let tag: String = parse_flag(args, "--tag", "serve".to_string())?;
+    let out: String = parse_flag(args, "--out", "BENCH_serve.json".to_string())?;
+
+    let report = run_loadgen(addr, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "sent {} flows in {:.2}s -> {:.0} flows/s (ok {}, shed {}, bad {}, transport errors {})",
+        report.sent,
+        report.elapsed_s,
+        report.flows_per_s,
+        report.ok,
+        report.shed,
+        report.bad_request,
+        report.transport_errors
+    );
+    println!(
+        "latency p50 = {:.0}us  p99 = {:.0}us  accept ratio = {:.3}  alerts = {}",
+        report.p50_us,
+        report.p99_us,
+        report.accept_ratio(),
+        report.alerts
+    );
+    if let Some(v) = report.reload_version {
+        println!(
+            "midway hot-swap -> model v{v}; versions seen in replies: {:?}",
+            report.versions_seen
+        );
+    }
+
+    // Merge with an existing report when --append is given, so batched
+    // and single-row runs can share one bench-check artifact.
+    let mut metrics = std::collections::BTreeMap::new();
+    if args.iter().any(|a| a == "--append") {
+        if let Ok(text) = std::fs::read_to_string(&out) {
+            metrics = extract_metrics(&text).map_err(|e| format!("{out}: {e}"))?;
+        }
+    }
+    for (name, value) in report.bench_metrics(&tag) {
+        metrics.insert(name, value);
+    }
+    let mut json = String::from("{\n  \"benchcheck\": 1,\n  \"metrics\": {\n");
+    let n = metrics.len();
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {value}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("bench report written to {out}");
+
+    if report.transport_errors > 0 {
+        eprintln!(
+            "loadgen: {} accepted requests lost",
+            report.transport_errors
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    if report.ok == 0 {
+        eprintln!("loadgen: no flows were scored");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_observe(args: &[String]) -> Result<(), String> {
@@ -394,8 +548,7 @@ fn cmd_score(args: &[String]) -> Result<(), String> {
     let model_path = args.first().ok_or("score: missing <model.txt>")?;
     let data_path = args.get(1).ok_or("score: missing <data.csv>")?;
     let quantile: f64 = parse_flag(args, "--quantile", 0.95)?;
-    let file = std::fs::File::open(model_path).map_err(|e| e.to_string())?;
-    let scorer = DeployedScorer::load(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let scorer = DeployedScorer::load_from_path(model_path).map_err(|e| e.to_string())?;
     let data = loader::read_csv(data_path, false).map_err(|e| e.to_string())?;
     if data.n_features() != scorer.n_features() {
         return Err(format!(

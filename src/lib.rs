@@ -15,6 +15,7 @@
 //! | [`metrics`] | `cnd-metrics` | F1, Best-F, PR-AUC/ROC-AUC, AVG/Fwd/BwdTrans |
 //! | [`core`] | `cnd-core` | CFE, `L_CND`, CND-IDS pipeline, ADCN/LwF, runner |
 //! | [`obs`] | `cnd-obs` | spans, metrics registry, JSONL traces, phase reports |
+//! | [`serve`] | `cnd-serve` | online scoring server: micro-batching, hot-swap, admission control |
 //!
 //! # Quickstart
 //!
@@ -52,3 +53,4 @@ pub use cnd_ml as ml;
 pub use cnd_nn as nn;
 pub use cnd_obs as obs;
 pub use cnd_parallel as parallel;
+pub use cnd_serve as serve;

@@ -1,0 +1,481 @@
+//! End-to-end tests of the `cnd-serve` scoring server: wire-protocol
+//! robustness against hostile frames, admission control under pressure,
+//! and the hot-swap determinism guarantee (never mix weights mid-batch,
+//! never drop an accepted request, scores bit-for-bit per version).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use cnd_ids::core::deploy::DeployedScorer;
+use cnd_ids::core::{CndIds, CndIdsConfig};
+use cnd_ids::linalg::Matrix;
+use cnd_ids::serve::protocol::{PROTOCOL_VERSION, REQUEST_MAGIC};
+use cnd_ids::serve::{
+    run_loadgen, LoadGenConfig, Reply, ServeClient, ServeConfig, Server, Verdict,
+};
+
+/// Trains a tiny model; different seeds give different weights with the
+/// same feature width.
+fn trained_scorer(seed: u64) -> DeployedScorer {
+    let d = 6;
+    let normal = |i: usize, j: usize| ((i * 7 + j * 3 + seed as usize) % 13) as f64 * 0.1;
+    let n_c = Matrix::from_fn(50, d, normal);
+    let train = Matrix::from_fn(300, d, |i, j| {
+        if i < 240 {
+            normal(i + 100, j)
+        } else {
+            normal(i + 100, j) + 2.5
+        }
+    });
+    let mut model = CndIds::new(CndIdsConfig::fast(seed), &n_c).expect("model builds");
+    model.train_experience(&train).expect("model trains");
+    DeployedScorer::from_model(&model).expect("model freezes")
+}
+
+struct TempArtifact(PathBuf);
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+impl TempArtifact {
+    fn new(tag: &str, scorer: &DeployedScorer) -> TempArtifact {
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("cnd_serve_it_{tag}_{}_{n}.txt", std::process::id()));
+        scorer.save_to_path(&path).expect("artifact saves");
+        TempArtifact(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempArtifact {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn feature_row(k: usize, d: usize) -> Vec<f64> {
+    (0..d)
+        .map(|j| ((k * 11 + j * 5) % 17) as f64 * 0.13)
+        .collect()
+}
+
+#[test]
+fn served_scores_match_local_scorer_bit_for_bit() {
+    let scorer = trained_scorer(3);
+    let d = scorer.n_features();
+    let artifact = TempArtifact::new("bitexact", &scorer);
+    let server = Server::start(artifact.path(), "127.0.0.1:0", ServeConfig::default())
+        .expect("server starts");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connects");
+
+    for k in 0..32 {
+        let features = feature_row(k, d);
+        let local = scorer
+            .anomaly_scores(&Matrix::from_vec(1, d, features.clone()).unwrap())
+            .unwrap()[0];
+        match client.score(&features).expect("score round trip") {
+            Reply::Score {
+                score,
+                model_version,
+                ..
+            } => {
+                assert_eq!(model_version, 1);
+                assert_eq!(
+                    score.to_bits(),
+                    local.to_bits(),
+                    "flow {k}: served score differs from local scoring"
+                );
+            }
+            other => panic!("flow {k}: unexpected reply {other:?}"),
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 32);
+    assert_eq!(stats.scored, 32);
+}
+
+#[test]
+fn explicit_threshold_drives_verdicts() {
+    let scorer = trained_scorer(3);
+    let d = scorer.n_features();
+    let artifact = TempArtifact::new("verdict", &scorer);
+
+    // Threshold below every score: everything alerts. Above: nothing.
+    let probe = scorer
+        .anomaly_scores(&Matrix::from_vec(1, d, feature_row(0, d)).unwrap())
+        .unwrap()[0];
+    for (tau, expected) in [
+        (probe - 1.0, Verdict::Alert),
+        (probe + 1.0, Verdict::Normal),
+    ] {
+        let server = Server::start(
+            artifact.path(),
+            "127.0.0.1:0",
+            ServeConfig {
+                threshold: Some(tau),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server starts");
+        let mut client = ServeClient::connect(server.local_addr()).expect("connects");
+        match client.score(&feature_row(0, d)).expect("scores") {
+            Reply::Score { verdict, .. } => assert_eq!(verdict, expected),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn uncalibrated_until_window_fills_then_verdicts_appear() {
+    let scorer = trained_scorer(3);
+    let d = scorer.n_features();
+    let artifact = TempArtifact::new("calib", &scorer);
+    let server = Server::start(
+        artifact.path(),
+        "127.0.0.1:0",
+        ServeConfig {
+            calibrate: 8,
+            quantile: 0.5,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connects");
+    let mut verdicts = Vec::new();
+    for k in 0..32 {
+        match client.score(&feature_row(k, d)).expect("scores") {
+            Reply::Score { verdict, .. } => verdicts.push(verdict),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(
+        verdicts[0],
+        Verdict::Uncalibrated,
+        "first score arrives before the window can fill"
+    );
+    assert!(
+        verdicts.iter().any(|v| *v != Verdict::Uncalibrated),
+        "calibration never completed in 32 scores with an 8-score window"
+    );
+}
+
+/// Every malformed frame must produce a typed error reply (or a clean
+/// close for sync-losing frames) and leave the server able to score a
+/// well-formed request on a fresh connection.
+#[test]
+fn malformed_frames_get_error_replies_and_server_keeps_serving() {
+    let scorer = trained_scorer(3);
+    let d = scorer.n_features();
+    let artifact = TempArtifact::new("hostile", &scorer);
+    let server = Server::start(artifact.path(), "127.0.0.1:0", ServeConfig::default())
+        .expect("server starts");
+    let addr = server.local_addr();
+
+    let score_header = |dim: u32| {
+        let mut f = Vec::new();
+        f.extend_from_slice(&REQUEST_MAGIC);
+        f.push(PROTOCOL_VERSION);
+        f.push(1); // Score
+        f.extend_from_slice(&99u64.to_le_bytes());
+        f.extend_from_slice(&dim.to_le_bytes());
+        f
+    };
+
+    let wrong_magic = {
+        let mut f = score_header(1);
+        f[0] = b'X';
+        f.extend_from_slice(&1.0f64.to_le_bytes());
+        f
+    };
+    let bad_version = {
+        let mut f = score_header(1);
+        f[4] = 99;
+        f.extend_from_slice(&1.0f64.to_le_bytes());
+        f
+    };
+    let oversized_dim = score_header(u32::MAX);
+    let zero_dim = score_header(0);
+    let nan_feature = {
+        let mut f = score_header(2);
+        f.extend_from_slice(&1.0f64.to_le_bytes());
+        f.extend_from_slice(&f64::NAN.to_le_bytes());
+        f
+    };
+    let wrong_dim = {
+        // Well-formed frame whose width disagrees with the model.
+        let mut f = score_header(2);
+        f.extend_from_slice(&1.0f64.to_le_bytes());
+        f.extend_from_slice(&2.0f64.to_le_bytes());
+        f
+    };
+    let unknown_type = {
+        let mut f = Vec::new();
+        f.extend_from_slice(&REQUEST_MAGIC);
+        f.push(PROTOCOL_VERSION);
+        f.push(42);
+        f.extend_from_slice(&99u64.to_le_bytes());
+        f
+    };
+    let truncated = {
+        let mut f = score_header(4);
+        f.extend_from_slice(&1.0f64.to_le_bytes());
+        f // promises 4 features, delivers 1, then the connection closes
+    };
+
+    let cases: [(&str, &[u8]); 8] = [
+        ("wrong magic", &wrong_magic),
+        ("bad version", &bad_version),
+        ("oversized dim", &oversized_dim),
+        ("zero dim", &zero_dim),
+        ("nan feature", &nan_feature),
+        ("wrong feature width", &wrong_dim),
+        ("unknown type", &unknown_type),
+        ("truncated payload", &truncated),
+    ];
+
+    for (name, frame) in cases {
+        let mut raw = TcpStream::connect(addr).expect("connects");
+        // Short timeout: the reply arrives immediately; recoverable
+        // frames leave the connection open so the loop exits on it.
+        raw.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        raw.write_all(frame).expect("writes hostile frame");
+        if name == "truncated payload" {
+            // Server is blocked mid-frame; closing our write half
+            // delivers the EOF that makes truncation observable.
+            raw.shutdown(std::net::Shutdown::Write).unwrap();
+        }
+        // Read whatever the server sends until it closes or goes quiet;
+        // a typed reply starts with the reply magic.
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 256];
+        loop {
+            match raw.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        assert!(
+            buf.starts_with(b"CNDR"),
+            "{name}: expected a typed error reply, got {buf:?}"
+        );
+
+        // The server must still score well-formed traffic afterwards.
+        let mut client = ServeClient::connect(addr).expect("reconnects");
+        match client.score(&feature_row(7, d)).expect("still serving") {
+            Reply::Score { .. } => {}
+            other => panic!("{name}: server unhealthy afterwards: {other:?}"),
+        }
+    }
+
+    let stats = server.shutdown();
+    assert!(
+        stats.bad_frames >= cases.len() as u64,
+        "every hostile frame should be counted, got {}",
+        stats.bad_frames
+    );
+}
+
+#[test]
+fn full_queue_sheds_with_explicit_overloaded_replies() {
+    let scorer = trained_scorer(3);
+    let d = scorer.n_features();
+    let artifact = TempArtifact::new("shed", &scorer);
+    // A tiny queue and a long deadline so requests pile up un-batched.
+    let server = Server::start(
+        artifact.path(),
+        "127.0.0.1:0",
+        ServeConfig {
+            max_batch: 64,
+            max_delay: Duration::from_millis(500),
+            queue_cap: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let total = 16;
+    let handles: Vec<_> = (0..total)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                c.score(&feature_row(k, d)).expect("round trip")
+            })
+        })
+        .collect();
+    let mut scored = 0u64;
+    let mut shed = 0u64;
+    for h in handles {
+        match h.join().expect("client thread") {
+            Reply::Score { .. } => scored += 1,
+            Reply::Overloaded { .. } => shed += 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(scored + shed, total as u64, "every request got a reply");
+    assert!(shed >= 1, "queue_cap=4 with 16 concurrent must shed");
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, scored);
+    assert_eq!(stats.shed, shed);
+    assert_eq!(stats.scored, scored, "accepted requests are never dropped");
+}
+
+/// The hot-swap guarantee: concurrent scoring while models swap never
+/// mixes weights (every reply's score bit-matches the scorer version it
+/// names), never drops an accepted request, and both versions are
+/// actually observed.
+#[test]
+fn hot_swap_under_load_is_atomic_and_bit_exact() {
+    let scorer_a = trained_scorer(3);
+    let scorer_b = trained_scorer(11);
+    let d = scorer_a.n_features();
+    assert_eq!(d, scorer_b.n_features());
+
+    let artifact = TempArtifact::new("hotswap", &scorer_a);
+    let server = Server::start(
+        artifact.path(),
+        "127.0.0.1:0",
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // Expected score per (version, flow) pair, computed locally.
+    let expect = |scorer: &DeployedScorer, k: usize| {
+        scorer
+            .anomaly_scores(&Matrix::from_vec(1, d, feature_row(k, d)).unwrap())
+            .unwrap()[0]
+    };
+
+    let workers = 4;
+    let per_worker = 200;
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                let mut seen = Vec::new();
+                for i in 0..per_worker {
+                    let k = w * per_worker + i;
+                    match c.score(&feature_row(k, d)).expect("round trip") {
+                        Reply::Score {
+                            score,
+                            model_version,
+                            ..
+                        } => seen.push((k, model_version, score)),
+                        other => panic!("flow {k}: unexpected reply {other:?}"),
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // Swap to model B mid-run: overwrite the artifact atomically, then
+    // reload through the server API (same path the wire `reload` takes).
+    std::thread::sleep(Duration::from_millis(30));
+    scorer_b
+        .save_to_path(artifact.path())
+        .expect("artifact swaps");
+    let new_version = server.reload().expect("hot swap succeeds");
+    assert_eq!(new_version, 2);
+
+    let mut versions_seen = std::collections::BTreeSet::new();
+    for h in handles {
+        for (k, version, score) in h.join().expect("worker") {
+            versions_seen.insert(version);
+            let expected = match version {
+                1 => expect(&scorer_a, k),
+                2 => expect(&scorer_b, k),
+                v => panic!("flow {k}: impossible model version {v}"),
+            };
+            assert_eq!(
+                score.to_bits(),
+                expected.to_bits(),
+                "flow {k}: score does not match the weights of model v{version} — batch mixed weights?"
+            );
+        }
+    }
+    assert!(
+        versions_seen.contains(&2),
+        "swap happened mid-run but no reply came from model v2"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.accepted,
+        (workers * per_worker) as u64,
+        "default queue depth should admit everything"
+    );
+    assert_eq!(
+        stats.scored, stats.accepted,
+        "zero dropped accepted requests across the swap"
+    );
+    assert_eq!(stats.reply_failures, 0);
+    assert_eq!(stats.reloads, 1);
+}
+
+#[test]
+fn wire_reload_and_info_round_trip() {
+    let scorer = trained_scorer(3);
+    let d = scorer.n_features();
+    let artifact = TempArtifact::new("wire_reload", &scorer);
+    let server = Server::start(artifact.path(), "127.0.0.1:0", ServeConfig::default())
+        .expect("server starts");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connects");
+
+    for k in 0..5 {
+        client.score(&feature_row(k, d)).expect("scores");
+    }
+    assert_eq!(client.reload().expect("wire reload"), 2);
+    let info = client.info().expect("info");
+    assert_eq!(info.model_version, 2);
+    assert_eq!(info.n_features as usize, d);
+    assert_eq!(info.accepted, 5);
+    assert_eq!(info.reloads, 1);
+
+    // Reload against a corrupt artifact is refused; old model serves on.
+    std::fs::write(artifact.path(), "garbage").unwrap();
+    assert!(client.reload().is_err());
+    match client.score(&feature_row(9, d)).expect("still serving") {
+        Reply::Score { model_version, .. } => assert_eq!(model_version, 2),
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+#[test]
+fn loadgen_reports_throughput_and_survives_midway_reload() {
+    let scorer = trained_scorer(3);
+    let artifact = TempArtifact::new("loadgen", &scorer);
+    let server = Server::start(artifact.path(), "127.0.0.1:0", ServeConfig::default())
+        .expect("server starts");
+    let report = run_loadgen(
+        server.local_addr(),
+        &LoadGenConfig {
+            flows: 400,
+            concurrency: 2,
+            reload_midway: true,
+            ..LoadGenConfig::default()
+        },
+    )
+    .expect("loadgen runs");
+    assert_eq!(report.sent, 400);
+    assert_eq!(report.transport_errors, 0, "no accepted request lost");
+    assert!(report.ok > 0, "some flows scored");
+    assert!(report.flows_per_s > 0.0);
+    assert_eq!(report.reload_version, Some(2));
+    let metrics = report.bench_metrics("it");
+    assert!(metrics.iter().all(|(n, _)| n.starts_with("rate.it.")));
+    let stats = server.shutdown();
+    assert_eq!(stats.scored + stats.shed, 400);
+}
