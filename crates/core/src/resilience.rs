@@ -273,6 +273,26 @@ pub enum TrainingFault {
     /// Fail the attempt outright with a synthetic error before training
     /// starts.
     Error,
+    /// Crash the trainer mid-attempt. Consumers that run training on a
+    /// dedicated thread (e.g. the closed-loop serving controller) turn
+    /// this into a real `panic!` and must contain it via the join
+    /// result; the in-process streaming pipeline maps it to a synthetic
+    /// error so a scripted fault can never abort the whole process.
+    Panic,
+}
+
+/// A fault injected into a candidate model *artifact* on its way to
+/// disk, exercising the swap-validation and post-swap rollback paths of
+/// a model registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactFault {
+    /// Replace the artifact bytes with garbage that cannot parse, so a
+    /// validating loader must refuse the swap outright.
+    Garbage,
+    /// Keep the artifact parseable but silently wreck its weights, so
+    /// the swap succeeds and only *post-swap* quality monitoring can
+    /// catch it and roll back.
+    DegradedWeights,
 }
 
 /// Deterministic fault source for exercising recovery paths.
@@ -294,6 +314,14 @@ pub trait FaultInjector {
         let _ = attempt;
         None
     }
+
+    /// May corrupt the candidate artifact produced by the given training
+    /// attempt (`attempt` counts all attempts, 1-based) as it is written
+    /// to disk. Default: no fault.
+    fn artifact_fault(&mut self, attempt: u64) -> Option<ArtifactFault> {
+        let _ = attempt;
+        None
+    }
 }
 
 /// Seeded scripted fault injector: corrupts a configurable fraction of
@@ -306,6 +334,9 @@ pub struct ScriptedFaults {
     kind_counter: u64,
     nan_loss_attempts: Vec<u64>,
     fail_attempts: Vec<u64>,
+    panic_attempts: Vec<u64>,
+    garbage_artifact_attempts: Vec<u64>,
+    degraded_artifact_attempts: Vec<u64>,
     corrupted: u64,
 }
 
@@ -319,6 +350,9 @@ impl ScriptedFaults {
             kind_counter: 0,
             nan_loss_attempts: Vec::new(),
             fail_attempts: Vec::new(),
+            panic_attempts: Vec::new(),
+            garbage_artifact_attempts: Vec::new(),
+            degraded_artifact_attempts: Vec::new(),
             corrupted: 0,
         }
     }
@@ -343,6 +377,27 @@ impl ScriptedFaults {
     /// Fail these 1-based attempts outright with a synthetic error.
     pub fn with_failure_at(mut self, attempts: &[u64]) -> Self {
         self.fail_attempts = attempts.to_vec();
+        self
+    }
+
+    /// Crash the trainer ([`TrainingFault::Panic`]) on these 1-based
+    /// attempts.
+    pub fn with_panic_at(mut self, attempts: &[u64]) -> Self {
+        self.panic_attempts = attempts.to_vec();
+        self
+    }
+
+    /// Replace the candidate artifact with unparseable garbage
+    /// ([`ArtifactFault::Garbage`]) on these 1-based attempts.
+    pub fn with_artifact_garbage_at(mut self, attempts: &[u64]) -> Self {
+        self.garbage_artifact_attempts = attempts.to_vec();
+        self
+    }
+
+    /// Silently degrade the candidate artifact's weights
+    /// ([`ArtifactFault::DegradedWeights`]) on these 1-based attempts.
+    pub fn with_artifact_degraded_at(mut self, attempts: &[u64]) -> Self {
+        self.degraded_artifact_attempts = attempts.to_vec();
         self
     }
 
@@ -379,9 +434,96 @@ impl FaultInjector for ScriptedFaults {
             Some(TrainingFault::NanLoss)
         } else if self.fail_attempts.contains(&attempt) {
             Some(TrainingFault::Error)
+        } else if self.panic_attempts.contains(&attempt) {
+            Some(TrainingFault::Panic)
         } else {
             None
         }
+    }
+
+    fn artifact_fault(&mut self, attempt: u64) -> Option<ArtifactFault> {
+        if self.garbage_artifact_attempts.contains(&attempt) {
+            Some(ArtifactFault::Garbage)
+        } else if self.degraded_artifact_attempts.contains(&attempt) {
+            Some(ArtifactFault::DegradedWeights)
+        } else {
+            None
+        }
+    }
+}
+
+/// Bounded ledger of model versions that survived validation — the
+/// rollback targets for a canary swap gone wrong.
+///
+/// The ledger keeps the most recent `capacity` `(version, scorer)`
+/// pairs in promotion order. A closed-loop controller records the
+/// serving model here *before* swapping a candidate in, and records the
+/// candidate only after it survives its probation window; rolling back
+/// is therefore always "restore [`LastKnownGood::current`]", which can
+/// never name a model that was not observed healthy in production.
+///
+/// [`DeployedScorer`]'s text round-trip is bit-exact, so restoring a
+/// ledger entry through a save/load cycle reproduces the original
+/// scores bit for bit.
+#[derive(Debug, Clone)]
+pub struct LastKnownGood {
+    capacity: usize,
+    entries: VecDeque<(u32, DeployedScorer)>,
+}
+
+impl LastKnownGood {
+    /// An empty ledger retaining at most `capacity` entries (clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> Self {
+        LastKnownGood {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Records `scorer` as the known-good model for `version`. If the
+    /// version is already present its scorer is replaced in place;
+    /// otherwise the entry is appended and the oldest entry beyond
+    /// capacity is evicted.
+    pub fn record(&mut self, version: u32, scorer: DeployedScorer) {
+        if let Some(slot) = self.entries.iter_mut().find(|(v, _)| *v == version) {
+            slot.1 = scorer;
+            return;
+        }
+        self.entries.push_back((version, scorer));
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+        }
+    }
+
+    /// The most recently recorded known-good entry, if any.
+    pub fn current(&self) -> Option<(u32, &DeployedScorer)> {
+        self.entries.back().map(|(v, s)| (*v, s))
+    }
+
+    /// The entry recorded immediately before [`LastKnownGood::current`],
+    /// if any.
+    pub fn previous(&self) -> Option<(u32, &DeployedScorer)> {
+        let n = self.entries.len();
+        if n < 2 {
+            return None;
+        }
+        self.entries.get(n - 2).map(|(v, s)| (*v, s))
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ledger holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Versions currently retained, oldest first.
+    pub fn versions(&self) -> Vec<u32> {
+        self.entries.iter().map(|(v, _)| *v).collect()
     }
 }
 
@@ -1016,6 +1158,14 @@ impl ResilientStreamingCndIds {
                 name: "fault-injection",
                 constraint: "injected training failure",
             }),
+            // The streaming pipeline trains in-process: an actual panic
+            // would take the scoring path down with it, which is exactly
+            // what the resilience layer exists to prevent. Map the fault
+            // to a failed attempt; threaded trainers panic for real.
+            Some(TrainingFault::Panic) => Err(CoreError::InvalidConfig {
+                name: "fault-injection",
+                constraint: "injected trainer panic",
+            }),
             Some(TrainingFault::NanLoss) => {
                 // Poison a copy of the batch *after* the guard, so the
                 // CFE's own divergence watchdog is what trips.
@@ -1422,5 +1572,102 @@ mod tests {
         assert!(text.contains("mode:"));
         assert!(text.contains("normal"));
         assert!(text.contains("quarantined"));
+    }
+
+    #[test]
+    fn scripted_faults_schedule_panics_and_artifact_faults() {
+        let mut inj = ScriptedFaults::new(0)
+            .with_panic_at(&[2])
+            .with_artifact_garbage_at(&[3])
+            .with_artifact_degraded_at(&[4]);
+        assert_eq!(inj.training_fault(1), None);
+        assert_eq!(inj.training_fault(2), Some(TrainingFault::Panic));
+        assert_eq!(inj.artifact_fault(1), None);
+        assert_eq!(inj.artifact_fault(3), Some(ArtifactFault::Garbage));
+        assert_eq!(inj.artifact_fault(4), Some(ArtifactFault::DegradedWeights));
+        // Training faults take precedence in declaration order.
+        let mut both = ScriptedFaults::new(0)
+            .with_failure_at(&[1])
+            .with_panic_at(&[1]);
+        assert_eq!(both.training_fault(1), Some(TrainingFault::Error));
+    }
+
+    #[test]
+    fn injected_panic_is_contained_by_streaming_pipeline() {
+        let mut p = pipeline(
+            100,
+            RetryPolicy {
+                max_attempts: 3,
+                backoff_base_flows: 10,
+                max_backoff_flows: 40,
+            },
+        );
+        p.set_fault_injector(Box::new(ScriptedFaults::new(0).with_panic_at(&[1])));
+        // First training attempt "panics"; the pipeline must survive,
+        // roll back, and retrain successfully once backoff expires.
+        for phase in 0..10 {
+            p.push_flows(&flows(30, 0.0, phase * 30)).unwrap();
+        }
+        let h = p.health();
+        assert!(
+            h.total_failures >= 1,
+            "panic must count as a failed attempt"
+        );
+        assert!(h.retrain_successes >= 1, "retry after panic must succeed");
+        let scores = p.anomaly_scores(&flows(5, 0.0, 7)).expect("still scores");
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn last_known_good_records_evicts_and_rolls_back() {
+        let n_c = flows(60, 0.0, 900);
+        let mut model = CndIds::new(CndIdsConfig::fast(5), &n_c).unwrap();
+        model.train_experience(&flows(80, 0.0, 0)).unwrap();
+        let s1 = DeployedScorer::from_model(&model).unwrap();
+        model.train_experience(&flows(80, 0.5, 100)).unwrap();
+        let s2 = DeployedScorer::from_model(&model).unwrap();
+        model.train_experience(&flows(80, 1.0, 200)).unwrap();
+        let s3 = DeployedScorer::from_model(&model).unwrap();
+
+        let mut ledger = LastKnownGood::new(2);
+        assert!(ledger.is_empty());
+        assert!(ledger.current().is_none());
+        ledger.record(1, s1.clone());
+        ledger.record(2, s2);
+        ledger.record(3, s3);
+        // Capacity 2: version 1 evicted, newest is 3, previous is 2.
+        assert_eq!(ledger.versions(), vec![2, 3]);
+        assert_eq!(ledger.current().map(|(v, _)| v), Some(3));
+        assert_eq!(ledger.previous().map(|(v, _)| v), Some(2));
+
+        // Re-recording an existing version replaces in place.
+        ledger.record(3, s1.clone());
+        assert_eq!(ledger.len(), 2);
+        let probe = flows(4, 0.2, 50);
+        let (v, cur) = ledger.current().unwrap();
+        assert_eq!(v, 3);
+        let a = cur.anomaly_scores(&probe).unwrap();
+        let b = s1.anomaly_scores(&probe).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "replaced entry must be s1 bit-exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn last_known_good_capacity_clamped_to_one() {
+        let mut ledger = LastKnownGood::new(0);
+        let n_c = flows(60, 0.0, 900);
+        let mut model = CndIds::new(CndIdsConfig::fast(5), &n_c).unwrap();
+        model.train_experience(&flows(80, 0.0, 0)).unwrap();
+        let s = DeployedScorer::from_model(&model).unwrap();
+        ledger.record(1, s.clone());
+        ledger.record(2, s);
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.versions(), vec![2]);
+        assert!(ledger.previous().is_none());
     }
 }

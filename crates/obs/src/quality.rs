@@ -319,4 +319,98 @@ mod tests {
         assert_eq!(m.rotations(), 3);
         assert_eq!(m.last_verdict(), Some(v));
     }
+
+    #[test]
+    fn repeated_empty_windows_keep_monitor_inert() {
+        let mut m = DriftMonitor::default();
+        for _ in 0..5 {
+            assert!(m.rotate().is_none());
+        }
+        assert_eq!(m.rotations(), 0);
+        assert!(m.last_verdict().is_none());
+        // A reference formed before a run of empty windows survives it.
+        for _ in 0..20 {
+            m.observe(2.0);
+        }
+        assert!(m.rotate().is_none(), "first non-empty rotation seeds");
+        for _ in 0..5 {
+            assert!(m.rotate().is_none(), "empty windows skip comparison");
+        }
+        for _ in 0..20 {
+            m.observe(2.0);
+        }
+        let v = m.rotate().expect("reference survived the empty run");
+        assert!(!v.drifted);
+    }
+
+    #[test]
+    fn constant_windows_compare_as_stable_single_bin() {
+        // A constant score stream occupies exactly one histogram bucket;
+        // the smoothed divergences must stay finite and near zero when
+        // both windows hold the same constant.
+        let p = hist(&vec![3.5; 100]);
+        assert_eq!(p.buckets.len(), 1, "constant stream is single-bin");
+        let v = compare(&p, &hist(&vec![3.5; 100]), DriftThresholds::default());
+        assert!(v.psi.is_finite() && v.psi.abs() < 1e-12, "psi {}", v.psi);
+        assert!(!v.drifted);
+        // Window sizes differing by 10x on the same constant still
+        // compare stable: probabilities, not counts.
+        let v = compare(&p, &hist(&vec![3.5; 1000]), DriftThresholds::default());
+        assert!(!v.drifted, "count imbalance alone is not drift: {v:?}");
+    }
+
+    #[test]
+    fn disjoint_single_bin_windows_flag_drift_finitely() {
+        // Single-bin vs single-bin in a far-away bucket: the union has
+        // two buckets, each empty on one side — smoothing must keep the
+        // statistics finite while still flagging the shift.
+        let v = compare(
+            &hist(&vec![0.25; 200]),
+            &hist(&vec![4096.0; 200]),
+            DriftThresholds::default(),
+        );
+        assert!(v.psi.is_finite() && v.sym_kl.is_finite());
+        assert!(v.drifted, "fully disjoint single bins must drift: {v:?}");
+    }
+
+    #[test]
+    fn verdicts_are_invariant_to_observation_order_and_chunking() {
+        // The monitor feeds from a scoring pipeline whose batch/pool
+        // sizes vary run to run; the verdict must depend only on the
+        // score multiset, not on arrival order or chunk boundaries.
+        let scores: Vec<f64> = (0..256)
+            .map(|i| 0.1 + ((i * 37) % 97) as f64 * 0.5)
+            .collect();
+        let drifted: Vec<f64> = scores.iter().map(|s| s * 96.0).collect();
+        let verdict_with = |chunk: usize, reverse: bool| -> DriftVerdict {
+            let feed = |m: &mut DriftMonitor, vals: &[f64]| {
+                let mut vals = vals.to_vec();
+                if reverse {
+                    vals.reverse();
+                }
+                for c in vals.chunks(chunk) {
+                    for &v in c {
+                        m.observe(v);
+                    }
+                }
+            };
+            let mut m = DriftMonitor::default();
+            feed(&mut m, &scores);
+            assert!(m.rotate().is_none());
+            feed(&mut m, &drifted);
+            m.rotate().expect("comparing rotation")
+        };
+        let reference = verdict_with(256, false);
+        assert!(reference.drifted);
+        for (chunk, reverse) in [(1usize, false), (7, true), (64, false), (256, true)] {
+            let v = verdict_with(chunk, reverse);
+            assert_eq!(
+                v.psi.to_bits(),
+                reference.psi.to_bits(),
+                "psi must be bit-identical across pool/chunk shapes"
+            );
+            assert_eq!(v.sym_kl.to_bits(), reference.sym_kl.to_bits());
+            assert_eq!(v.drifted, reference.drifted);
+        }
+    }
 }

@@ -5,11 +5,61 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use cnd_core::resilience::RetryPolicy;
+
 use crate::protocol::{read_reply, write_request, FrameError, Reply, Request, ServerInfo};
 
 /// Default client read timeout: far above any sane batching deadline,
 /// so hitting it means the server is gone, not slow.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Retry schedule for [`ServeClient::connect_with_retry`]: capped
+/// exponential backoff with deterministic jitter, so a transient server
+/// restart (e.g. a continual-serving canary swap bouncing a process)
+/// does not fail clients and reconnect storms stay spread out.
+///
+/// The reused [`RetryPolicy`] is interpreted in **milliseconds**: the
+/// delay before retry `n` is `backoff_base_flows · 2^(n−1)` ms, capped
+/// at `max_backoff_flows` ms, then scaled by a jitter factor drawn
+/// deterministically from `jitter_seed` in `[0.5, 1.0]`.
+#[derive(Debug, Clone)]
+pub struct ConnectRetry {
+    /// Attempt count and backoff shape (field units become ms here).
+    pub policy: RetryPolicy,
+    /// Seed for the jitter sequence; vary per client so a fleet does
+    /// not reconnect in lockstep.
+    pub jitter_seed: u64,
+}
+
+impl Default for ConnectRetry {
+    fn default() -> Self {
+        ConnectRetry {
+            policy: RetryPolicy {
+                max_attempts: 5,
+                backoff_base_flows: 50,
+                max_backoff_flows: 2_000,
+            },
+            jitter_seed: 1,
+        }
+    }
+}
+
+impl ConnectRetry {
+    /// The jittered delay to sleep before 1-based retry `n`.
+    fn delay(&self, n: u32, jitter_state: &mut u64) -> Duration {
+        let base = self.policy.backoff_flows(n) as u64;
+        // xorshift64* step: cheap, deterministic, good enough to spread
+        // reconnects; no RNG dependency needed.
+        let mut x = *jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *jitter_state = x;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 0.5 + 0.5 * unit;
+        Duration::from_millis((base as f64 * factor).round() as u64)
+    }
+}
 
 /// Errors a [`ServeClient`] call can produce.
 #[derive(Debug)]
@@ -83,6 +133,35 @@ impl ServeClient {
         Ok(ServeClient { conn, next_id: 1 })
     }
 
+    /// Like [`connect`](Self::connect), but retries transient failures
+    /// with capped exponential backoff plus deterministic jitter
+    /// (see [`ConnectRetry`]). At most `retry.policy.max_attempts`
+    /// connects are tried (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once the budget is exhausted.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        retry: &ConnectRetry,
+    ) -> Result<ServeClient, ClientError> {
+        let attempts = retry.policy.max_attempts.max(1);
+        let mut jitter_state = retry.jitter_seed | 1;
+        let mut failures = 0u32;
+        loop {
+            match Self::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    failures += 1;
+                    if failures >= attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(retry.delay(failures, &mut jitter_state));
+                }
+            }
+        }
+    }
+
     fn round_trip(&mut self, make: impl FnOnce(u64) -> Request) -> Result<Reply, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
@@ -151,5 +230,88 @@ fn reply_id(reply: &Reply) -> u64 {
         | Reply::ReloadOk { id, .. }
         | Reply::ReloadFailed { id, .. }
         | Reply::Info { id, .. } => id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    #[test]
+    fn retry_delays_are_capped_exponential_with_jitter_in_range() {
+        let retry = ConnectRetry {
+            policy: RetryPolicy {
+                max_attempts: 10,
+                backoff_base_flows: 100,
+                max_backoff_flows: 400,
+            },
+            jitter_seed: 42,
+        };
+        let mut state = retry.jitter_seed | 1;
+        for (n, full) in [(1u32, 100u64), (2, 200), (3, 400), (4, 400), (9, 400)] {
+            let d = retry.delay(n, &mut state).as_millis() as u64;
+            assert!(
+                d >= full / 2 && d <= full,
+                "retry {n}: delay {d}ms outside [{}, {full}]ms",
+                full / 2
+            );
+        }
+        // The jitter sequence must actually vary.
+        let mut s1 = 7u64;
+        let a = retry.delay(3, &mut s1);
+        let b = retry.delay(3, &mut s1);
+        assert_ne!(a, b, "consecutive jittered delays should differ");
+    }
+
+    #[test]
+    fn connect_with_retry_gives_up_after_budget() {
+        // Bind-then-drop gives a port that refuses connections.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let retry = ConnectRetry {
+            policy: RetryPolicy {
+                max_attempts: 3,
+                backoff_base_flows: 10,
+                max_backoff_flows: 20,
+            },
+            jitter_seed: 9,
+        };
+        let start = Instant::now();
+        let res = ServeClient::connect_with_retry(addr, &retry);
+        assert!(matches!(res, Err(ClientError::Io(_))));
+        // Two backoffs of >= 5ms and >= 10ms happened between the three
+        // attempts.
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn connect_with_retry_succeeds_once_listener_appears() {
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let listener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            TcpListener::bind(addr).expect("rebind")
+        });
+        let retry = ConnectRetry {
+            policy: RetryPolicy {
+                max_attempts: 30,
+                backoff_base_flows: 40,
+                max_backoff_flows: 80,
+            },
+            jitter_seed: 3,
+        };
+        let client = ServeClient::connect_with_retry(addr, &retry);
+        assert!(
+            client.is_ok(),
+            "retry should outlast a 120ms server restart: {:?}",
+            client.err()
+        );
+        drop(listener.join());
     }
 }

@@ -47,12 +47,17 @@ use std::io;
 use cnd_core::CoreError;
 
 pub mod client;
+pub mod continual;
 pub mod loadgen;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use client::{ClientError, ServeClient};
+pub use client::{ClientError, ConnectRetry, ServeClient};
+pub use continual::{
+    ContinualConfig, ContinualController, ContinualEvent, ContinualStats, MirrorSample,
+    ShadowReport, TrafficMirror, ValidationSet,
+};
 pub use loadgen::{run_loadgen, LoadGenConfig, LoadReport};
 pub use protocol::{Reply, Request, ServerInfo, Verdict};
 pub use registry::{ModelRegistry, VersionedModel};

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::client::{ClientError, ServeClient};
+use crate::client::{ClientError, ConnectRetry, ServeClient};
 use crate::protocol::{Reply, Verdict};
 
 /// Load-generation parameters.
@@ -138,7 +138,11 @@ fn worker(
     pace: Option<Duration>,
     sent: &AtomicU64,
 ) -> Result<WorkerOutcome, ClientError> {
-    let mut client = ServeClient::connect(addr)?;
+    let retry = ConnectRetry {
+        jitter_seed: seed,
+        ..ConnectRetry::default()
+    };
+    let mut client = ServeClient::connect_with_retry(addr, &retry)?;
     let mut rng = XorShift64::new(seed);
     let mut out = WorkerOutcome {
         ok: 0,
@@ -186,10 +190,10 @@ fn worker(
             Ok(_) => out.bad_request += 1,
             Err(_) => {
                 // The stream is suspect after a transport error;
-                // reconnect so the remaining flows still exercise the
-                // server.
+                // reconnect (with backoff, so a restarting server gets
+                // a grace window) and keep exercising it.
                 out.transport_errors += 1;
-                client = ServeClient::connect(addr)?;
+                client = ServeClient::connect_with_retry(addr, &retry)?;
             }
         }
     }
@@ -261,7 +265,14 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> Result<LoadReport, 
 
         let outcomes: Vec<Result<WorkerOutcome, ClientError>> = handles
             .into_iter()
-            .map(|h| h.join().expect("loadgen worker panicked"))
+            .map(|h| {
+                // A panicked worker must report, not abort the whole
+                // run: surface it as a typed error alongside ordinary
+                // transport failures.
+                h.join().unwrap_or_else(|_| {
+                    Err(ClientError::Protocol("loadgen worker panicked".into()))
+                })
+            })
             .collect();
         (outcomes, reload_version)
     });

@@ -36,7 +36,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -44,10 +44,11 @@ use std::time::{Duration, Instant};
 use cnd_linalg::Matrix;
 use cnd_metrics::threshold::quantile_threshold;
 
+use crate::continual::{MirrorSample, TrafficMirror};
 use crate::protocol::{
     read_request_after_first, write_reply, FrameError, Reply, Request, ServerInfo, Verdict,
 };
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, VersionedModel};
 use crate::ServeError;
 
 /// Idle poll interval for reader first-byte reads and the acceptor.
@@ -76,6 +77,10 @@ pub struct ServeConfig {
     /// When set, a watcher thread polls the model artifact's mtime at
     /// this interval and hot-swaps on change.
     pub watch: Option<Duration>,
+    /// When set, every scored flow (features, score, model version) is
+    /// pushed into this bounded mirror for the closed continual-serving
+    /// loop ([`crate::continual`]) to drain.
+    pub mirror: Option<TrafficMirror>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +93,7 @@ impl Default for ServeConfig {
             quantile: 0.95,
             calibrate: 512,
             watch: None,
+            mirror: None,
         }
     }
 }
@@ -176,7 +182,13 @@ struct Pending {
 struct Shared {
     queue: Mutex<VecDeque<Pending>>,
     notify: Condvar,
-    stop: AtomicBool,
+    /// Phase-1 stop: the acceptor, readers, and watcher exit; no new
+    /// requests can be admitted once their threads are joined.
+    stop_accepting: AtomicBool,
+    /// Phase-2 stop: set only after every enqueuing thread has been
+    /// joined, so the batcher can exit the moment the queue is empty
+    /// without racing a reader that is still finishing a frame.
+    stop_batching: AtomicBool,
     counters: Counters,
     registry: ModelRegistry,
     cfg: ServeConfig,
@@ -184,7 +196,11 @@ struct Shared {
 
 impl Shared {
     fn stopping(&self) -> bool {
-        self.stop.load(Ordering::Relaxed)
+        self.stop_accepting.load(Ordering::Relaxed)
+    }
+
+    fn batching_stopped(&self) -> bool {
+        self.stop_batching.load(Ordering::Relaxed)
     }
 }
 
@@ -195,7 +211,9 @@ impl Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    batcher: Option<std::thread::JoinHandle<()>>,
+    watcher: Option<std::thread::JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
@@ -228,43 +246,48 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             notify: Condvar::new(),
-            stop: AtomicBool::new(false),
+            stop_accepting: AtomicBool::new(false),
+            stop_batching: AtomicBool::new(false),
             counters: Counters::default(),
             registry,
             cfg,
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
 
-        let mut threads = Vec::new();
-        {
+        let acceptor = {
             let shared = Arc::clone(&shared);
             let conn_threads = Arc::clone(&conn_threads);
-            threads.push(
+            Some(
                 std::thread::Builder::new()
                     .name("cnd-serve-accept".into())
                     .spawn(move || accept_loop(listener, shared, conn_threads))?,
-            );
-        }
-        {
+            )
+        };
+        let batcher = {
             let shared = Arc::clone(&shared);
-            threads.push(
+            Some(
                 std::thread::Builder::new()
                     .name("cnd-serve-batch".into())
                     .spawn(move || batch_loop(&shared))?,
-            );
-        }
-        if let Some(interval) = shared.cfg.watch {
-            let shared = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("cnd-serve-watch".into())
-                    .spawn(move || watch_loop(&shared, interval))?,
-            );
-        }
+            )
+        };
+        let watcher = match shared.cfg.watch {
+            Some(interval) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("cnd-serve-watch".into())
+                        .spawn(move || watch_loop(&shared, interval))?,
+                )
+            }
+            None => None,
+        };
         Ok(Server {
             addr,
             shared,
-            threads,
+            acceptor,
+            batcher,
+            watcher,
             conn_threads,
         })
     }
@@ -287,6 +310,18 @@ impl Server {
     /// serving.
     pub fn reload(&self) -> Result<u32, ServeError> {
         self.shared.registry.reload()
+    }
+
+    /// Path of the model artifact the registry loads from; the
+    /// continual-serving controller writes validated candidates here
+    /// before asking for a [`reload`](Self::reload).
+    pub fn model_path(&self) -> &Path {
+        self.shared.registry.path()
+    }
+
+    /// The currently serving versioned model.
+    pub fn current_model(&self) -> Arc<VersionedModel> {
+        self.shared.registry.current()
     }
 
     /// Snapshot of the serving counters.
@@ -314,13 +349,32 @@ impl Server {
     }
 
     fn stop_and_join(&mut self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
+        // Phase 1: stop admission and join every thread that can still
+        // enqueue. A reader mid-frame finishes the frame (and its
+        // enqueue) before exiting, so joining readers first guarantees
+        // the queue can only shrink afterwards.
+        self.shared.stop_accepting.store(true, Ordering::Relaxed);
         self.shared.notify.notify_all();
-        for h in self.threads.drain(..) {
+        if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        let mut conns = self.conn_threads.lock().unwrap_or_else(|e| e.into_inner());
-        for h in conns.drain(..) {
+        if let Some(h) = self.watcher.take() {
+            let _ = h.join();
+        }
+        let conns: Vec<_> = {
+            let mut g = self.conn_threads.lock().unwrap_or_else(|e| e.into_inner());
+            g.drain(..).collect()
+        };
+        for h in conns {
+            let _ = h.join();
+        }
+        // Phase 2: no producer remains — tell the batcher it may exit
+        // once the queue is drained. Without the ordering above, the
+        // batcher could observe an empty queue and exit while a reader
+        // was still admitting a request, silently dropping it.
+        self.shared.stop_batching.store(true, Ordering::Relaxed);
+        self.shared.notify.notify_all();
+        if let Some(h) = self.batcher.take() {
             let _ = h.join();
         }
     }
@@ -541,7 +595,7 @@ fn batch_loop(shared: &Shared) {
                         .unwrap_or_else(|e| e.into_inner());
                     q = guard;
                 } else {
-                    if shared.stopping() {
+                    if shared.batching_stopped() {
                         return; // queue drained: accepted requests all replied
                     }
                     let (guard, _) = shared
@@ -615,6 +669,15 @@ fn process_batch(batch: Vec<Pending>, shared: &Shared, calib: &mut HashMap<u32, 
     shared.counters.batches.fetch_add(1, Ordering::Relaxed);
     cnd_obs::counter_add_volatile("serve.scored.count", n as u64);
     cnd_obs::histogram_record_volatile("serve.batch.size", n as f64);
+    if let Some(mirror) = &shared.cfg.mirror {
+        for (p, &score) in batch.iter().zip(&scores) {
+            mirror.push(MirrorSample {
+                features: p.features.clone(),
+                score,
+                model_version: model.version,
+            });
+        }
+    }
     for (p, &score) in batch.iter().zip(&scores) {
         let verdict = match tau {
             Some(t) if score > t => Verdict::Alert,
@@ -765,6 +828,52 @@ mod tests {
         assert_eq!(stats.accepted, 4);
         assert_eq!(stats.scored, 4, "every accepted request was scored");
         assert_eq!(stats.reply_failures, 0);
+    }
+
+    #[test]
+    fn shutdown_under_live_traffic_never_drops_accepted_requests() {
+        // Clients hammer the server while shutdown lands mid-stream.
+        // The two-phase stop (readers joined before the batcher may
+        // exit) guarantees every admitted request is scored and
+        // replied to — `scored == accepted` with zero reply failures.
+        let (server, _artifact) = start(ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            ..ServeConfig::default()
+        });
+        let addr = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..3)
+            .map(|k| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut c = ServeClient::connect(addr).expect("connect");
+                    let row = vec![0.2 * (k + 1) as f64; 6];
+                    let mut replies = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        match c.score(&row) {
+                            Ok(Reply::Score { .. }) => replies += 1,
+                            Ok(other) => panic!("unexpected reply {other:?}"),
+                            // Connection torn down by shutdown: the
+                            // request was never admitted.
+                            Err(_) => break,
+                        }
+                    }
+                    replies
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(150));
+        let stats = server.shutdown();
+        stop.store(true, Ordering::Relaxed);
+        let client_replies: u64 = handles.into_iter().map(|h| h.join().expect("client")).sum();
+        assert!(stats.accepted > 0, "traffic must have flowed");
+        assert_eq!(
+            stats.scored, stats.accepted,
+            "every accepted request must be scored"
+        );
+        assert_eq!(stats.reply_failures, 0);
+        assert!(client_replies >= stats.scored.saturating_sub(3));
     }
 
     #[test]

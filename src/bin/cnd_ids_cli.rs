@@ -20,7 +20,14 @@
 //!   [--queue-cap N] [--threshold T | --quantile Q --calibrate N]
 //!   [--watch [--watch-interval-ms MS]] [--runtime-s S]` — serve the
 //!   frozen model over the `cnd-serve` TCP wire protocol with
-//!   micro-batching, hot-swap reload, and admission control.
+//!   micro-batching, hot-swap reload, and admission control. With
+//!   `--continual --data <labelled.csv>` the process also runs the
+//!   closed continual loop: live traffic is mirrored into a training
+//!   buffer, score drift triggers a background retrain, candidates are
+//!   shadow-validated against a held-out split, validated ones are
+//!   canary-swapped in, and post-swap degradation rolls back to the
+//!   last-known-good model (`--drift-window`, `--min-retrain`,
+//!   `--probation` tune the loop).
 //! * `loadgen <addr> [--flows N] [--concurrency C] [--rate R] [--seed N]
 //!   [--reload-midway] [--tag T] [--out BENCH_serve.json] [--append]` —
 //!   drive open-loop load against a running server and write a
@@ -118,7 +125,7 @@ const USAGE: &str = "usage:
   cnd-ids-cli train <data.csv> <model.txt> [--experiences M] [--seed N]
   cnd-ids-cli score <model.txt> <data.csv> [--quantile Q]
   cnd-ids-cli stream <data.csv> [--experiences M] [--seed N] [--chunk N] [--fault-rate R] [--health]
-  cnd-ids-cli serve <model.txt> [--addr 127.0.0.1:7071] [--max-batch N] [--max-delay-us U] [--queue-cap N] [--threshold T] [--quantile Q] [--calibrate N] [--watch] [--watch-interval-ms MS] [--runtime-s S]
+  cnd-ids-cli serve <model.txt> [--addr 127.0.0.1:7071] [--max-batch N] [--max-delay-us U] [--queue-cap N] [--threshold T] [--quantile Q] [--calibrate N] [--watch] [--watch-interval-ms MS] [--runtime-s S] [--continual --data <labelled.csv> [--experiences M] [--seed N] [--drift-window N] [--min-retrain N] [--probation N]]
   cnd-ids-cli loadgen <addr> [--flows N] [--concurrency C] [--rate R] [--seed N] [--reload-midway] [--tag T] [--out <path>] [--append]
   cnd-ids-cli observe <trace.jsonl> [--top [N]]
   cnd-ids-cli bench-check <current> [--baseline <path>] [--update] [--tolerance T]
@@ -315,8 +322,47 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// In `--continual` mode: train the bootstrap model from the labelled
+/// CSV, write its frozen scorer to `model_path` (the artifact the
+/// server will serve and the loop will re-write on every swap), and
+/// build the held-out validation set the shadow gate scores candidates
+/// against.
+fn continual_bootstrap(
+    model_path: &str,
+    args: &[String],
+) -> Result<(CndIds, cnd_serve::ValidationSet), String> {
+    let data_path: String = parse_flag(args, "--data", String::new())?;
+    if data_path.is_empty() {
+        return Err("serve --continual requires --data <labelled.csv> (bootstrap + shadow validation come from it)".into());
+    }
+    let (_, split, seed) = load_and_split(&data_path, args)?;
+    let mut model =
+        CndIds::new(CndIdsConfig::fast(seed), &split.clean_normal).map_err(|e| e.to_string())?;
+    let mut val_rows: Vec<Vec<f64>> = Vec::new();
+    let mut val_y: Vec<u8> = Vec::new();
+    for e in &split.experiences {
+        model
+            .train_experience(&e.train_x)
+            .map_err(|e| e.to_string())?;
+        for (row, &y) in e.test_x.iter_rows().zip(&e.test_y) {
+            val_rows.push(row.to_vec());
+            val_y.push(y);
+        }
+    }
+    let val_x = cnd_linalg::Matrix::from_rows(&val_rows).map_err(|e| e.to_string())?;
+    let val = cnd_serve::ValidationSet::new(val_x, val_y).map_err(|e| e.to_string())?;
+    let scorer = model.freeze().map_err(|e| e.to_string())?;
+    scorer.save_to_path(model_path).map_err(|e| e.to_string())?;
+    eprintln!(
+        "continual bootstrap: trained on {} experiences from {data_path}, {} validation rows; artifact written to {model_path}",
+        split.len(),
+        val.len()
+    );
+    Ok((model, val))
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use cnd_serve::{ServeConfig, Server};
+    use cnd_serve::{ContinualConfig, ContinualController, ServeConfig, Server, TrafficMirror};
 
     let model_path = args.first().ok_or("serve: missing <model.txt>")?;
     let addr: String = parse_flag(args, "--addr", "127.0.0.1:7071".to_string())?;
@@ -324,6 +370,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let threshold: f64 = parse_flag(args, "--threshold", f64::NAN)?;
     let watch_interval_ms: u64 = parse_flag(args, "--watch-interval-ms", 500)?;
     let runtime_s: u64 = parse_flag(args, "--runtime-s", 0)?;
+    let continual = args.iter().any(|a| a == "--continual");
+
+    // In continual mode the loop owns the trainable model and the
+    // artifact on disk; bootstrap both before the server opens.
+    let bootstrap = if continual {
+        Some(continual_bootstrap(model_path, args)?)
+    } else {
+        None
+    };
+    let mirror = continual.then(|| TrafficMirror::new(8192));
+
     let cfg = ServeConfig {
         max_batch: parse_flag(args, "--max-batch", 64)?,
         max_delay: std::time::Duration::from_micros(max_delay_us),
@@ -339,6 +396,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .iter()
             .any(|a| a == "--watch")
             .then(|| std::time::Duration::from_millis(watch_interval_ms.max(10))),
+        mirror: mirror.clone(),
     };
     // Make sure the counters the server records are live so a
     // CND_OBS_LISTEN /metrics scrape always sees them.
@@ -353,12 +411,61 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         server.local_addr(),
         cnd_serve::protocol::PROTOCOL_VERSION
     );
+
+    let mut controller = match (bootstrap, mirror) {
+        (Some((model, val)), Some(mirror)) => {
+            let ccfg = ContinualConfig {
+                drift_window: parse_flag(args, "--drift-window", 256)?,
+                min_retrain_samples: parse_flag(args, "--min-retrain", 256)?,
+                probation_samples: parse_flag(args, "--probation", 128)?,
+                ..ContinualConfig::default()
+            };
+            let c =
+                ContinualController::new(ccfg, model, val, mirror).map_err(|e| e.to_string())?;
+            eprintln!(
+                "continual loop armed: drift window {}, min retrain {}, probation {}",
+                parse_flag::<usize>(args, "--drift-window", 256)?,
+                parse_flag::<usize>(args, "--min-retrain", 256)?,
+                parse_flag::<usize>(args, "--probation", 128)?,
+            );
+            Some(c)
+        }
+        _ => None,
+    };
+
     let started = std::time::Instant::now();
     loop {
-        std::thread::sleep(std::time::Duration::from_millis(200));
+        std::thread::sleep(std::time::Duration::from_millis(if controller.is_some() {
+            100
+        } else {
+            200
+        }));
+        if let Some(c) = controller.as_mut() {
+            for event in c.step(&server) {
+                eprintln!("continual: {event}");
+            }
+        }
         if runtime_s > 0 && started.elapsed() >= std::time::Duration::from_secs(runtime_s) {
             break;
         }
+    }
+    if let Some(c) = controller.as_ref() {
+        let s = c.stats();
+        eprintln!(
+            "continual loop: {} samples mirrored ({} poisoned), {} drift detections, {} retrains ({} panics, {} failures), {} shadow rejects, {} swaps ({} refused), {} rollbacks, {} probation passes; state {}",
+            s.samples_seen,
+            s.poisoned_rejected,
+            s.drift_detections,
+            s.retrains_started,
+            s.trainer_panics,
+            s.trainer_failures,
+            s.shadow_rejects,
+            s.swaps,
+            s.swap_refusals,
+            s.rollbacks,
+            s.probation_passes,
+            c.state_name()
+        );
     }
     let stats = server.shutdown();
     eprintln!(
