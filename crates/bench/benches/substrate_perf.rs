@@ -50,9 +50,16 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     best
 }
 
-fn bench_matmul(n: usize, reps: usize, serial: &ThreadPool, parallel: &ThreadPool) -> Measurement {
-    let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 97) as f64 / 97.0);
-    let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 7) % 89) as f64 / 89.0);
+fn bench_matmul_shape(
+    m: usize,
+    k: usize,
+    p: usize,
+    reps: usize,
+    serial: &ThreadPool,
+    parallel: &ThreadPool,
+) -> Measurement {
+    let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 97) as f64 / 97.0);
+    let b = Matrix::from_fn(k, p, |i, j| ((i * 13 + j * 7) % 89) as f64 / 89.0);
     let s_out = serial.install(|| a.matmul(&b).expect("shapes agree"));
     let p_out = parallel.install(|| a.matmul(&b).expect("shapes agree"));
     let serial_secs = time_best(reps, || {
@@ -61,15 +68,75 @@ fn bench_matmul(n: usize, reps: usize, serial: &ThreadPool, parallel: &ThreadPoo
     let parallel_secs = time_best(reps, || {
         parallel.install(|| a.matmul(&b).expect("shapes agree"))
     });
-    let flops = 2.0 * (n as f64).powi(3);
+    let flops = 2.0 * m as f64 * k as f64 * p as f64;
     Measurement {
-        name: format!("matmul_{n}x{n}x{n}"),
+        name: format!("matmul_{m}x{k}x{p}"),
         serial_secs,
         parallel_secs,
         rate_unit: "GFLOP/s",
         serial_rate: flops / serial_secs / 1e9,
         parallel_rate: flops / parallel_secs / 1e9,
         bit_identical: s_out == p_out,
+    }
+}
+
+fn bench_matmul(n: usize, reps: usize, serial: &ThreadPool, parallel: &ThreadPool) -> Measurement {
+    bench_matmul_shape(n, n, n, reps, serial, parallel)
+}
+
+/// f64-vs-f32 end-to-end serve scoring on a frozen model. The schema is
+/// reused with a twist: `serial_*` measures the f64 scorer, `parallel_*`
+/// measures the quantized f32 twin (both on the serial pool — the
+/// comparison is precision, not thread fan-out), and `bit_identical`
+/// records whether every f32 score honoured the documented
+/// [`cnd_core::deploy::F32_SCORE_TOLERANCE`] relative bound.
+fn bench_serve_score_f32(
+    rows: usize,
+    cols: usize,
+    reps: usize,
+    serial: &ThreadPool,
+) -> Measurement {
+    use cnd_core::deploy::F32_SCORE_TOLERANCE;
+    use cnd_core::{CndIds, CndIdsConfig};
+
+    let normal = |i: usize, j: usize| ((i * 7 + j * 3) % 13) as f64 * 0.1;
+    let n_c = Matrix::from_fn(50, cols, normal);
+    let train = Matrix::from_fn(300, cols, |i, j| {
+        if i < 240 {
+            normal(i + 100, j)
+        } else {
+            normal(i + 100, j) + 2.5
+        }
+    });
+    let mut model = CndIds::new(CndIdsConfig::fast(cnd_bench::BENCH_SEED), &n_c).expect("builds");
+    model.train_experience(&train).expect("trains");
+    let scorer = model.freeze().expect("freezes");
+    let twin = scorer.to_f32();
+    let x = Matrix::from_fn(rows, cols, |i, j| {
+        normal(i + 500, j) + ((i % 10) as f64) * 0.2
+    });
+
+    let s64 = serial.install(|| scorer.anomaly_scores(&x).expect("f64 scores"));
+    let s32 = serial.install(|| twin.anomaly_scores(&x).expect("f32 scores"));
+    let within_tolerance = s64
+        .iter()
+        .zip(&s32)
+        .all(|(a, b)| (a - b).abs() <= F32_SCORE_TOLERANCE * (1.0 + a.abs()));
+
+    let f64_secs = time_best(reps, || {
+        serial.install(|| scorer.anomaly_scores(&x).expect("f64 scores"))
+    });
+    let f32_secs = time_best(reps, || {
+        serial.install(|| twin.anomaly_scores(&x).expect("f32 scores"))
+    });
+    Measurement {
+        name: format!("serve_score_f32_{rows}x{cols}"),
+        serial_secs: f64_secs,
+        parallel_secs: f32_secs,
+        rate_unit: "flows/s",
+        serial_rate: rows as f64 / f64_secs,
+        parallel_rate: rows as f64 / f32_secs,
+        bit_identical: within_tolerance,
     }
 }
 
@@ -208,12 +275,22 @@ fn main() {
     cnd_obs::reset(cnd_obs::ClockKind::Wall);
     cnd_obs::set_enabled(true);
 
-    let (mm_n, reps) = if quick { (192, 2) } else { (512, 3) };
+    let reps = if quick { 2 } else { 3 };
     let (score_rows, score_cols) = if quick { (2_000, 32) } else { (20_000, 64) };
     let results = vec![
         {
             let _s = cnd_obs::span!("bench.matmul");
-            bench_matmul(mm_n, reps, &serial, parallel)
+            bench_matmul(192, reps, &serial, parallel)
+        },
+        {
+            let _s = cnd_obs::span!("bench.matmul_512");
+            bench_matmul(512, reps, &serial, parallel)
+        },
+        {
+            // The CFE encode shape: a tall-skinny batch against the
+            // first (widest) layer of the paper's encoder stack.
+            let _s = cnd_obs::span!("bench.matmul_encode");
+            bench_matmul_shape(score_rows, score_cols, 256, reps, &serial, parallel)
         },
         {
             let _s = cnd_obs::span!("bench.pca_score");
@@ -222,6 +299,10 @@ fn main() {
         {
             let _s = cnd_obs::span!("bench.cfe_forward");
             bench_cfe_forward(score_rows, score_cols, reps, &serial, parallel)
+        },
+        {
+            let _s = cnd_obs::span!("bench.serve_score_f32");
+            bench_serve_score_f32(score_rows, score_cols, reps, &serial)
         },
     ];
     cnd_obs::set_enabled(false);

@@ -1,0 +1,95 @@
+//! Property tests for the f32 scoring tolerance contract
+//! ([`cnd_core::deploy::F32_SCORE_TOLERANCE`]).
+//!
+//! Models are trained at several seeds (each seed produces different
+//! weights, cluster assignments, and PCA bases) and scored on randomized
+//! batches; every f32 score must stay inside the documented relative
+//! band around its f64 counterpart, and alert decisions against any
+//! threshold clear of the band must agree between the two paths.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use cnd_core::deploy::{DeployedScorer, F32_SCORE_TOLERANCE};
+use cnd_core::{CndIds, CndIdsConfig};
+use cnd_linalg::Matrix;
+use proptest::prelude::*;
+
+const DIM: usize = 6;
+
+/// Trains (once per seed, cached) a small model and freezes it.
+fn scorer_for_seed(seed: u64) -> DeployedScorer {
+    static CACHE: OnceLock<Mutex<HashMap<u64, DeployedScorer>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+    guard
+        .entry(seed)
+        .or_insert_with(|| {
+            let normal = |i: usize, j: usize| ((i * 7 + j * 3 + seed as usize) % 13) as f64 * 0.1;
+            let n_c = Matrix::from_fn(50, DIM, normal);
+            let train = Matrix::from_fn(300, DIM, |i, j| {
+                if i < 240 {
+                    normal(i + 100, j)
+                } else {
+                    normal(i + 100, j) + 2.5
+                }
+            });
+            let mut model = CndIds::new(CndIdsConfig::fast(seed), &n_c).expect("builds");
+            model.train_experience(&train).expect("trains");
+            model.freeze().expect("freezes")
+        })
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `|s32 − s64| ≤ TOL · (1 + |s64|)` on random models and batches.
+    #[test]
+    fn f32_scores_stay_inside_tolerance_band(
+        seed in 0u64..4,
+        rows in prop::collection::vec(
+            prop::collection::vec(-3.0..3.0f64, DIM), 1..24),
+    ) {
+        let scorer = scorer_for_seed(seed);
+        let twin = scorer.to_f32();
+        let x = Matrix::from_rows(&rows).expect("rectangular");
+        let s64 = scorer.anomaly_scores(&x).expect("f64 scores");
+        let s32 = twin.anomaly_scores(&x).expect("f32 scores");
+        prop_assert_eq!(s64.len(), s32.len());
+        for (a, b) in s64.iter().zip(&s32) {
+            prop_assert!(a.is_finite() && b.is_finite());
+            prop_assert!(
+                (a - b).abs() <= F32_SCORE_TOLERANCE * (1.0 + a.abs()),
+                "score drifted past contract: f64={} f32={}", a, b
+            );
+        }
+    }
+
+    /// Any threshold at least one tolerance band away from a flow's f64
+    /// score classifies the flow identically on both paths — the f32
+    /// serve path can only flip verdicts inside the documented band.
+    #[test]
+    fn decisions_agree_for_thresholds_clear_of_the_band(
+        seed in 0u64..4,
+        rows in prop::collection::vec(
+            prop::collection::vec(-3.0..3.0f64, DIM), 1..12),
+        tau in 0.0..10.0f64,
+    ) {
+        let scorer = scorer_for_seed(seed);
+        let twin = scorer.to_f32();
+        let x = Matrix::from_rows(&rows).expect("rectangular");
+        let s64 = scorer.anomaly_scores(&x).expect("f64 scores");
+        let s32 = twin.anomaly_scores(&x).expect("f32 scores");
+        for (a, b) in s64.iter().zip(&s32) {
+            let band = F32_SCORE_TOLERANCE * (1.0 + a.abs());
+            if (a - tau).abs() > band {
+                prop_assert_eq!(
+                    *a > tau, *b > tau,
+                    "verdict flipped outside the tolerance band: f64={} f32={} tau={}",
+                    a, b, tau
+                );
+            }
+        }
+    }
+}

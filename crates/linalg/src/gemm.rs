@@ -1,0 +1,627 @@
+//! Packed-panel GEMM with register-tile microkernels and runtime
+//! SIMD dispatch.
+//!
+//! The hot matrix products in CND-IDS (CFE forward passes, PCA
+//! reconstruction scoring, detector inference) all funnel through this
+//! module. The kernel follows the classic BLIS decomposition, shrunk to
+//! the two levels that matter at our sizes:
+//!
+//! * **Packing.** The right operand `B` is repacked once per product
+//!   into `NR`-column panels, k-major (`panel[k * NR + j]`), in
+//!   `KC`-row k-blocks; the left operand `A` is packed per row-panel
+//!   into `MR`-row panels (`panel[k * MR + i]`). Packing absorbs
+//!   arbitrary input strides, which is what lets transposed
+//!   [`MatrixRef`] views multiply at full speed without a materialized
+//!   `transpose()`.
+//! * **Microkernel.** An `MR×NR` (4×8) register tile accumulates over
+//!   one k-block via `chunks_exact` slices, so LLVM keeps the tile in
+//!   vector registers and autovectorizes the `NR`-wide inner loop. The
+//!   same generic kernel is monomorphized for `f64` and `f32`.
+//!
+//! # Dispatch
+//!
+//! [`active_kernel`] picks the widest implementation the CPU supports
+//! at runtime via `is_x86_feature_detected!`: an
+//! `#[target_feature(enable = "avx2,fma")]` recompilation of the same
+//! generic driver (4-lane f64 / 8-lane f32 ymm arithmetic), or the
+//! portable baseline build. `CND_GEMM_KERNEL=portable|avx2|auto`
+//! overrides the choice (CI uses it to exercise both arms on one
+//! machine); forcing `avx2` on a CPU without AVX2 falls back to
+//! portable rather than faulting.
+//!
+//! # Bit-identity
+//!
+//! The f64 path keeps the workspace-wide determinism contract: every
+//! output element accumulates its `a[i][k] * b[k][j]` terms over
+//! strictly ascending `k` with a separate multiply then add (never FMA,
+//! never split-`k` partial accumulators — k-blocks load, extend, and
+//! store the exact partial sum in order). Zero-padding is applied only
+//! to `M`/`N` tile tails whose results are discarded, never to `K`
+//! (padding `k` would add `+0.0` terms, which can flip a `-0.0` partial
+//! sum to `+0.0`). Consequently portable, AVX2, serial, and
+//! pool-parallel products are all bit-identical to
+//! [`Matrix::matmul_naive`] on finite inputs, at every thread count.
+
+use std::sync::OnceLock;
+
+use crate::view::MatrixRef;
+use crate::Matrix;
+
+/// Microkernel tile height: rows of `A` held in registers.
+const MR: usize = 4;
+
+/// Microkernel tile width: columns of `B` held in registers
+/// (one 4-lane f64 ymm pair / one 8-lane f32 ymm per accumulator row).
+const NR: usize = 8;
+
+/// k-block depth: a `KC×NR` f64 panel of `B` is 16 KiB and a `KC×MR`
+/// panel of `A` is 8 KiB, so one panel of each lives in L1d while the
+/// microkernel streams over it.
+const KC: usize = 256;
+
+/// Multiply-add count below which packing overhead outweighs the
+/// microkernel win and the product stays on the small-product path.
+const PACK_MADDS_MIN: usize = 1 << 16;
+
+/// Minimum multiply-add count before the product fans out to the pool.
+const PAR_MADDS_MIN: usize = 1 << 17;
+
+/// Scalar element type the packed GEMM is generic over.
+///
+/// Sealed in spirit: `f64` (the training / deterministic path) and
+/// `f32` (the quantized inference path) are the only implementors.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialEq
+    + std::ops::Add<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+}
+
+impl Scalar for f32 {
+    const ZERO: f32 = 0.0;
+}
+
+/// Which GEMM implementation the dispatcher selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmKernel {
+    /// Baseline build of the generic driver (SSE2 on x86-64).
+    Portable,
+    /// `#[target_feature(enable = "avx2,fma")]` build of the same
+    /// driver; only ever selected when the CPU reports AVX2 + FMA.
+    Avx2,
+}
+
+/// The kernel the current process uses, resolved once.
+///
+/// Honors `CND_GEMM_KERNEL` (`portable`, `avx2`, or `auto`); otherwise
+/// auto-detects. Requests for `avx2` on hardware without it degrade to
+/// [`GemmKernel::Portable`].
+pub fn active_kernel() -> GemmKernel {
+    static KERNEL: OnceLock<GemmKernel> = OnceLock::new();
+    *KERNEL.get_or_init(|| {
+        let forced = std::env::var("CND_GEMM_KERNEL").ok();
+        match forced.as_deref() {
+            Some("portable") => GemmKernel::Portable,
+            Some("avx2") if avx2_available() => GemmKernel::Avx2,
+            Some("avx2") => GemmKernel::Portable,
+            _ => {
+                if avx2_available() {
+                    GemmKernel::Avx2
+                } else {
+                    GemmKernel::Portable
+                }
+            }
+        }
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+/// `B` repacked into k-major `NR`-column panels, grouped by `KC`
+/// k-block. Panel slots are uniformly `KC * NR` long (the final,
+/// shorter k-block simply leaves its tail zeros unread), so panel
+/// offsets are pure arithmetic.
+struct PackedB<T> {
+    data: Vec<T>,
+    /// Elements per k-block: `panels * KC * NR`.
+    block_stride: usize,
+}
+
+impl<T: Scalar> PackedB<T> {
+    fn pack(b: MatrixRef<'_, T>) -> PackedB<T> {
+        let (m, p) = b.shape();
+        let (rs, cs) = b.strides();
+        let panels = p.div_ceil(NR);
+        let blocks = m.div_ceil(KC).max(1);
+        let block_stride = panels * KC * NR;
+        let mut data = vec![T::ZERO; blocks * block_stride];
+        for (kb, k0) in (0..m).step_by(KC).enumerate() {
+            let kc = KC.min(m - k0);
+            for jp in 0..panels {
+                let j0 = jp * NR;
+                let nv = NR.min(p - j0);
+                let panel = &mut data[kb * block_stride + jp * KC * NR..][..kc * NR];
+                if cs == 1 {
+                    // Row-contiguous source: copy NR-wide row segments.
+                    for kk in 0..kc {
+                        let src = (k0 + kk) * rs + j0;
+                        for jj in 0..nv {
+                            panel[kk * NR + jj] = b.flat(src + jj);
+                        }
+                    }
+                } else {
+                    for kk in 0..kc {
+                        let src = (k0 + kk) * rs + j0 * cs;
+                        for jj in 0..nv {
+                            panel[kk * NR + jj] = b.flat(src + jj * cs);
+                        }
+                    }
+                }
+            }
+        }
+        PackedB { data, block_stride }
+    }
+}
+
+/// The register-tile inner loop: `acc[i][j] += a_panel[k][i] *
+/// b_panel[k][j]` for one k-block, `k` ascending, multiply separate
+/// from add. `ap` is `kc * MR` k-major, `bp` is `kc * NR` k-major.
+#[inline(always)]
+fn microkernel<T: Scalar>(ap: &[T], bp: &[T], acc: &mut [[T; NR]; MR]) {
+    for (ak, bk) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for i in 0..MR {
+            let a = ak[i];
+            let row = &mut acc[i];
+            for (c, &b) in row.iter_mut().zip(bk.iter()) {
+                *c = *c + a * b;
+            }
+        }
+    }
+}
+
+/// Packed product of output rows `r0..r1` into `out` (which holds
+/// exactly those rows, `(r1 - r0) * p` elements, pre-zeroed on the
+/// first k-block). Generic driver; monomorphic wrappers below
+/// recompile it per target feature set.
+///
+/// The packed `B` buffer arrives as a raw slice + `block_stride`
+/// rather than `&PackedB<T>` on purpose: routing the loads through a
+/// struct field (one more pointer indirection) was observed to defeat
+/// LLVM's register promotion of the accumulator tile, scalarizing the
+/// whole microkernel (~3.4 GFLOP/s instead of ~15).
+#[inline(always)]
+fn gemm_rows_generic<T: Scalar>(
+    a: MatrixRef<'_, T>,
+    pbdata: &[T],
+    block_stride: usize,
+    p: usize,
+    out: &mut [T],
+    r0: usize,
+    r1: usize,
+) {
+    let m = a.cols();
+    let (ars, acs) = a.strides();
+    let panels = p.div_ceil(NR);
+    let mut ap = [T::ZERO; KC * MR];
+    for (kb, k0) in (0..m).step_by(KC).enumerate() {
+        let kc = KC.min(m - k0);
+        let apk = kc * MR;
+        for ip in (r0..r1).step_by(MR) {
+            let mv = MR.min(r1 - ip);
+            // Pack the A panel k-major; pad short M tails with zeros
+            // (their tile rows are never copied out).
+            for kk in 0..kc {
+                let src = (ip * ars) + (k0 + kk) * acs;
+                for ii in 0..mv {
+                    ap[kk * MR + ii] = a.flat(src + ii * ars);
+                }
+                for slot in &mut ap[kk * MR + mv..kk * MR + MR] {
+                    *slot = T::ZERO;
+                }
+            }
+            for jp in 0..panels {
+                let j0 = jp * NR;
+                let nv = NR.min(p - j0);
+                let bp = &pbdata[kb * block_stride + jp * KC * NR..][..kc * NR];
+                let mut acc = [[T::ZERO; NR]; MR];
+                // Load the current partial sums (exact f64 round-trip,
+                // so k-blocking preserves the ascending-k order).
+                for ii in 0..mv {
+                    let orow = &out[(ip - r0 + ii) * p + j0..][..nv];
+                    acc[ii][..nv].copy_from_slice(orow);
+                }
+                microkernel(&ap[..apk], bp, &mut acc);
+                for ii in 0..mv {
+                    let orow = &mut out[(ip - r0 + ii) * p + j0..][..nv];
+                    orow.copy_from_slice(&acc[ii][..nv]);
+                }
+            }
+        }
+    }
+}
+
+/// Monomorphic kernel entry points per scalar type and feature set.
+///
+/// The AVX2 wrappers are the one place the crate needs `unsafe`: a
+/// `#[target_feature]` function is unsafe to call because the caller
+/// must guarantee the CPU supports the features. [`active_kernel`]
+/// provides exactly that guarantee — `Avx2` is only ever returned after
+/// `is_x86_feature_detected!("avx2")` and `("fma")` both pass.
+#[allow(unsafe_code)]
+mod arms {
+    use super::*;
+
+    pub(super) fn rows_f64_portable(
+        a: MatrixRef<'_, f64>,
+        pbdata: &[f64],
+        block_stride: usize,
+        p: usize,
+        out: &mut [f64],
+        r0: usize,
+        r1: usize,
+    ) {
+        gemm_rows_generic(a, pbdata, block_stride, p, out, r0, r1);
+    }
+
+    pub(super) fn rows_f32_portable(
+        a: MatrixRef<'_, f32>,
+        pbdata: &[f32],
+        block_stride: usize,
+        p: usize,
+        out: &mut [f32],
+        r0: usize,
+        r1: usize,
+    ) {
+        gemm_rows_generic(a, pbdata, block_stride, p, out, r0, r1);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn rows_f64_avx2(
+        a: MatrixRef<'_, f64>,
+        pbdata: &[f64],
+        block_stride: usize,
+        p: usize,
+        out: &mut [f64],
+        r0: usize,
+        r1: usize,
+    ) {
+        // No explicit intrinsics: the generic driver inlines here and
+        // LLVM re-vectorizes it for the enabled features. Rust never
+        // contracts `mul` + `add` into FMA without fast-math flags, so
+        // the f64 results stay bit-identical to the portable build.
+        gemm_rows_generic(a, pbdata, block_stride, p, out, r0, r1);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn rows_f32_avx2(
+        a: MatrixRef<'_, f32>,
+        pbdata: &[f32],
+        block_stride: usize,
+        p: usize,
+        out: &mut [f32],
+        r0: usize,
+        r1: usize,
+    ) {
+        gemm_rows_generic(a, pbdata, block_stride, p, out, r0, r1);
+    }
+
+    /// Dispatches one row-block to the selected kernel arm. Called on
+    /// pool worker threads, so the feature check rides in `kernel`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // deliberate flat-slice signature (see module docs)
+    pub(super) fn rows_f64(
+        kernel: GemmKernel,
+        a: MatrixRef<'_, f64>,
+        pbdata: &[f64],
+        block_stride: usize,
+        p: usize,
+        out: &mut [f64],
+        r0: usize,
+        r1: usize,
+    ) {
+        match kernel {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Avx2` is only produced by `active_kernel` (or
+            // the test hook) after runtime detection of avx2 + fma.
+            GemmKernel::Avx2 => unsafe { rows_f64_avx2(a, pbdata, block_stride, p, out, r0, r1) },
+            _ => rows_f64_portable(a, pbdata, block_stride, p, out, r0, r1),
+        }
+    }
+
+    /// f32 twin of [`rows_f64`].
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // deliberate flat-slice signature (see module docs)
+    pub(super) fn rows_f32(
+        kernel: GemmKernel,
+        a: MatrixRef<'_, f32>,
+        pbdata: &[f32],
+        block_stride: usize,
+        p: usize,
+        out: &mut [f32],
+        r0: usize,
+        r1: usize,
+    ) {
+        match kernel {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `rows_f64`.
+            GemmKernel::Avx2 => unsafe { rows_f32_avx2(a, pbdata, block_stride, p, out, r0, r1) },
+            _ => rows_f32_portable(a, pbdata, block_stride, p, out, r0, r1),
+        }
+    }
+}
+
+/// Small-product fallback: per-element ascending-k loop straight off
+/// the (possibly strided) views. Bit-identical to `matmul_naive` by
+/// construction; used where packing costs more than it saves.
+fn simple_matmul<T: Scalar>(a: MatrixRef<'_, T>, b: MatrixRef<'_, T>, out: &mut [T]) {
+    let (n, m) = a.shape();
+    let p = b.cols();
+    let (ars, acs) = a.strides();
+    let (brs, bcs) = b.strides();
+    if acs == 1 && bcs == 1 && ars == m && brs == p {
+        // Densely packed row-major operands (whole matrices or row
+        // windows): reuse the cache-blocked ikj kernel unchanged.
+        crate::matrix::matmul_block_into(a.raw(), b.raw(), out, 0, n, m, p);
+        return;
+    }
+    for i in 0..n {
+        for j in 0..p {
+            let mut acc = T::ZERO;
+            for k in 0..m {
+                acc = acc + a.flat(i * ars + k * acs) * b.flat(k * brs + j * bcs);
+            }
+            out[i * p + j] = acc;
+        }
+    }
+}
+
+/// Full product driver: small-product fallback, packed serial, or
+/// packed pool-parallel, under the given kernel arm.
+fn matmul_into<T: GemmScalar>(
+    a: MatrixRef<'_, T>,
+    b: MatrixRef<'_, T>,
+    out: &mut [T],
+    kernel: GemmKernel,
+) {
+    let (n, m) = a.shape();
+    let p = b.cols();
+    debug_assert_eq!(m, b.rows());
+    debug_assert_eq!(out.len(), n * p);
+    if n == 0 || m == 0 || p == 0 {
+        return;
+    }
+    let madds = n.saturating_mul(m).saturating_mul(p);
+    if madds < PACK_MADDS_MIN {
+        simple_matmul(a, b, out);
+        return;
+    }
+    let pb = PackedB::pack(b);
+    let pool = cnd_parallel::current();
+    if madds >= PAR_MADDS_MIN && pool.threads() > 1 && n > 1 {
+        let min_rows = n.div_ceil(pool.threads()).max(MR * 2);
+        pool.par_map_rows(out, n, p, min_rows, |r0, block| {
+            let rows = block.len() / p;
+            T::rows(
+                kernel,
+                a,
+                &pb.data,
+                pb.block_stride,
+                p,
+                block,
+                r0,
+                r0 + rows,
+            );
+        });
+    } else {
+        T::rows(kernel, a, &pb.data, pb.block_stride, p, out, 0, n);
+    }
+}
+
+/// Per-scalar hook used by [`matmul_into`] to reach the monomorphic
+/// dispatch arms.
+trait GemmScalar: Scalar {
+    #[allow(clippy::too_many_arguments)]
+    fn rows(
+        kernel: GemmKernel,
+        a: MatrixRef<'_, Self>,
+        pbdata: &[Self],
+        block_stride: usize,
+        p: usize,
+        out: &mut [Self],
+        r0: usize,
+        r1: usize,
+    );
+}
+
+impl GemmScalar for f64 {
+    fn rows(
+        kernel: GemmKernel,
+        a: MatrixRef<'_, f64>,
+        pbdata: &[f64],
+        block_stride: usize,
+        p: usize,
+        out: &mut [f64],
+        r0: usize,
+        r1: usize,
+    ) {
+        arms::rows_f64(kernel, a, pbdata, block_stride, p, out, r0, r1);
+    }
+}
+
+impl GemmScalar for f32 {
+    fn rows(
+        kernel: GemmKernel,
+        a: MatrixRef<'_, f32>,
+        pbdata: &[f32],
+        block_stride: usize,
+        p: usize,
+        out: &mut [f32],
+        r0: usize,
+        r1: usize,
+    ) {
+        arms::rows_f32(kernel, a, pbdata, block_stride, p, out, r0, r1);
+    }
+}
+
+/// f64 view product through the packed kernel (shape-checked by the
+/// caller).
+pub(crate) fn matmul_f64(a: MatrixRef<'_, f64>, b: MatrixRef<'_, f64>) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    matmul_into::<f64>(a, b, out.as_mut_slice(), active_kernel());
+    out
+}
+
+/// f32 view product through the packed kernel; returns the row-major
+/// output buffer (shape-checked by the caller).
+pub(crate) fn matmul_f32(a: MatrixRef<'_, f32>, b: MatrixRef<'_, f32>) -> Vec<f32> {
+    let mut out = vec![0.0f32; a.rows() * b.cols()];
+    matmul_into::<f32>(a, b, &mut out, active_kernel());
+    out
+}
+
+/// Test/bench hook: full f64 product forced onto a specific kernel arm.
+///
+/// Requests for [`GemmKernel::Avx2`] on hardware without AVX2 + FMA
+/// degrade to portable. Always takes the packed path (no small-product
+/// shortcut), so tests exercise the panel logic on tiny shapes too.
+///
+/// # Errors
+///
+/// Returns [`crate::LinalgError::ShapeMismatch`] unless
+/// `a.cols() == b.rows()`.
+pub fn matmul_with_kernel(
+    a: &Matrix,
+    b: &Matrix,
+    kernel: GemmKernel,
+) -> Result<Matrix, crate::LinalgError> {
+    if a.cols() != b.rows() {
+        return Err(crate::LinalgError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "matmul",
+        });
+    }
+    let kernel = match kernel {
+        GemmKernel::Avx2 if avx2_available() => GemmKernel::Avx2,
+        _ => GemmKernel::Portable,
+    };
+    let (n, m, p) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(n, p);
+    if n == 0 || m == 0 || p == 0 {
+        return Ok(out);
+    }
+    let pb = PackedB::pack(b.view());
+    f64::rows(
+        kernel,
+        a.view(),
+        &pb.data,
+        pb.block_stride,
+        p,
+        out.as_mut_slice(),
+        0,
+        n,
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(n: usize, m: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(n, m, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(j as u64)
+                .wrapping_mul(1442695040888963407)
+                .wrapping_add(seed);
+            ((h >> 33) as i64 % 1000) as f64 / 250.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn packed_matches_naive_on_tile_straddling_shapes() {
+        // Shapes chosen to straddle MR, NR and KC boundaries.
+        for (n, m, p) in [
+            (1, 1, 1),
+            (4, 8, 8),
+            (5, 7, 9),
+            (3, 300, 5),
+            (17, 256, 8),
+            (16, 257, 24),
+            (33, 64, 65),
+        ] {
+            let a = mat(n, m, 1);
+            let b = mat(m, p, 2);
+            let naive = a.matmul_naive(&b).unwrap();
+            for kernel in [GemmKernel::Portable, GemmKernel::Avx2] {
+                let got = matmul_with_kernel(&a, &b, kernel).unwrap();
+                assert_eq!(got, naive, "({n},{m},{p}) {kernel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn both_arms_agree_bit_for_bit() {
+        let a = mat(40, 130, 7);
+        let b = mat(130, 21, 8);
+        let portable = matmul_with_kernel(&a, &b, GemmKernel::Portable).unwrap();
+        let avx2 = matmul_with_kernel(&a, &b, GemmKernel::Avx2).unwrap();
+        assert_eq!(portable, avx2);
+    }
+
+    #[test]
+    fn negative_zero_partials_survive_k_blocking() {
+        // A product whose exact partial sums pass through -0.0: K
+        // spans two KC blocks and every term is -0.0 * x = -0.0.
+        let m = 2 * KC;
+        let a = Matrix::from_fn(1, m, |_, _| -0.0);
+        let b = Matrix::from_fn(m, 1, |_, _| 1.0);
+        let naive = a.matmul_naive(&b).unwrap();
+        for kernel in [GemmKernel::Portable, GemmKernel::Avx2] {
+            let got = matmul_with_kernel(&a, &b, kernel).unwrap();
+            assert_eq!(got[(0, 0)].to_bits(), naive[(0, 0)].to_bits(), "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn active_kernel_is_stable() {
+        assert_eq!(active_kernel(), active_kernel());
+    }
+
+    #[test]
+    fn f32_product_matches_f64_within_tolerance() {
+        let a = mat(20, 64, 3);
+        let b = mat(64, 12, 4);
+        let exact = a.matmul(&b).unwrap();
+        let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+        let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+        let got = matmul_f32(
+            MatrixRef::from_slice(20, 64, &a32),
+            MatrixRef::from_slice(64, 12, &b32),
+        );
+        for (g, e) in got.iter().zip(exact.iter()) {
+            assert!((*g as f64 - e).abs() <= 1e-4 * (1.0 + e.abs()));
+        }
+    }
+}

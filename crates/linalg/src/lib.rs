@@ -13,6 +13,15 @@
 //!
 //! * [`Matrix`] — owned, row-major, `f64` dense matrix with the usual
 //!   elementwise and matrix products, slicing, stacking and reductions.
+//! * [`MatrixRef`] / [`MatrixMut`] — borrowed stride-based views;
+//!   transposition and row-windowing are free, and views feed the GEMM
+//!   directly so hot paths never materialize `transpose()` clones.
+//! * [`gemm`] — the packed-panel GEMM microkernel behind every matrix
+//!   product, with runtime AVX2/portable dispatch
+//!   ([`gemm::active_kernel`], `CND_GEMM_KERNEL` override) and the f64
+//!   bit-identity contract documented on the module.
+//! * [`MatrixF32`] — single-precision inference-only matrix sharing the
+//!   packed kernel (the `--score-f32` serving path).
 //! * [`eigen::symmetric_eigen`] — cyclic Jacobi eigendecomposition of
 //!   symmetric matrices (used by PCA on covariance matrices).
 //! * [`stats`] — column means/variances, covariance matrices, pairwise
@@ -32,15 +41,25 @@
 //! # Ok::<(), cnd_linalg::LinalgError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// `#[target_feature]` kernel wrappers in `gemm::arms`, which carry a
+// scoped `#[allow(unsafe_code)]` and a SAFETY argument tied to runtime
+// feature detection. Everything else in the crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod matrix;
+mod matrix_f32;
+mod view;
 
 pub mod eigen;
+pub mod gemm;
 pub mod stats;
 pub mod vector;
 
 pub use error::LinalgError;
+pub use gemm::{GemmKernel, Scalar};
 pub use matrix::Matrix;
+pub use matrix_f32::MatrixF32;
+pub use view::{MatrixMut, MatrixRef};

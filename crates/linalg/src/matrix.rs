@@ -219,11 +219,18 @@ impl Matrix {
 
     /// Copies column `j` into a new `Vec`.
     ///
-    /// Allocates; hot paths should prefer [`col_iter`](Matrix::col_iter).
+    /// Deprecated: every workspace call site has migrated to the
+    /// allocation-free [`col_iter`](Matrix::col_iter) (or to
+    /// [`view`](Matrix::view)`().t()` where a whole transposed operand
+    /// is needed); this accessor survives only for downstream users.
     ///
     /// # Panics
     ///
     /// Panics if `j >= self.cols()`.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `col_iter` (no allocation) or a transposed `view()` instead"
+    )]
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
         self.col_iter(j).collect()
@@ -374,13 +381,17 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Uses a cache-blocked ikj kernel (`MATMUL_BLOCK` tiles over `i` and
-    /// `k`, streaming `j`) so one block of `other`'s rows is reused across
-    /// a block of output rows. Products above `PAR_MADDS_MIN` multiply-adds
-    /// additionally fan output-row ranges out over the
-    /// [`cnd_parallel::current`] pool. Every output element accumulates
-    /// over `k` in ascending order regardless of blocking or pool size, so
-    /// serial and parallel results are **bit-identical** (and match
+    /// Large products go through the packed-panel GEMM in
+    /// [`crate::gemm`]: `other` is repacked into column panels, `self`
+    /// into row panels, and a 4×8 register-tile microkernel (AVX2+FMA
+    /// build when the CPU supports it, portable otherwise — see
+    /// [`crate::gemm::active_kernel`]) does the arithmetic, fanning
+    /// output-row ranges out over the [`cnd_parallel::current`] pool.
+    /// Small products stay on a cache-blocked ikj kernel that skips the
+    /// packing overhead. Every output element accumulates over `k` in
+    /// ascending order with multiply separate from add regardless of
+    /// kernel, blocking, or pool size, so all paths are
+    /// **bit-identical** (and match
     /// [`matmul_naive`](Matrix::matmul_naive) on finite inputs).
     ///
     /// # Errors
@@ -405,23 +416,7 @@ impl Matrix {
                 op: "matmul",
             });
         }
-        let (n, m, p) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(n, p);
-        if n == 0 || m == 0 || p == 0 {
-            return Ok(out);
-        }
-        let pool = cnd_parallel::current();
-        let madds = n.saturating_mul(m).saturating_mul(p);
-        if madds >= PAR_MADDS_MIN && pool.threads() > 1 && n > 1 {
-            let min_rows = n.div_ceil(pool.threads()).max(8);
-            pool.par_map_rows(&mut out.data, n, p, min_rows, |r0, block| {
-                let rows = block.len() / p;
-                matmul_block_into(&self.data, &other.data, block, r0, r0 + rows, m, p);
-            });
-        } else {
-            matmul_block_into(&self.data, &other.data, &mut out.data, 0, n, m, p);
-        }
-        Ok(out)
+        Ok(crate::gemm::matmul_f64(self.view(), other.view()))
     }
 
     /// The original naive ijk triple-loop product, retained **only as a
@@ -649,10 +644,6 @@ const MATMUL_BLOCK: usize = 64;
 /// Tile edge for the blocked transpose (a 32×32 f64 tile is 8 KiB).
 const TRANSPOSE_BLOCK: usize = 32;
 
-/// Minimum multiply-add count before `matmul` fans out to the pool;
-/// below this the fixed cost of queueing jobs outweighs the work.
-const PAR_MADDS_MIN: usize = 1 << 17;
-
 /// Minimum element count before `transpose` fans out to the pool.
 const PAR_ELEMS_MIN: usize = 1 << 16;
 
@@ -668,10 +659,14 @@ const COL_SUM_CHUNK: usize = 512;
 /// order — blocking and row-partitioning change only the *interleaving*
 /// across elements, never the per-element order, which is what makes
 /// serial, blocked, and parallel results bit-identical.
-fn matmul_block_into(
-    a: &[f64],
-    b: &[f64],
-    out: &mut [f64],
+///
+/// Retained as the small-product path of [`crate::gemm`] (packing
+/// overhead beats the microkernel win below a few hundred-kiloflop
+/// products, e.g. single-flow serve scoring).
+pub(crate) fn matmul_block_into<T: crate::gemm::Scalar>(
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
     r0: usize,
     r1: usize,
     m: usize,
@@ -688,7 +683,7 @@ fn matmul_block_into(
                     let aik = arow[k];
                     let brow = &b[k * p..(k + 1) * p];
                     for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += aik * bv;
+                        *o = *o + aik * bv;
                     }
                 }
             }
@@ -815,6 +810,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn row_and_col_access() {
         let m = m22();
         assert_eq!(m.row(1), &[3.0, 4.0]);
@@ -855,6 +851,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn col_iter_matches_col_without_allocating_checks() {
         let m = Matrix::from_fn(7, 3, |i, j| (i * 3 + j) as f64);
         for j in 0..3 {

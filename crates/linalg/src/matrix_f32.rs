@@ -1,0 +1,294 @@
+//! Single-precision dense matrix for the quantized inference path.
+//!
+//! Training, calibration, and everything feeding the deterministic f64
+//! contract stay on [`Matrix`]. [`MatrixF32`] exists for one job:
+//! serving a frozen, already-validated model at half the memory traffic
+//! (and twice the SIMD lanes) of the f64 path. It deliberately carries
+//! only the operations that inference needs — products, broadcasts, and
+//! elementwise maps — and shares the packed GEMM kernel (and its
+//! AVX2/portable dispatch) with the f64 path via [`crate::gemm`].
+
+use crate::view::MatrixRef;
+use crate::{LinalgError, Matrix};
+
+/// A dense, row-major, heap-allocated `f32` matrix.
+///
+/// The inference-only sibling of [`Matrix`]; see the module docs for
+/// the scope contract.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        MatrixF32 {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::BadDimensions`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::BadDimensions {
+                len: data.len(),
+                rows,
+                cols,
+            });
+        }
+        Ok(MatrixF32 { rows, cols, data })
+    }
+
+    /// Quantizes an f64 matrix by rounding every element to the
+    /// nearest `f32` (the standard `as` conversion).
+    pub fn from_f64(m: &Matrix) -> Self {
+        MatrixF32 {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Widens back to an f64 [`Matrix`] (exact — every `f32` is
+    /// representable as `f64`).
+    pub fn to_f64(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| v as f64).collect(),
+        )
+        .expect("shape is consistent by construction")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterates over the rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks(self.cols.max(1))
+    }
+
+    /// Borrows the whole matrix as a [`MatrixRef`] view (usable with
+    /// `.t()` for transposed products).
+    pub fn view(&self) -> MatrixRef<'_, f32> {
+        MatrixRef::from_slice(self.rows, self.cols, &self.data)
+    }
+
+    /// Matrix product through the shared packed GEMM kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] unless
+    /// `self.cols() == other.rows()`.
+    pub fn matmul(&self, other: &MatrixF32) -> Result<MatrixF32, LinalgError> {
+        self.matmul_view(other.view())
+    }
+
+    /// Matrix product against an arbitrary (possibly transposed) view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] unless
+    /// `self.cols() == other.rows()`.
+    pub fn matmul_view(&self, other: MatrixRef<'_, f32>) -> Result<MatrixF32, LinalgError> {
+        if self.cols != other.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "matmul",
+            });
+        }
+        let data = crate::gemm::matmul_f32(self.view(), other);
+        Ok(MatrixF32 {
+            rows: self.rows,
+            cols: other.cols(),
+            data,
+        })
+    }
+
+    /// Adds `row` to every row of the matrix (broadcast add).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `row.len() != self.cols()`.
+    pub fn add_row_broadcast(&self, row: &[f32]) -> Result<MatrixF32, LinalgError> {
+        if row.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (1, row.len()),
+                op: "add_row_broadcast",
+            });
+        }
+        let mut out = self.clone();
+        for r in out.data.chunks_mut(self.cols.max(1)) {
+            for (v, &b) in r.iter_mut().zip(row) {
+                *v += b;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Subtracts `row` from every row of the matrix (broadcast
+    /// subtract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `row.len() != self.cols()`.
+    pub fn sub_row_broadcast(&self, row: &[f32]) -> Result<MatrixF32, LinalgError> {
+        let neg: Vec<f32> = row.iter().map(|v| -v).collect();
+        self.add_row_broadcast(&neg)
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Per-row sums of squared differences against `other` — the inner
+    /// loop of reconstruction-error scoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on differing shapes.
+    pub fn row_sq_diff_sums(&self, other: &MatrixF32) -> Result<Vec<f32>, LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "row_sq_diff_sums",
+            });
+        }
+        Ok(self
+            .iter_rows()
+            .zip(other.iter_rows())
+            .map(|(a, b)| {
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| {
+                        let d = x - y;
+                        d * d
+                    })
+                    .sum()
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_round_trips_representable_values() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i as f64) - (j as f64) * 0.5);
+        let q = MatrixF32::from_f64(&m);
+        assert_eq!(q.shape(), (3, 4));
+        // Halves are exactly representable in f32, so widening is lossless.
+        assert_eq!(q.to_f64(), m);
+    }
+
+    #[test]
+    fn f32_matmul_matches_f64_closely() {
+        let a = Matrix::from_fn(10, 20, |i, j| ((i * 13 + j * 7) % 9) as f64 * 0.125 - 0.5);
+        let b = Matrix::from_fn(20, 6, |i, j| ((i + j * 3) % 5) as f64 * 0.25 - 0.5);
+        let exact = a.matmul(&b).unwrap();
+        let got = MatrixF32::from_f64(&a)
+            .matmul(&MatrixF32::from_f64(&b))
+            .unwrap();
+        // Eighths and quarters are exact in both precisions and the
+        // products are small integers scaled by powers of two, so the
+        // f32 result is exact here.
+        assert_eq!(got.to_f64(), exact);
+    }
+
+    #[test]
+    fn transposed_view_product() {
+        let a = MatrixF32::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        // a · aᵀ
+        let g = a.matmul_view(a.view().t()).unwrap();
+        assert_eq!(g.shape(), (2, 2));
+        assert_eq!(g.row(0), &[14.0, 32.0]);
+        assert_eq!(g.row(1), &[32.0, 77.0]);
+    }
+
+    #[test]
+    fn broadcasts_and_map() {
+        let m = MatrixF32::zeros(2, 2);
+        let b = m.add_row_broadcast(&[1.0, 2.0]).unwrap();
+        assert_eq!(b.row(1), &[1.0, 2.0]);
+        let s = b.sub_row_broadcast(&[1.0, 1.0]).unwrap();
+        assert_eq!(s.row(0), &[0.0, 1.0]);
+        let mut t = s;
+        t.map_inplace(|v| v.max(0.5));
+        assert_eq!(t.row(0), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn row_sq_diff_sums_scores_rows() {
+        let a = MatrixF32::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = MatrixF32::zeros(2, 2);
+        assert_eq!(a.row_sq_diff_sums(&b).unwrap(), vec![5.0, 25.0]);
+        assert!(a.row_sq_diff_sums(&MatrixF32::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = MatrixF32::zeros(2, 3);
+        assert!(a.matmul(&MatrixF32::zeros(2, 3)).is_err());
+        assert!(a.add_row_broadcast(&[0.0]).is_err());
+        assert!(MatrixF32::from_vec(2, 2, vec![0.0; 3]).is_err());
+    }
+}

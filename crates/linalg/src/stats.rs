@@ -74,7 +74,14 @@ pub fn covariance(x: &Matrix) -> Result<Matrix, LinalgError> {
     } else {
         1.0
     };
-    let cov = centered.transpose().matmul(&centered)?.scale(1.0 / denom);
+    // Transposed *view* (free) feeding the packed GEMM directly —
+    // identical bits to multiplying a materialized transpose, without
+    // the O(n·d) copy.
+    let cov = centered
+        .view()
+        .t()
+        .matmul(&centered.view())?
+        .scale(1.0 / denom);
     Ok(cov)
 }
 
@@ -103,7 +110,7 @@ pub fn pairwise_sq_distances(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgErr
         .iter_rows()
         .map(|r| r.iter().map(|v| v * v).sum())
         .collect();
-    let cross = a.matmul(&b.transpose())?;
+    let cross = a.view().matmul(&b.view().t())?;
     let (n, k) = (a.rows(), b.rows());
     let mut out = Matrix::zeros(n, k);
     if n == 0 || k == 0 {

@@ -62,6 +62,7 @@ mod error;
 mod linear;
 mod optim;
 mod sequential;
+mod sequential_f32;
 
 pub mod init;
 pub mod loss;
@@ -71,3 +72,4 @@ pub use error::NnError;
 pub use linear::Linear;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use sequential::{Layer, Sequential};
+pub use sequential_f32::SequentialF32;

@@ -1,4 +1,4 @@
-use cnd_linalg::Matrix;
+use cnd_linalg::{Matrix, MatrixRef};
 use rand::Rng;
 
 use crate::{init, NnError, Optimizer};
@@ -105,6 +105,17 @@ impl Linear {
         Ok(x.matmul(&self.w)?.add_row_broadcast(&self.b)?)
     }
 
+    /// Forward pass over a borrowed row window — the batch-parallel
+    /// inference path hands row chunks straight to the GEMM without
+    /// copying them into an owned `Matrix` first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.cols() != fan_in`.
+    pub fn forward_inference_view(&self, x: MatrixRef<'_, f64>) -> Result<Matrix, NnError> {
+        Ok(x.matmul(&self.w.view())?.add_row_broadcast(&self.b)?)
+    }
+
     /// Backward pass: accumulates `dW`, `db` and returns `dL/dx`.
     ///
     /// # Errors
@@ -119,12 +130,14 @@ impl Linear {
                 right: (x.rows(), self.w.cols()),
             });
         }
-        let dw = x.transpose().matmul(d_out)?;
+        // Transposed views feed the packed GEMM directly; no clone of
+        // xᵀ / Wᵀ is materialized per backward step.
+        let dw = x.view().t().matmul(&d_out.view())?;
         self.grad_w = self.grad_w.add(&dw)?;
         for (gb, s) in self.grad_b.iter_mut().zip(d_out.col_sums()) {
             *gb += s;
         }
-        let dx = d_out.matmul(&self.w.transpose())?;
+        let dx = d_out.view().matmul(&self.w.view().t())?;
         Ok(dx)
     }
 

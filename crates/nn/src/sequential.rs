@@ -1,4 +1,4 @@
-use cnd_linalg::Matrix;
+use cnd_linalg::{Matrix, MatrixRef};
 use rand::Rng;
 
 use crate::{Activation, Linear, NnError, Optimizer};
@@ -178,28 +178,44 @@ impl Sequential {
         let pool = cnd_parallel::current();
         if x.rows() >= PAR_FORWARD_MIN_ROWS && pool.threads() > 1 {
             let outs = pool.par_chunks(x.rows(), FORWARD_CHUNK_ROWS, |r| {
-                let xb = x.slice_rows(r.start, r.end).expect("chunk bounds in range");
-                self.forward_inference_serial(&xb)
+                let xb = x.rows_view(r.start, r.end).expect("chunk bounds in range");
+                self.forward_inference_view(xb)
             });
             return Matrix::vstack_all(&outs).expect("chunks share column count");
         }
-        self.forward_inference_serial(x)
+        self.forward_inference_view(x.view())
     }
 
-    fn forward_inference_serial(&self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
+    /// Inference over a borrowed row window. The first linear layer
+    /// multiplies the view directly (the packed GEMM absorbs the
+    /// borrow), so chunked batch inference never copies its input
+    /// chunk — the old path cloned every `FORWARD_CHUNK_ROWS`-row
+    /// slice before the first product.
+    fn forward_inference_view(&self, x: MatrixRef<'_, f64>) -> Matrix {
+        let mut h: Option<Matrix> = None;
         for layer in &self.layers {
-            h = match layer {
-                Layer::Linear(lin) => lin
-                    .forward_inference(&h)
+            let next = match (layer, h.take()) {
+                (Layer::Linear(lin), Some(hm)) => lin
+                    .forward_inference(&hm)
                     .expect("sequential: layer widths are inconsistent"),
-                Layer::Activation { act, .. } => {
+                (Layer::Linear(lin), None) => lin
+                    .forward_inference_view(x)
+                    .expect("sequential: layer widths are inconsistent"),
+                (Layer::Activation { act, .. }, Some(mut hm)) => {
                     let a = *act;
-                    h.map(move |v| a.apply(v))
+                    hm.map_inplace(move |v| a.apply(v));
+                    hm
+                }
+                (Layer::Activation { act, .. }, None) => {
+                    let a = *act;
+                    let mut hm = x.to_matrix();
+                    hm.map_inplace(move |v| a.apply(v));
+                    hm
                 }
             };
+            h = Some(next);
         }
-        h
+        h.unwrap_or_else(|| x.to_matrix())
     }
 
     /// Backward pass: takes `dL/d_output`, returns `dL/d_input`,

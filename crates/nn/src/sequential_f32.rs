@@ -1,0 +1,161 @@
+use cnd_linalg::MatrixF32;
+
+use crate::{Activation, Layer, NnError, Sequential};
+
+/// A frozen single-precision copy of a trained [`Sequential`] network,
+/// supporting inference only.
+///
+/// The quantized serve path trades a bounded amount of score precision
+/// for half the memory traffic per weight: parameters are rounded to the
+/// nearest `f32` once at construction, and every product runs through
+/// the same packed GEMM kernel as the f64 path, instantiated for `f32`.
+/// There is no backward pass, no gradient state, and no way to mutate
+/// the parameters — retrain in f64 and re-quantize instead.
+///
+/// # Example
+///
+/// ```
+/// use cnd_linalg::{Matrix, MatrixF32};
+/// use cnd_nn::{Activation, Sequential, SequentialF32};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let net = Sequential::mlp(&[4, 3, 4], Activation::Relu, &mut rng);
+/// let twin = SequentialF32::from_f64(&net);
+/// let x = Matrix::from_fn(2, 4, |i, j| (i + j) as f64 * 0.25);
+/// let y32 = twin.forward_inference(&MatrixF32::from_f64(&x))?;
+/// let y64 = net.forward_inference(&x);
+/// assert!(y32.to_f64().max_abs_diff(&y64) < 1e-4);
+/// # Ok::<(), cnd_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialF32 {
+    layers: Vec<LayerF32>,
+}
+
+/// One layer of the quantized network. Linear layers store their own
+/// `f32` parameter copies; activations evaluate natively in `f32` via
+/// [`Activation::apply_f32`].
+#[derive(Debug, Clone)]
+enum LayerF32 {
+    Linear { w: MatrixF32, b: Vec<f32> },
+    Activation(Activation),
+}
+
+impl SequentialF32 {
+    /// Quantizes every parameter of `net` to `f32`.
+    ///
+    /// Rounding is the standard round-to-nearest-even `as` cast, applied
+    /// element-wise; the architecture (layer order, widths, activation
+    /// choices) is preserved exactly.
+    pub fn from_f64(net: &Sequential) -> Self {
+        let layers = net
+            .layers()
+            .iter()
+            .map(|l| match l {
+                Layer::Linear(lin) => LayerF32::Linear {
+                    w: MatrixF32::from_f64(lin.weights()),
+                    b: lin.bias().iter().map(|&v| v as f32).collect(),
+                },
+                Layer::Activation { act, .. } => LayerF32::Activation(*act),
+            })
+            .collect();
+        SequentialF32 { layers }
+    }
+
+    /// Number of layers (linear and activation combined).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Forward pass over a batch (one sample per row).
+    ///
+    /// Runs serially: the batch sizes on the serve path are small and
+    /// the GEMM kernel is where the cycles go, so there is no row-chunk
+    /// fan-out here (and therefore no parallel/serial equivalence to
+    /// maintain for this path — f32 carries a tolerance contract, not a
+    /// bit-identity one).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x.cols()` does not match the first layer's
+    /// fan-in, or the network was built with inconsistent widths.
+    pub fn forward_inference(&self, x: &MatrixF32) -> Result<MatrixF32, NnError> {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = match layer {
+                LayerF32::Linear { w, b } => h.matmul(w)?.add_row_broadcast(b)?,
+                LayerF32::Activation(act) => {
+                    let a = *act;
+                    h.map_inplace(move |v| a.apply_f32(v));
+                    h
+                }
+            };
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnd_linalg::Matrix;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(23)
+    }
+
+    #[test]
+    fn quantized_twin_tracks_f64_network() {
+        let mut r = rng();
+        let net = Sequential::mlp(&[8, 16, 4, 16, 8], Activation::LeakyRelu(0.01), &mut r);
+        let twin = SequentialF32::from_f64(&net);
+        assert_eq!(twin.len(), net.len());
+        let x = Matrix::from_fn(32, 8, |i, j| ((i * 7 + j * 3) as f64).sin());
+        let y64 = net.forward_inference(&x);
+        let y32 = twin.forward_inference(&MatrixF32::from_f64(&x)).unwrap();
+        assert_eq!(y32.shape(), y64.shape());
+        let diff = y32.to_f64().max_abs_diff(&y64);
+        assert!(diff < 1e-4, "f32 twin drifted too far: {diff}");
+    }
+
+    #[test]
+    fn exact_on_power_of_two_parameters() {
+        // Weights/inputs exactly representable in f32 and products small
+        // enough to be exact: the twin must agree bit-for-bit (after
+        // widening) with the f64 network.
+        let w1 = Matrix::from_fn(3, 2, |i, j| (i as f64) * 0.5 - (j as f64) * 0.25);
+        let w2 = Matrix::from_fn(2, 3, |i, j| (j as f64) * 0.125 - (i as f64));
+        let mut net = Sequential::new();
+        net.push_layer(crate::Linear::from_parts(w1, vec![0.5, -0.5]));
+        net.push_activation(Activation::Relu);
+        net.push_layer(crate::Linear::from_parts(w2, vec![0.0, 1.0, -1.0]));
+        let twin = SequentialF32::from_f64(&net);
+        let x = Matrix::from_fn(4, 3, |i, j| (i as f64) - (j as f64) * 0.5);
+        let y64 = net.forward_inference(&x);
+        let y32 = twin.forward_inference(&MatrixF32::from_f64(&x)).unwrap();
+        assert_eq!(y32.to_f64(), y64);
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let twin = SequentialF32::from_f64(&Sequential::new());
+        assert!(twin.is_empty());
+        let x = MatrixF32::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(twin.forward_inference(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn width_mismatch_errors() {
+        let mut r = rng();
+        let net = Sequential::mlp(&[4, 2], Activation::Identity, &mut r);
+        let twin = SequentialF32::from_f64(&net);
+        assert!(twin.forward_inference(&MatrixF32::zeros(2, 5)).is_err());
+    }
+}

@@ -16,7 +16,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use cnd_core::deploy::DeployedScorer;
+use cnd_core::deploy::{DeployedScorer, DeployedScorerF32};
 
 use crate::ServeError;
 
@@ -27,6 +27,22 @@ pub struct VersionedModel {
     pub version: u32,
     /// The frozen scorer.
     pub scorer: DeployedScorer,
+    /// Single-precision twin, quantized once at load/reload so the
+    /// `--score-f32` path never pays quantization per batch. Artifacts
+    /// stay f64 on disk; both precisions always come from the same
+    /// loaded weights.
+    pub scorer_f32: DeployedScorerF32,
+}
+
+impl VersionedModel {
+    fn new(version: u32, scorer: DeployedScorer) -> Self {
+        let scorer_f32 = scorer.to_f32();
+        VersionedModel {
+            version,
+            scorer,
+            scorer_f32,
+        }
+    }
 }
 
 /// The serving-side model store: current version plus reload counters.
@@ -49,7 +65,7 @@ impl ModelRegistry {
         let scorer = DeployedScorer::load_from_path(&path)?;
         Ok(ModelRegistry {
             path,
-            current: Mutex::new(Arc::new(VersionedModel { version: 1, scorer })),
+            current: Mutex::new(Arc::new(VersionedModel::new(1, scorer))),
             reloads: AtomicU64::new(0),
             reload_failures: AtomicU64::new(0),
         })
@@ -94,7 +110,7 @@ impl ModelRegistry {
             Ok(scorer) => {
                 let mut cur = self.current.lock().unwrap_or_else(|e| e.into_inner());
                 let version = cur.version + 1;
-                *cur = Arc::new(VersionedModel { version, scorer });
+                *cur = Arc::new(VersionedModel::new(version, scorer));
                 drop(cur);
                 self.reloads.fetch_add(1, Ordering::Relaxed);
                 cnd_obs::counter_add_volatile("serve.reload.count", 1);

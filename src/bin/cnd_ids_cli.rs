@@ -18,9 +18,11 @@
 //!   pipeline's final health report.
 //! * `serve <model.txt> [--addr A] [--max-batch N] [--max-delay-us U]
 //!   [--queue-cap N] [--threshold T | --quantile Q --calibrate N]
-//!   [--watch [--watch-interval-ms MS]] [--runtime-s S]` — serve the
-//!   frozen model over the `cnd-serve` TCP wire protocol with
-//!   micro-batching, hot-swap reload, and admission control. With
+//!   [--watch [--watch-interval-ms MS]] [--score-f32] [--runtime-s S]`
+//!   — serve the frozen model over the `cnd-serve` TCP wire protocol
+//!   with micro-batching, hot-swap reload, and admission control;
+//!   `--score-f32` scores on the single-precision twin (threshold
+//!   decisions stay in f64). With
 //!   `--continual --data <labelled.csv>` the process also runs the
 //!   closed continual loop: live traffic is mirrored into a training
 //!   buffer, score drift triggers a background retrain, candidates are
@@ -125,7 +127,7 @@ const USAGE: &str = "usage:
   cnd-ids-cli train <data.csv> <model.txt> [--experiences M] [--seed N]
   cnd-ids-cli score <model.txt> <data.csv> [--quantile Q]
   cnd-ids-cli stream <data.csv> [--experiences M] [--seed N] [--chunk N] [--fault-rate R] [--health]
-  cnd-ids-cli serve <model.txt> [--addr 127.0.0.1:7071] [--max-batch N] [--max-delay-us U] [--queue-cap N] [--threshold T] [--quantile Q] [--calibrate N] [--watch] [--watch-interval-ms MS] [--runtime-s S] [--continual --data <labelled.csv> [--experiences M] [--seed N] [--drift-window N] [--min-retrain N] [--probation N]]
+  cnd-ids-cli serve <model.txt> [--addr 127.0.0.1:7071] [--max-batch N] [--max-delay-us U] [--queue-cap N] [--threshold T] [--quantile Q] [--calibrate N] [--watch] [--watch-interval-ms MS] [--score-f32] [--runtime-s S] [--continual --data <labelled.csv> [--experiences M] [--seed N] [--drift-window N] [--min-retrain N] [--probation N]]
   cnd-ids-cli loadgen <addr> [--flows N] [--concurrency C] [--rate R] [--seed N] [--reload-midway] [--tag T] [--out <path>] [--append]
   cnd-ids-cli observe <trace.jsonl> [--top [N]]
   cnd-ids-cli bench-check <current> [--baseline <path>] [--update] [--tolerance T]
@@ -397,6 +399,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .any(|a| a == "--watch")
             .then(|| std::time::Duration::from_millis(watch_interval_ms.max(10))),
         mirror: mirror.clone(),
+        score_f32: args.iter().any(|a| a == "--score-f32"),
     };
     // Make sure the counters the server records are live so a
     // CND_OBS_LISTEN /metrics scrape always sees them.
