@@ -217,27 +217,10 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    /// Copies column `j` into a new `Vec`.
-    ///
-    /// Deprecated: every workspace call site has migrated to the
-    /// allocation-free [`col_iter`](Matrix::col_iter) (or to
-    /// [`view`](Matrix::view)`().t()` where a whole transposed operand
-    /// is needed); this accessor survives only for downstream users.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `j >= self.cols()`.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `col_iter` (no allocation) or a transposed `view()` instead"
-    )]
-    pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
-        self.col_iter(j).collect()
-    }
-
     /// Iterates over column `j` by striding the row-major buffer — no
-    /// allocation, unlike [`col`](Matrix::col).
+    /// allocation. (The old allocating `col` accessor went through a
+    /// deprecation cycle and is gone; collect this iterator if a `Vec`
+    /// is genuinely needed.)
     ///
     /// # Panics
     ///
@@ -810,11 +793,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn row_and_col_access() {
         let m = m22();
         assert_eq!(m.row(1), &[3.0, 4.0]);
-        assert_eq!(m.col(0), vec![1.0, 3.0]);
+        assert_eq!(m.col_iter(0).collect::<Vec<_>>(), vec![1.0, 3.0]);
     }
 
     #[test]
@@ -851,12 +833,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn col_iter_matches_col_without_allocating_checks() {
+    fn col_iter_strides_the_row_major_buffer() {
         let m = Matrix::from_fn(7, 3, |i, j| (i * 3 + j) as f64);
         for j in 0..3 {
             let strided: Vec<f64> = m.col_iter(j).collect();
-            assert_eq!(strided, m.col(j));
+            let expected: Vec<f64> = (0..7).map(|i| (i * 3 + j) as f64).collect();
+            assert_eq!(strided, expected);
         }
     }
 

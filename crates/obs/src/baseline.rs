@@ -14,10 +14,15 @@
 //!   bit-identical; any decrease fails (exact).
 //! * `quality.e<i>.<stat>` — model-quality stats from `quality` trace
 //!   events (seeded and bit-reproducible); absolute tolerance 0.05.
+//! * `lat.<bench>.<quantile>_us` — latency quantiles in microseconds;
+//!   **lower-is-better**, compared against a *ceiling* (current may be
+//!   up to 100% above baseline before failing — loaded CI runners make
+//!   tail latency the noisiest class we track).
 //!
-//! All extracted metrics are **higher-is-better** by construction, so
-//! "regression" always means "current fell below what the tolerance
-//! allows"; improvements never fail and are reported as such.
+//! Every class except `lat.` is **higher-is-better**, where
+//! "regression" means "current fell below what the tolerance allows";
+//! for `lat.` it means "current rose above the ceiling". Improvements
+//! never fail and are reported as such.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -33,10 +38,14 @@ pub enum Tolerance {
     Absolute(f64),
     /// Current must be `>= baseline` exactly.
     Exact,
+    /// Lower-is-better: current must be `<= baseline * (1 + frac)`.
+    RelativeCeiling(f64),
 }
 
 impl Tolerance {
-    /// The smallest acceptable current value for `baseline`.
+    /// The acceptance bound for `baseline`: a floor (smallest
+    /// acceptable current) for higher-is-better classes, a ceiling
+    /// (largest acceptable current) for [`Tolerance::RelativeCeiling`].
     pub fn floor(self, baseline: f64) -> f64 {
         match self {
             Tolerance::Relative(frac) => {
@@ -48,6 +57,29 @@ impl Tolerance {
             }
             Tolerance::Absolute(delta) => baseline - delta,
             Tolerance::Exact => baseline,
+            Tolerance::RelativeCeiling(frac) => {
+                if baseline >= 0.0 {
+                    baseline * (1.0 + frac)
+                } else {
+                    baseline * (1.0 - frac)
+                }
+            }
+        }
+    }
+
+    /// `true` for lower-is-better classes, where the bound from
+    /// [`Tolerance::floor`] is an upper limit.
+    pub fn is_ceiling(self) -> bool {
+        matches!(self, Tolerance::RelativeCeiling(_))
+    }
+
+    /// Whether `current` is acceptable against `baseline`.
+    pub fn accepts(self, baseline: f64, current: f64) -> bool {
+        let bound = self.floor(baseline);
+        if self.is_ceiling() {
+            current <= bound
+        } else {
+            current >= bound
         }
     }
 }
@@ -60,6 +92,8 @@ pub fn default_tolerance(metric: &str) -> Tolerance {
         Tolerance::Exact
     } else if metric.starts_with("quality.") {
         Tolerance::Absolute(0.05)
+    } else if metric.starts_with("lat.") {
+        Tolerance::RelativeCeiling(1.0)
     } else {
         Tolerance::Relative(0.25)
     }
@@ -264,12 +298,18 @@ pub fn compare(
 ) -> CheckReport {
     let mut outcomes = Vec::new();
     for (metric, &base) in baseline {
-        let tol = override_tolerance
-            .map(Tolerance::Relative)
-            .unwrap_or_else(|| default_tolerance(metric));
+        // --tolerance overrides the fraction, not the direction: a
+        // lat. metric stays ceiling-checked under an override.
+        let tol = match override_tolerance {
+            Some(frac) if default_tolerance(metric).is_ceiling() => {
+                Tolerance::RelativeCeiling(frac)
+            }
+            Some(frac) => Tolerance::Relative(frac),
+            None => default_tolerance(metric),
+        };
         let floor = tol.floor(base);
         let current_v = current.get(metric).copied();
-        let ok = current_v.is_some_and(|v| v >= floor);
+        let ok = current_v.is_some_and(|v| tol.accepts(base, v));
         outcomes.push(CheckOutcome {
             metric: metric.clone(),
             baseline: Some(base),
@@ -386,6 +426,28 @@ mod tests {
         let report = compare(&cur, &base, None);
         assert!(!report.passed, "baseline metric vanished");
         assert!(report.outcomes.iter().any(|o| o.baseline.is_none() && o.ok));
+    }
+
+    #[test]
+    fn latency_metrics_are_ceiling_checked() {
+        let mut base = BTreeMap::new();
+        base.insert("lat.serve.batched.p99_us".to_string(), 1000.0);
+        // Faster than baseline: always fine.
+        let mut cur = BTreeMap::new();
+        cur.insert("lat.serve.batched.p99_us".to_string(), 200.0);
+        assert!(compare(&cur, &base, None).passed);
+        // 80% slower: inside the 100% ceiling.
+        cur.insert("lat.serve.batched.p99_us".to_string(), 1800.0);
+        assert!(compare(&cur, &base, None).passed);
+        // 3x slower: regression.
+        cur.insert("lat.serve.batched.p99_us".to_string(), 3000.0);
+        let report = compare(&cur, &base, None);
+        assert!(!report.passed);
+        assert!(report.render().contains("REGRESSED"));
+        // An override tightens the fraction but keeps the direction.
+        cur.insert("lat.serve.batched.p99_us".to_string(), 1200.0);
+        assert!(compare(&cur, &base, Some(0.5)).passed);
+        assert!(!compare(&cur, &base, Some(0.1)).passed);
     }
 
     #[test]

@@ -1,21 +1,23 @@
 //! `obs-schema-check` — validates a JSONL trace file.
 //!
 //! Usage: `obs-schema-check <trace.jsonl> [--require-span <name>]...
-//! [--require-quality N]`
+//! [--require-quality N] [--require-hdr <name>]...`
 //!
 //! Exits 0 when the trace is structurally valid (and every required
-//! span name appears, and at least N `quality` events are present),
-//! 1 otherwise. Used by the CI `obs-smoke` and `quality-gate` jobs.
+//! span name appears, at least N `quality` events are present, and
+//! every required `hdr` metric exists with a nonzero count), 1
+//! otherwise. Used by the CI `obs-smoke`, `quality-gate`, and
+//! `serve-smoke` jobs.
 
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: obs-schema-check <trace.jsonl> [--require-span <name>]... [--require-quality N]";
+const USAGE: &str = "usage: obs-schema-check <trace.jsonl> [--require-span <name>]... [--require-quality N] [--require-hdr <name>]...";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<&str> = None;
     let mut required: Vec<&str> = Vec::new();
+    let mut required_hdr: Vec<&str> = Vec::new();
     let mut require_quality: usize = 0;
     let mut i = 0;
     while i < args.len() {
@@ -26,6 +28,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 required.push(&args[i + 1]);
+                i += 2;
+            }
+            "--require-hdr" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--require-hdr needs a metric name");
+                    return ExitCode::FAILURE;
+                }
+                required_hdr.push(&args[i + 1]);
                 i += 2;
             }
             "--require-quality" => {
@@ -89,9 +99,30 @@ fn main() -> ExitCode {
         eprintln!("INVALID trace {path}: {quality} quality events, need >= {require_quality}");
         return ExitCode::FAILURE;
     }
+    let latency = match cnd_obs::latency_report(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("INVALID trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for name in &required_hdr {
+        match latency.row(name) {
+            Some(row) if row.hist.count > 0 => {}
+            Some(_) => {
+                eprintln!("INVALID trace {path}: hdr metric {name:?} has zero samples");
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("INVALID trace {path}: required hdr metric {name:?} not present");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!(
-        "OK {path}: {lines} lines, {} span names, {quality} quality events, root total {} {}",
+        "OK {path}: {lines} lines, {} span names, {quality} quality events, {} hdr metrics, root total {} {}",
         report.rows.len(),
+        latency.rows.len(),
         report.root_total,
         report.unit
     );

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::hdr::HdrHistogram;
 use crate::metrics::{Histogram, MetricValue};
 
 /// Maps a dotted metric name to a Prometheus-legal one: every char
@@ -75,6 +76,23 @@ fn write_histogram(name: &str, h: &Histogram, out: &mut String) {
     }
 }
 
+/// HDR latency metrics render as a Prometheus *summary*: pre-computed
+/// quantile series (`{quantile="0.5"}` etc.) plus `_sum`/`_count`.
+/// Quantiles come straight from the HDR buckets, so a scrape needs no
+/// server-side histogram_quantile() and CI can grep exact series.
+fn write_hdr(name: &str, h: &HdrHistogram, out: &mut String) {
+    out.push_str(&format!("# TYPE {name} summary\n"));
+    for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")] {
+        let v = h.quantile(q).unwrap_or(0);
+        out.push_str(&format!("{name}{{quantile=\"{label}\"}} {v}\n"));
+    }
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+    if let Some(max) = h.max {
+        out.push_str(&format!("# TYPE {name}_max gauge\n{name}_max {max}\n"));
+    }
+}
+
 /// Renders the current metrics registry (volatile metrics included —
 /// a live scrape wants everything) as Prometheus text exposition.
 pub fn prometheus_text() -> String {
@@ -94,6 +112,7 @@ pub fn prometheus_text() -> String {
                 out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", prom_f64(*g)));
             }
             MetricValue::Histogram(h) => write_histogram(&pname, h, &mut out),
+            MetricValue::Hdr(h) => write_hdr(&pname, h, &mut out),
         }
     }
     out
@@ -280,6 +299,23 @@ mod tests {
         assert!(text.contains("test_export_hist_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("test_export_hist_count 2\n"));
         assert!(text.contains("test_export_hist_rejected 1\n"));
+    }
+
+    #[test]
+    fn hdr_metrics_render_as_summaries_with_quantiles() {
+        let _session = Session::deterministic();
+        for v in 1..=100u64 {
+            // Values below 2^7 land in exact buckets, so the rendered
+            // quantiles are the true order statistics.
+            crate::hdr_record_volatile("serve.stage.score.us", v);
+        }
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE serve_stage_score_us summary\n"));
+        assert!(text.contains("serve_stage_score_us{quantile=\"0.5\"} 50\n"));
+        assert!(text.contains("serve_stage_score_us{quantile=\"0.99\"} 99\n"));
+        assert!(text.contains("serve_stage_score_us{quantile=\"0.999\"} 100\n"));
+        assert!(text.contains("serve_stage_score_us_count 100\n"));
+        assert!(text.contains("serve_stage_score_us_max 100\n"));
     }
 
     #[test]

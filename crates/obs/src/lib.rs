@@ -38,16 +38,22 @@
 pub mod baseline;
 pub mod clock;
 pub mod export;
+pub mod hdr;
 pub mod json;
 pub mod metrics;
 pub mod quality;
 pub mod report;
+pub mod ring;
+pub mod slo;
 pub mod trace;
 
 pub use clock::{Clock, ClockKind, DeterministicClock, WallClock};
 pub use export::{init_exporter_from_env, Exporter};
+pub use hdr::HdrHistogram;
 pub use quality::{DriftMonitor, DriftThresholds, DriftVerdict, QualityRecord};
-pub use report::{phase_report, PhaseReport, PhaseRow};
+pub use report::{latency_report, phase_report, LatencyReport, PhaseReport, PhaseRow};
+pub use ring::{Record, RingBuffer, RingSet};
+pub use slo::{SloConfig, SloSnapshot, SloTracker, WindowBurn};
 
 use std::cell::RefCell;
 use std::marker::PhantomData;
@@ -370,6 +376,41 @@ pub fn histogram_record_volatile(name: &str, v: f64) {
     }
 }
 
+/// Records `v` (integer microseconds) into the HDR histogram `name`.
+/// No-op while disabled.
+#[inline]
+pub fn hdr_record(name: &str, v: u64) {
+    if enabled() {
+        recorder().metrics.hdr_record(name, v, false);
+    }
+}
+
+/// Records into a **volatile** HDR histogram. No-op while disabled.
+#[inline]
+pub fn hdr_record_volatile(name: &str, v: u64) {
+    if enabled() {
+        recorder().metrics.hdr_record(name, v, true);
+    }
+}
+
+/// Merges an [`HdrHistogram`] delta into the HDR metric `name` — the
+/// harvester path: per-thread shards fold in batches instead of taking
+/// the recorder lock per sample. No-op while disabled.
+#[inline]
+pub fn hdr_merge(name: &str, delta: &HdrHistogram) {
+    if enabled() && !delta.is_empty() {
+        recorder().metrics.hdr_merge(name, delta, false);
+    }
+}
+
+/// Merges into a **volatile** HDR metric. No-op while disabled.
+#[inline]
+pub fn hdr_merge_volatile(name: &str, delta: &HdrHistogram) {
+    if enabled() && !delta.is_empty() {
+        recorder().metrics.hdr_merge(name, delta, true);
+    }
+}
+
 /// Appends a per-experience [`QualityRecord`] to the trace stream as a
 /// typed `quality` event. No-op while disabled; counts against the
 /// same event cap as spans. Quality floats come from seeded model
@@ -461,6 +502,19 @@ pub fn summary() -> String {
                         h.max
                             .map_or_else(|| String::from("-"), |v| format!("{v:.6}")),
                         h.rejected
+                    );
+                }
+                metrics::MetricValue::Hdr(h) => {
+                    let (p50, p90, p99, p999) = h.standard_quantiles();
+                    let _ = writeln!(
+                        out,
+                        "  {name:<40} hdr     n={} p50={} p90={} p99={} p999={} max={}",
+                        h.count,
+                        p50,
+                        p90,
+                        p99,
+                        p999,
+                        h.max.unwrap_or(0)
                     );
                 }
             }

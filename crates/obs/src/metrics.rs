@@ -15,6 +15,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::hdr::HdrHistogram;
+
 /// Histogram bucket exponents are clamped to `[MIN_EXP, MAX_EXP]`;
 /// bucket `e` covers values in `[2^e, 2^(e+1))`.
 pub const MIN_EXP: i32 = -64;
@@ -118,6 +120,9 @@ pub enum MetricValue {
     Gauge(f64),
     /// Log-bucketed distribution.
     Histogram(Histogram),
+    /// HDR latency distribution of integer microseconds (~1% relative
+    /// quantile error; see [`crate::hdr`]).
+    Hdr(HdrHistogram),
 }
 
 impl MetricValue {
@@ -127,6 +132,7 @@ impl MetricValue {
             MetricValue::Counter(_) => "counter",
             MetricValue::Gauge(_) => "gauge",
             MetricValue::Histogram(_) => "hist",
+            MetricValue::Hdr(_) => "hdr",
         }
     }
 }
@@ -187,6 +193,32 @@ impl Registry {
         m.volatile |= volatile;
         if let MetricValue::Histogram(h) = &mut m.value {
             h.record(v);
+        }
+    }
+
+    /// Records `v` (integer microseconds) into the HDR histogram
+    /// `name`.
+    pub fn hdr_record(&mut self, name: &str, v: u64, volatile: bool) {
+        let m = self.metrics.entry(name.to_string()).or_insert(Metric {
+            value: MetricValue::Hdr(HdrHistogram::new()),
+            volatile,
+        });
+        m.volatile |= volatile;
+        if let MetricValue::Hdr(h) = &mut m.value {
+            h.record(v);
+        }
+    }
+
+    /// Merges a whole [`HdrHistogram`] delta into `name` (the harvester
+    /// path: per-thread shards fold in batches instead of per-sample).
+    pub fn hdr_merge(&mut self, name: &str, delta: &HdrHistogram, volatile: bool) {
+        let m = self.metrics.entry(name.to_string()).or_insert(Metric {
+            value: MetricValue::Hdr(HdrHistogram::new()),
+            volatile,
+        });
+        m.volatile |= volatile;
+        if let MetricValue::Hdr(h) = &mut m.value {
+            h.merge(delta);
         }
     }
 
@@ -282,6 +314,25 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(2.0));
         assert_eq!(h.quantile(0.99), Some(128.0));
         assert!((h.mean() - (90.0 + 1000.0) / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_hdr_record_and_merge_agree() {
+        let mut r = Registry::default();
+        r.hdr_record("serve.stage.score.us", 100, true);
+        r.hdr_record("serve.stage.score.us", 200, true);
+        let mut delta = HdrHistogram::new();
+        delta.record(100);
+        delta.record(200);
+        let mut r2 = Registry::default();
+        r2.hdr_merge("serve.stage.score.us", &delta, true);
+        let (a, b) = (
+            r.get("serve.stage.score.us").unwrap(),
+            r2.get("serve.stage.score.us").unwrap(),
+        );
+        assert_eq!(a.value, b.value);
+        assert!(a.volatile && b.volatile);
+        assert_eq!(a.value.kind(), "hdr");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::hdr::HdrHistogram;
 use crate::json::{parse_json, Json};
 
 /// Aggregated timing for one span name.
@@ -221,6 +222,116 @@ impl PhaseReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Latency breakdown (HDR metrics)
+// ---------------------------------------------------------------------
+
+/// One HDR latency metric reconstructed from a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyRow {
+    /// Metric name (e.g. `serve.stage.queue_wait.us`).
+    pub name: String,
+    /// Reconstructed histogram.
+    pub hist: HdrHistogram,
+}
+
+/// A latency-breakdown report: every `hdr` metric in a trace with its
+/// standard quantiles, rendered as one table. This is what
+/// `observe --latency` prints and what the server's shutdown summary
+/// reuses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyReport {
+    /// Rows in trace (name-sorted) order.
+    pub rows: Vec<LatencyRow>,
+}
+
+/// Builds a latency report from JSONL trace text by collecting every
+/// `hdr` metric line. Lines of other kinds are skipped; a malformed
+/// line is an error.
+pub fn latency_report(text: &str) -> Result<LatencyReport, String> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let obj = parse_json(line).map_err(|e| format!("line {n}: {e}"))?;
+        if obj.get("ev").and_then(Json::as_str) != Some("hdr") {
+            continue;
+        }
+        let name = obj
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {n}: hdr missing name"))?
+            .to_string();
+        let mut hist = HdrHistogram::new();
+        hist.count = obj
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or(format!("line {n}: hdr missing count"))?;
+        hist.sum = obj
+            .get("sum")
+            .and_then(Json::as_u64)
+            .ok_or(format!("line {n}: hdr missing sum"))?;
+        hist.min = obj.get("min").and_then(Json::as_u64);
+        hist.max = obj.get("max").and_then(Json::as_u64);
+        let buckets = obj
+            .get("buckets")
+            .and_then(Json::as_obj)
+            .ok_or(format!("line {n}: hdr missing buckets object"))?;
+        for (k, v) in buckets {
+            let idx: u32 = k
+                .parse()
+                .map_err(|_| format!("line {n}: bad bucket index {k}"))?;
+            let c = v
+                .as_u64()
+                .ok_or(format!("line {n}: bad bucket count for {k}"))?;
+            hist.buckets.insert(idx, c);
+        }
+        rows.push(LatencyRow { name, hist });
+    }
+    Ok(LatencyReport { rows })
+}
+
+impl LatencyReport {
+    /// Row lookup by metric name.
+    pub fn row(&self, name: &str) -> Option<&LatencyRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Renders the latency table: one line per HDR metric with count,
+    /// mean, and the standard quantiles.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "latency breakdown (unit: us)");
+        if self.rows.is_empty() {
+            out.push_str("  no hdr metrics recorded\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "{:<32} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "metric", "count", "mean", "p50", "p90", "p99", "p999", "max"
+        );
+        for r in &self.rows {
+            let (p50, p90, p99, p999) = r.hist.standard_quantiles();
+            let _ = writeln!(
+                out,
+                "{:<32} {:>10} {:>10.1} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                r.name,
+                r.hist.count,
+                r.hist.mean(),
+                p50,
+                p90,
+                p99,
+                p999,
+                r.hist.max.unwrap_or(0)
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +530,40 @@ mod tests {
         assert_eq!(report.root_total, 0);
         assert!(report.render().contains("instant"));
         assert!(report.render_top(5).contains("no self time recorded"));
+    }
+
+    #[test]
+    fn latency_report_round_trips_hdr_metrics() {
+        let mut reg = Registry::default();
+        let mut expect = HdrHistogram::new();
+        for v in [3u64, 50, 700, 700, 12_000, 400_000] {
+            reg.hdr_record("serve.stage.total.us", v, false);
+            expect.record(v);
+        }
+        reg.counter_add("serve.accept.count", 6, false);
+        let text = to_jsonl(ClockKind::Wall, &[], 0, &reg, true);
+        let report = latency_report(&text).expect("report");
+        assert_eq!(report.rows.len(), 1, "non-hdr metrics skipped");
+        let row = report.row("serve.stage.total.us").expect("row");
+        assert_eq!(row.hist, expect, "histogram survives serialization");
+        let table = report.render();
+        assert!(table.contains("latency breakdown"));
+        assert!(table.contains("serve.stage.total.us"));
+        assert!(table.contains("p999"));
+    }
+
+    #[test]
+    fn latency_report_empty_and_malformed() {
+        let report = latency_report("").expect("empty ok");
+        assert!(report.rows.is_empty());
+        assert!(report.render().contains("no hdr metrics"));
+        let bad = "{\"ev\":\"hdr\",\"name\":\"x\",\"count\":1}";
+        assert!(latency_report(bad).unwrap_err().contains("missing sum"));
+        let bad_bucket =
+            "{\"ev\":\"hdr\",\"name\":\"x\",\"count\":1,\"sum\":5,\"min\":5,\"max\":5,\"buckets\":{\"oops\":1}}";
+        assert!(latency_report(bad_bucket)
+            .unwrap_err()
+            .contains("bad bucket index"));
     }
 
     #[test]

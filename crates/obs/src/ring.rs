@@ -1,0 +1,412 @@
+//! Lock-free per-thread ring-buffer event recorder for hot paths.
+//!
+//! The serving data plane cannot afford a mutex (or even an uncontended
+//! `Mutex` syscall fallback) per request, so lifecycle events are
+//! written into per-producer-thread [`RingBuffer`]s: bounded
+//! single-producer / single-consumer queues of fixed-size binary
+//! records built entirely from `AtomicU64` slots — no `unsafe`, no
+//! allocation after construction, no blocking on either side.
+//!
+//! Each record is **two machine words**:
+//!
+//! ```text
+//! word0: [ tag:16 | reserved:16 | aux:32 ]   word1: [ value:64 ]
+//! ```
+//!
+//! `tag` identifies the event kind (a stage latency, a shed decision,
+//! a queue-depth sample — the taxonomy lives with the producer),
+//! `aux` carries per-kind context (e.g. the queue depth at a shed
+//! decision), and `value` is the payload (typically microseconds).
+//!
+//! When a ring is full the producer *drops* the record and bumps a
+//! shared drop counter rather than overwriting or waiting: losing a
+//! telemetry sample under overload is acceptable, adding latency to
+//! the request that is already overloaded is not. Consumers report
+//! drops so dashboards can show telemetry loss explicitly.
+//!
+//! Memory ordering: the producer publishes both record words with
+//! `Release` on the head index; the consumer `Acquire`-loads the head
+//! before reading slots and `Release`-stores the tail after. With one
+//! producer and one consumer per ring this is sufficient to prevent
+//! torn or reordered reads, which is why the implementation needs no
+//! `unsafe`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One fixed-size telemetry record (see module docs for the wire
+/// layout inside the ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Event-kind tag; taxonomy owned by the producer.
+    pub tag: u16,
+    /// Per-kind 32-bit context (queue depth, batch size, ...).
+    pub aux: u32,
+    /// Payload, typically a duration in microseconds.
+    pub value: u64,
+}
+
+impl Record {
+    /// Builds a record.
+    pub fn new(tag: u16, aux: u32, value: u64) -> Self {
+        Self { tag, aux, value }
+    }
+
+    fn pack_word0(self) -> u64 {
+        ((self.tag as u64) << 48) | self.aux as u64
+    }
+
+    fn unpack(word0: u64, word1: u64) -> Self {
+        Self {
+            tag: (word0 >> 48) as u16,
+            aux: word0 as u32,
+            value: word1,
+        }
+    }
+}
+
+/// Words per record in the slot array.
+const WORDS: usize = 2;
+
+/// Bounded single-producer / single-consumer ring of [`Record`]s.
+///
+/// The producer side ([`push`](RingBuffer::push)) is wait-free: a few
+/// relaxed atomic ops and one `Release` store. The consumer side
+/// ([`drain`](RingBuffer::drain)) batches all published records out.
+/// Exactly one thread may push and one thread may drain at a time;
+/// [`RingSet`] enforces the consumer half, the producer half is by
+/// construction (one ring per producer thread).
+#[derive(Debug)]
+pub struct RingBuffer {
+    /// Record capacity; always a power of two.
+    cap: usize,
+    /// Slot array, `cap * WORDS` atomics.
+    slots: Vec<AtomicU64>,
+    /// Total records ever published (producer-owned).
+    head: AtomicUsize,
+    /// Total records ever consumed (consumer-owned).
+    tail: AtomicUsize,
+    /// Records dropped because the ring was full.
+    dropped: AtomicU64,
+}
+
+impl RingBuffer {
+    /// Creates a ring holding `capacity` records, rounded up to a
+    /// power of two (minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap * WORDS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            cap,
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Record capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Publishes one record. Returns `false` (and counts a drop) when
+    /// the ring is full. Producer-side only.
+    pub fn push(&self, rec: Record) -> bool {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= self.cap {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let slot = (head & (self.cap - 1)) * WORDS;
+        self.slots[slot].store(rec.pack_word0(), Ordering::Relaxed);
+        self.slots[slot + 1].store(rec.value, Ordering::Relaxed);
+        // Publish: slot writes above must not sink below this store.
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Drains every published record into `out`, returning how many
+    /// were appended. Consumer-side only.
+    pub fn drain(&self, out: &mut Vec<Record>) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        let n = head.wrapping_sub(tail);
+        for k in 0..n {
+            let slot = (tail.wrapping_add(k) & (self.cap - 1)) * WORDS;
+            let w0 = self.slots[slot].load(Ordering::Relaxed);
+            let w1 = self.slots[slot + 1].load(Ordering::Relaxed);
+            out.push(Record::unpack(w0, w1));
+        }
+        // Free the slots for the producer.
+        self.tail.store(head, Ordering::Release);
+        n
+    }
+
+    /// Records currently buffered (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.head
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.tail.load(Ordering::Acquire))
+    }
+
+    /// `true` when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Registry of producer rings with a serialized consumer side.
+///
+/// Each producer thread calls [`register`](RingSet::register) once and
+/// keeps its `Arc<RingBuffer>` for wait-free pushes; a harvester
+/// thread calls [`drain_all`](RingSet::drain_all) periodically. The
+/// internal mutex guards the ring list and serializes consumers (so
+/// the SPSC contract holds even if two harvesters race); producers
+/// never touch it after registration.
+#[derive(Debug, Default)]
+pub struct RingSet {
+    rings: Mutex<Vec<Arc<RingBuffer>>>,
+}
+
+impl RingSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates and registers a ring of `capacity` records, returning
+    /// the producer handle.
+    pub fn register(&self, capacity: usize) -> Arc<RingBuffer> {
+        let ring = Arc::new(RingBuffer::new(capacity));
+        self.rings
+            .lock()
+            .expect("ring set poisoned")
+            .push(Arc::clone(&ring));
+        ring
+    }
+
+    /// Drains every registered ring into `out`, returning how many
+    /// records were appended across all rings.
+    pub fn drain_all(&self, out: &mut Vec<Record>) -> usize {
+        let rings = self.rings.lock().expect("ring set poisoned");
+        let mut n = 0;
+        for ring in rings.iter() {
+            n += ring.drain(out);
+        }
+        n
+    }
+
+    /// Drops rings whose producer handle is gone and whose records have
+    /// all been drained (a long-lived server sheds the rings of closed
+    /// connections). Drop counts of pruned rings are folded into the
+    /// returned value so telemetry-loss accounting survives pruning.
+    pub fn prune_orphans(&self) -> u64 {
+        let mut rings = self.rings.lock().expect("ring set poisoned");
+        let mut reclaimed_drops = 0u64;
+        rings.retain(|r| {
+            if Arc::strong_count(r) == 1 && r.is_empty() {
+                reclaimed_drops += r.dropped();
+                false
+            } else {
+                true
+            }
+        });
+        reclaimed_drops
+    }
+
+    /// Sum of drop counters across registered rings.
+    pub fn dropped(&self) -> u64 {
+        let rings = self.rings.lock().expect("ring set poisoned");
+        rings.iter().map(|r| r.dropped()).sum()
+    }
+
+    /// Number of registered rings.
+    pub fn len(&self) -> usize {
+        self.rings.lock().expect("ring set poisoned").len()
+    }
+
+    /// `true` when no rings are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn record_roundtrip_preserves_all_fields() {
+        let r = Record::new(0xBEEF, 0xDEAD_CAFE, u64::MAX - 3);
+        let back = Record::unpack(r.pack_word0(), r.value);
+        assert_eq!(back, r);
+        let zero = Record::new(0, 0, 0);
+        assert_eq!(Record::unpack(zero.pack_word0(), zero.value), zero);
+    }
+
+    #[test]
+    fn push_drain_fifo_order() {
+        let ring = RingBuffer::new(8);
+        for i in 0..5u64 {
+            assert!(ring.push(Record::new(i as u16, i as u32 * 10, i * 100)));
+        }
+        assert_eq!(ring.len(), 5);
+        let mut out = Vec::new();
+        assert_eq!(ring.drain(&mut out), 5);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.tag, i as u16);
+            assert_eq!(r.aux, i as u32 * 10);
+            assert_eq!(r.value, i as u64 * 100);
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn full_ring_drops_instead_of_overwriting() {
+        let ring = RingBuffer::new(4);
+        for i in 0..4u64 {
+            assert!(ring.push(Record::new(1, 0, i)));
+        }
+        assert!(!ring.push(Record::new(1, 0, 99)));
+        assert!(!ring.push(Record::new(1, 0, 100)));
+        assert_eq!(ring.dropped(), 2);
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        // The original four records survive untouched.
+        assert_eq!(
+            out.iter().map(|r| r.value).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+        // Space freed: pushes succeed again.
+        assert!(ring.push(Record::new(1, 0, 5)));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(RingBuffer::new(0).capacity(), 2);
+        assert_eq!(RingBuffer::new(3).capacity(), 4);
+        assert_eq!(RingBuffer::new(4).capacity(), 4);
+        assert_eq!(RingBuffer::new(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn wraparound_many_times_preserves_records() {
+        let ring = RingBuffer::new(4);
+        let mut out = Vec::new();
+        let mut expect = 0u64;
+        for round in 0..100u64 {
+            for k in 0..3 {
+                assert!(ring.push(Record::new(7, 0, round * 3 + k)));
+            }
+            out.clear();
+            assert_eq!(ring.drain(&mut out), 3);
+            for r in &out {
+                assert_eq!(r.value, expect);
+                expect += 1;
+            }
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_loses_nothing_but_drops() {
+        // One producer hammering, one consumer draining: every value is
+        // either delivered exactly once in order, or counted as dropped.
+        let ring = Arc::new(RingBuffer::new(64));
+        const N: u64 = 100_000;
+        let producer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                let mut pushed = 0u64;
+                for v in 0..N {
+                    if ring.push(Record::new(1, 0, v)) {
+                        pushed += 1;
+                    }
+                }
+                pushed
+            })
+        };
+        let mut got = Vec::new();
+        let mut last = None::<u64>;
+        loop {
+            let mut batch = Vec::new();
+            ring.drain(&mut batch);
+            for r in batch {
+                if let Some(prev) = last {
+                    assert!(
+                        r.value > prev,
+                        "out-of-order delivery: {} after {prev}",
+                        r.value
+                    );
+                }
+                last = Some(r.value);
+                got.push(r.value);
+            }
+            if producer.is_finished() && ring.is_empty() {
+                break;
+            }
+        }
+        let pushed = producer.join().expect("producer panicked");
+        let mut tail = Vec::new();
+        ring.drain(&mut tail);
+        got.extend(tail.iter().map(|r| r.value));
+        assert_eq!(got.len() as u64, pushed, "delivered != accepted pushes");
+        assert_eq!(pushed + ring.dropped(), N, "accepted + dropped != produced");
+    }
+
+    #[test]
+    fn prune_keeps_live_and_undrained_rings() {
+        let set = RingSet::new();
+        let live = set.register(4);
+        let orphan_with_data = set.register(4);
+        let orphan_drained = set.register(2);
+        orphan_with_data.push(Record::new(1, 0, 1));
+        orphan_drained.push(Record::new(1, 0, 1));
+        orphan_drained.push(Record::new(1, 0, 2));
+        orphan_drained.push(Record::new(1, 0, 3)); // dropped: cap 2
+        let mut out = Vec::new();
+        orphan_drained.drain(&mut out);
+        drop(orphan_with_data);
+        drop(orphan_drained);
+        // The undrained orphan must survive (its records are pending);
+        // the drained orphan goes, surrendering its drop count.
+        assert_eq!(set.prune_orphans(), 1);
+        assert_eq!(set.len(), 2);
+        let mut out = Vec::new();
+        assert_eq!(set.drain_all(&mut out), 1);
+        assert_eq!(set.prune_orphans(), 0);
+        assert_eq!(set.len(), 1);
+        live.push(Record::new(1, 0, 9));
+        assert_eq!(set.drain_all(&mut out), 1);
+    }
+
+    #[test]
+    fn ring_set_drains_all_registered_rings() {
+        let set = RingSet::new();
+        let a = set.register(8);
+        let b = set.register(8);
+        assert_eq!(set.len(), 2);
+        a.push(Record::new(1, 0, 10));
+        b.push(Record::new(2, 0, 20));
+        b.push(Record::new(2, 0, 21));
+        let mut out = Vec::new();
+        assert_eq!(set.drain_all(&mut out), 3);
+        let mut values: Vec<u64> = out.iter().map(|r| r.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, [10, 20, 21]);
+        // Drops aggregate across rings.
+        let tiny = set.register(2);
+        tiny.push(Record::new(3, 0, 1));
+        tiny.push(Record::new(3, 0, 2));
+        tiny.push(Record::new(3, 0, 3));
+        assert_eq!(set.dropped(), 1);
+    }
+}

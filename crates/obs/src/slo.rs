@@ -1,0 +1,349 @@
+//! SLO tracking with multi-window error-budget burn rates.
+//!
+//! An [`SloTracker`] watches two objectives over the serving data
+//! plane, following the SRE multi-window burn-rate alerting scheme:
+//!
+//! * **Availability**: the fraction of requests answered successfully
+//!   (sheds, bad frames, and server errors all spend budget) must stay
+//!   above `availability_target` (e.g. 0.999 → a 0.1% error budget).
+//! * **Latency**: the fraction of requests slower than
+//!   `latency_target_us` must stay below `latency_budget` (e.g. 1%,
+//!   which is exactly "p99 ≤ target").
+//!
+//! The *burn rate* of a window is `observed_bad_fraction / budget`:
+//! 1.0 means the budget is being spent exactly as provisioned; 10
+//! means ten times too fast. Alerting requires a fast **and** a slow
+//! window to burn simultaneously (the classic 14.4×-over-short +
+//! 6×-over-long pairing, scaled here to serving-bench timescales) so
+//! that one bad second cannot page and a slow leak cannot hide.
+//!
+//! Requests are recorded into one-second slices held in a fixed
+//! circular buffer; callers pass explicit timestamps, which keeps the
+//! tracker deterministic under test and independent of wall clocks.
+
+/// Seconds of history retained; also the longest usable window.
+pub const SLICES: usize = 128;
+
+/// One-second accumulator slice.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slice {
+    /// Absolute second this slice currently represents.
+    second: u64,
+    /// `true` once this slice has been written for `second`.
+    live: bool,
+    total: u64,
+    errors: u64,
+    slow: u64,
+}
+
+/// Objectives the tracker enforces.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Requests slower than this many microseconds spend latency budget.
+    pub latency_target_us: u64,
+    /// Allowed slow fraction (0.01 == "p99 under target").
+    pub latency_budget: f64,
+    /// Required success fraction (e.g. 0.999).
+    pub availability_target: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            latency_target_us: 5_000,
+            latency_budget: 0.01,
+            availability_target: 0.999,
+        }
+    }
+}
+
+/// Burn rates of one objective over one window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowBurn {
+    /// Window length in seconds.
+    pub window_s: u64,
+    /// Requests observed in the window.
+    pub total: u64,
+    /// Availability budget burn rate (1.0 = budget spent on schedule).
+    pub availability_burn: f64,
+    /// Latency budget burn rate.
+    pub latency_burn: f64,
+}
+
+/// Point-in-time view of every tracked window plus alert decisions.
+#[derive(Debug, Clone, Default)]
+pub struct SloSnapshot {
+    /// Burn rates per window, shortest first.
+    pub windows: Vec<WindowBurn>,
+    /// Fast-and-slow windows both burning hot on availability.
+    pub availability_alert: bool,
+    /// Fast-and-slow windows both burning hot on latency.
+    pub latency_alert: bool,
+}
+
+/// Multi-window SLO burn-rate tracker (see module docs).
+#[derive(Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    slices: [Slice; SLICES],
+    /// Latest second ever recorded.
+    newest: u64,
+}
+
+/// Window pairs: (window seconds, burn threshold). Alerting requires
+/// the short window AND the long window of a pair to exceed their
+/// thresholds together — the standard fast-burn/slow-burn page pair,
+/// scaled to bench/serving-session timescales.
+const WINDOWS: [(u64, f64); 3] = [(5, 14.4), (30, 6.0), (120, 3.0)];
+
+impl SloTracker {
+    /// Creates a tracker for `cfg`.
+    pub fn new(cfg: SloConfig) -> Self {
+        Self {
+            cfg,
+            slices: [Slice::default(); SLICES],
+            newest: 0,
+        }
+    }
+
+    /// The configured objectives.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Records one request outcome at absolute time `now_s` (seconds).
+    /// `ok` is whether the request was answered successfully;
+    /// `latency_us` is the served latency (ignored for latency budget
+    /// when the request failed — it already burned availability).
+    pub fn record(&mut self, now_s: u64, latency_us: u64, ok: bool) {
+        let slot = (now_s as usize) % SLICES;
+        let slice = &mut self.slices[slot];
+        if !slice.live || slice.second != now_s {
+            // Reuse the slot for the new second.
+            *slice = Slice {
+                second: now_s,
+                live: true,
+                ..Slice::default()
+            };
+        }
+        slice.total += 1;
+        if !ok {
+            slice.errors += 1;
+        } else if latency_us > self.cfg.latency_target_us {
+            slice.slow += 1;
+        }
+        self.newest = self.newest.max(now_s);
+    }
+
+    /// Burn rates over the trailing `window_s` seconds ending at
+    /// `now_s` inclusive.
+    pub fn window_burn(&self, now_s: u64, window_s: u64) -> WindowBurn {
+        let window_s = window_s.clamp(1, SLICES as u64);
+        let oldest = now_s.saturating_sub(window_s - 1);
+        let (mut total, mut errors, mut slow) = (0u64, 0u64, 0u64);
+        for s in &self.slices {
+            if s.live && s.second >= oldest && s.second <= now_s {
+                total += s.total;
+                errors += s.errors;
+                slow += s.slow;
+            }
+        }
+        let (availability_burn, latency_burn) = if total == 0 {
+            (0.0, 0.0)
+        } else {
+            let err_frac = errors as f64 / total as f64;
+            let slow_frac = slow as f64 / total as f64;
+            let avail_budget = (1.0 - self.cfg.availability_target).max(f64::EPSILON);
+            let lat_budget = self.cfg.latency_budget.max(f64::EPSILON);
+            (err_frac / avail_budget, slow_frac / lat_budget)
+        };
+        WindowBurn {
+            window_s,
+            total,
+            availability_burn,
+            latency_burn,
+        }
+    }
+
+    /// Snapshot of all standard windows at `now_s`, with the
+    /// fast-and-slow alert decision per objective: a pair fires when
+    /// its short window burns above threshold AND the next-longer
+    /// window burns above that window's threshold.
+    pub fn snapshot(&self, now_s: u64) -> SloSnapshot {
+        let burns: Vec<WindowBurn> = WINDOWS
+            .iter()
+            .map(|&(w, _)| self.window_burn(now_s, w))
+            .collect();
+        let mut availability_alert = false;
+        let mut latency_alert = false;
+        for pair in 0..WINDOWS.len() - 1 {
+            let (_, fast_thresh) = WINDOWS[pair];
+            let (_, slow_thresh) = WINDOWS[pair + 1];
+            let fast = &burns[pair];
+            let slow = &burns[pair + 1];
+            if fast.availability_burn >= fast_thresh && slow.availability_burn >= slow_thresh {
+                availability_alert = true;
+            }
+            if fast.latency_burn >= fast_thresh && slow.latency_burn >= slow_thresh {
+                latency_alert = true;
+            }
+        }
+        SloSnapshot {
+            windows: burns,
+            availability_alert,
+            latency_alert,
+        }
+    }
+
+    /// Latest second with any recorded traffic.
+    pub fn newest_second(&self) -> u64 {
+        self.newest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            latency_target_us: 1_000,
+            latency_budget: 0.01,
+            availability_target: 0.999,
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_burns_nothing() {
+        let mut t = SloTracker::new(cfg());
+        for s in 0..60 {
+            for _ in 0..100 {
+                t.record(s, 200, true);
+            }
+        }
+        let snap = t.snapshot(59);
+        for w in &snap.windows {
+            assert_eq!(w.availability_burn, 0.0);
+            assert_eq!(w.latency_burn, 0.0);
+            assert!(w.total > 0);
+        }
+        assert!(!snap.availability_alert);
+        assert!(!snap.latency_alert);
+    }
+
+    #[test]
+    fn burn_rate_is_bad_fraction_over_budget() {
+        let mut t = SloTracker::new(cfg());
+        // 1% errors against a 0.1% budget → availability burn 10x.
+        for i in 0..1000u64 {
+            t.record(10, 100, i % 100 != 0);
+        }
+        let w = t.window_burn(10, 5);
+        assert!(
+            (w.availability_burn - 10.0).abs() < 1e-9,
+            "{}",
+            w.availability_burn
+        );
+        // 2% slow against a 1% budget → latency burn 2x.
+        let mut t = SloTracker::new(cfg());
+        for i in 0..1000u64 {
+            let lat = if i % 50 == 0 { 5_000 } else { 100 };
+            t.record(10, lat, true);
+        }
+        let w = t.window_burn(10, 5);
+        assert!((w.latency_burn - 2.0).abs() < 1e-9, "{}", w.latency_burn);
+    }
+
+    #[test]
+    fn failed_requests_do_not_double_spend_latency_budget() {
+        let mut t = SloTracker::new(cfg());
+        t.record(1, 1_000_000, false); // slow AND failed
+        t.record(1, 100, true);
+        let w = t.window_burn(1, 5);
+        assert!(w.availability_burn > 0.0);
+        assert_eq!(w.latency_burn, 0.0, "failure must not also count as slow");
+    }
+
+    #[test]
+    fn alert_needs_fast_and_slow_windows_together() {
+        let mut t = SloTracker::new(cfg());
+        // 100s of clean traffic, then one second with a 10% error spike:
+        // the 5s window burns at 20x (above 14.4x) but the 30s window is
+        // diluted to ~3.3x (below 6x) → no page for a blip.
+        for s in 0..100u64 {
+            for _ in 0..100 {
+                t.record(s, 100, true);
+            }
+        }
+        for i in 0..100u64 {
+            t.record(100, 100, i >= 10);
+        }
+        let snap = t.snapshot(100);
+        assert!(snap.windows[0].availability_burn > 14.4);
+        assert!(snap.windows[1].availability_burn < 6.0);
+        assert!(!snap.availability_alert, "short blip must not alert");
+
+        // Sustained full-failure traffic lights both windows.
+        let mut t = SloTracker::new(cfg());
+        for s in 0..40u64 {
+            for _ in 0..100 {
+                t.record(s, 100, false);
+            }
+        }
+        let snap = t.snapshot(39);
+        assert!(snap.availability_alert, "sustained burn must alert");
+        assert!(!snap.latency_alert);
+    }
+
+    #[test]
+    fn latency_alert_fires_on_sustained_slowness() {
+        let mut t = SloTracker::new(cfg());
+        // Every request slow: latency burn = 1.0/0.01 = 100x everywhere.
+        for s in 0..40u64 {
+            for _ in 0..50 {
+                t.record(s, 50_000, true);
+            }
+        }
+        let snap = t.snapshot(39);
+        assert!(snap.latency_alert);
+        assert!(!snap.availability_alert);
+    }
+
+    #[test]
+    fn old_slices_age_out_of_windows() {
+        let mut t = SloTracker::new(cfg());
+        for _ in 0..100 {
+            t.record(5, 100, false);
+        }
+        // Within the 5s window at t=5, burning hard.
+        assert!(t.window_burn(5, 5).availability_burn > 0.0);
+        // 60 seconds later the bad second is outside the 5s window.
+        let w = t.window_burn(65, 5);
+        assert_eq!(w.total, 0);
+        assert_eq!(w.availability_burn, 0.0);
+        // ...but still inside a 120s window.
+        assert!(t.window_burn(65, 120).availability_burn > 0.0);
+    }
+
+    #[test]
+    fn circular_buffer_reuses_slots_after_wrap() {
+        let mut t = SloTracker::new(cfg());
+        t.record(3, 100, false);
+        // SLICES seconds later the same slot is reused for new data.
+        let later = 3 + SLICES as u64;
+        t.record(later, 100, true);
+        let w = t.window_burn(later, 5);
+        assert_eq!(w.total, 1);
+        assert_eq!(w.availability_burn, 0.0, "stale slice leaked into window");
+        assert_eq!(t.newest_second(), later);
+    }
+
+    #[test]
+    fn empty_tracker_snapshot_is_quiet() {
+        let t = SloTracker::new(SloConfig::default());
+        let snap = t.snapshot(100);
+        assert_eq!(snap.windows.len(), WINDOWS.len());
+        assert!(snap.windows.iter().all(|w| w.total == 0));
+        assert!(!snap.availability_alert && !snap.latency_alert);
+    }
+}

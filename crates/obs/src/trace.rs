@@ -114,6 +114,34 @@ fn write_histogram_body(h: &Histogram, out: &mut String) {
     out.push('}');
 }
 
+/// Writes the field list of an `hdr` metric line (everything after the
+/// opening brace). Bucket keys are HDR bucket indices (see
+/// [`crate::hdr::bucket_index`]), values are counts.
+fn write_hdr_body(h: &crate::hdr::HdrHistogram, out: &mut String) {
+    let _ = write!(out, "\"count\":{},\"sum\":{},\"min\":", h.count, h.sum);
+    match h.min {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"max\":");
+    match h.max {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"buckets\":{");
+    for (i, (b, c)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{b}\":{c}");
+    }
+    out.push('}');
+}
+
 fn write_opt_f64(v: Option<f64>, out: &mut String) {
     match v {
         Some(v) => write_f64(v, out),
@@ -199,6 +227,7 @@ fn write_metric(name: &str, m: &Metric, out: &mut String) {
             write_f64(*g, out);
         }
         MetricValue::Histogram(h) => write_histogram_body(h, out),
+        MetricValue::Hdr(h) => write_hdr_body(h, out),
     }
     out.push('}');
 }
@@ -327,6 +356,24 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
                     }
                     if !matches!(obj.get("buckets"), Some(Json::Obj(_))) {
                         return Err(format!("line {n}: hist missing buckets object"));
+                    }
+                }
+                "hdr" => {
+                    obj.get("name")
+                        .and_then(Json::as_str)
+                        .ok_or(format!("line {n}: hdr missing name"))?;
+                    for field in ["count", "sum"] {
+                        obj.get(field)
+                            .and_then(Json::as_u64)
+                            .ok_or(format!("line {n}: hdr missing {field}"))?;
+                    }
+                    for field in ["min", "max"] {
+                        if obj.get(field).is_none() {
+                            return Err(format!("line {n}: hdr missing {field}"));
+                        }
+                    }
+                    if !matches!(obj.get("buckets"), Some(Json::Obj(_))) {
+                        return Err(format!("line {n}: hdr missing buckets object"));
                     }
                 }
                 "quality" => {
@@ -485,6 +532,43 @@ mod tests {
             "{meta}\n{{\"ev\":\"quality\",\"t\":1,\"experience\":0,\"avg\":0.5,\"fwd_trans\":0.0,\"bwd_trans\":0.0,\"scores\":{{\"count\":0,\"zero\":0,\"rejected\":0,\"buckets\":{{}}}}}}"
         );
         assert!(validate_jsonl(&no_f1).unwrap_err().contains("missing f1"));
+    }
+
+    #[test]
+    fn hdr_metrics_serialize_and_validate() {
+        let mut reg = Registry::default();
+        reg.hdr_record("serve.stage.score.us", 137, false);
+        reg.hdr_record("serve.stage.score.us", 4096, false);
+        let text = to_jsonl(ClockKind::Wall, &[], 0, &reg, true);
+        validate_jsonl(&text).expect("hdr trace validates");
+        let line = text.lines().nth(1).unwrap();
+        let obj = parse_json(line).expect("hdr line parses");
+        assert_eq!(obj.get("ev").and_then(Json::as_str), Some("hdr"));
+        assert_eq!(
+            obj.get("name").and_then(Json::as_str),
+            Some("serve.stage.score.us")
+        );
+        assert_eq!(obj.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(obj.get("sum").and_then(Json::as_u64), Some(137 + 4096));
+        assert_eq!(obj.get("min").and_then(Json::as_u64), Some(137));
+        assert_eq!(obj.get("max").and_then(Json::as_u64), Some(4096));
+        assert!(matches!(obj.get("buckets"), Some(Json::Obj(_))));
+    }
+
+    #[test]
+    fn hdr_lines_with_missing_fields_are_rejected() {
+        let meta =
+            "{\"ev\":\"meta\",\"version\":1,\"clock\":\"wall\",\"unit\":\"us\",\"dropped\":0}";
+        let no_buckets = format!(
+            "{meta}\n{{\"ev\":\"hdr\",\"name\":\"x\",\"count\":1,\"sum\":5,\"min\":5,\"max\":5}}"
+        );
+        assert!(validate_jsonl(&no_buckets)
+            .unwrap_err()
+            .contains("missing buckets"));
+        let no_sum = format!(
+            "{meta}\n{{\"ev\":\"hdr\",\"name\":\"x\",\"count\":1,\"min\":5,\"max\":5,\"buckets\":{{}}}}"
+        );
+        assert!(validate_jsonl(&no_sum).unwrap_err().contains("missing sum"));
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!    queued into unbounded memory. Shed/accept counters and batch/
 //!    queue/latency histograms land in `cnd-obs` and are scrapeable via
 //!    the existing `CND_OBS_LISTEN` Prometheus endpoint.
+//! 4. **Lifecycle telemetry** ([`telemetry`]): every request's life is
+//!    split into parse / queue-wait / batch-form / score / write
+//!    stages, timed via wait-free per-thread ring buffers and
+//!    harvested into HDR latency histograms, shed attribution
+//!    counters, and multi-window SLO burn-rate gauges.
 //!
 //! Client-side, [`ServeClient`] speaks the protocol for tests and the
 //! CLI, and [`loadgen`] drives open-loop load and reports achieved
@@ -52,6 +57,7 @@ pub mod loadgen;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod telemetry;
 
 pub use client::{ClientError, ConnectRetry, ServeClient};
 pub use continual::{
@@ -62,6 +68,7 @@ pub use loadgen::{run_loadgen, LoadGenConfig, LoadReport};
 pub use protocol::{Reply, Request, ServerInfo, Verdict};
 pub use registry::{ModelRegistry, VersionedModel};
 pub use server::{ServeConfig, ServeStats, Server};
+pub use telemetry::{Stage, TelemetryHub, TelemetrySnapshot};
 
 /// Errors from starting or operating the scoring server.
 #[derive(Debug)]

@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cnd_obs::hdr::HdrHistogram;
+
 use crate::client::{ClientError, ConnectRetry, ServeClient};
 use crate::protocol::{Reply, Verdict};
 
@@ -66,8 +68,21 @@ pub struct LoadReport {
     pub flows_per_s: f64,
     /// Median request→reply latency, microseconds.
     pub p50_us: f64,
+    /// 90th-percentile request→reply latency, microseconds.
+    pub p90_us: f64,
     /// 99th-percentile request→reply latency, microseconds.
     pub p99_us: f64,
+    /// 99.9th-percentile request→reply latency, microseconds.
+    pub p999_us: f64,
+    /// Worst observed request→reply latency, microseconds.
+    pub max_us: f64,
+    /// Full client-side latency distribution (log-bucketed HDR, ~1%
+    /// relative error); the percentile fields above are views into it.
+    pub latency: HdrHistogram,
+    /// Reconnects performed per worker after transport errors; a
+    /// lopsided vector points at one bad connection rather than a
+    /// server-wide problem.
+    pub reconnects_per_worker: Vec<u64>,
     /// Model version reported by the midway reload (when requested).
     pub reload_version: Option<u32>,
     /// Distinct model versions observed in score replies.
@@ -83,9 +98,14 @@ impl LoadReport {
         self.ok as f64 / self.sent as f64
     }
 
-    /// Bench-check metrics under `rate.<tag>.*`. Latencies are stored
-    /// inverted (1e6/µs) because every bench-check metric is
-    /// higher-is-better.
+    /// Bench-check metrics: throughput and accept ratio under
+    /// `rate.<tag>.*` (higher-is-better, relative tolerance) and
+    /// latency percentiles under `lat.<tag>.*_us` (lower-is-better,
+    /// ceiling-checked — see `cnd_obs::baseline`).
+    ///
+    /// The inverted `rate.<tag>.p50_inv`/`p99_inv` forms predate the
+    /// `lat.` tolerance class and are kept for one release so existing
+    /// baselines keep passing; prefer the direct `lat.` metrics.
     pub fn bench_metrics(&self, tag: &str) -> Vec<(String, f64)> {
         let inv = |us: f64| if us > 0.0 { 1e6 / us } else { 0.0 };
         vec![
@@ -93,7 +113,18 @@ impl LoadReport {
             (format!("rate.{tag}.p50_inv"), inv(self.p50_us)),
             (format!("rate.{tag}.p99_inv"), inv(self.p99_us)),
             (format!("rate.{tag}.accept_ratio"), self.accept_ratio()),
+            (format!("lat.{tag}.p50_us"), self.p50_us),
+            (format!("lat.{tag}.p99_us"), self.p99_us),
+            (format!("lat.{tag}.p999_us"), self.p999_us),
         ]
+    }
+
+    /// One-line latency summary for console output.
+    pub fn latency_summary(&self) -> String {
+        format!(
+            "latency p50 = {:.0}us  p90 = {:.0}us  p99 = {:.0}us  p999 = {:.0}us  max = {:.0}us",
+            self.p50_us, self.p90_us, self.p99_us, self.p999_us, self.max_us
+        )
     }
 }
 
@@ -126,7 +157,8 @@ struct WorkerOutcome {
     shed: u64,
     bad_request: u64,
     transport_errors: u64,
-    latencies_us: Vec<f64>,
+    reconnects: u64,
+    latency: HdrHistogram,
     versions: Vec<u32>,
 }
 
@@ -150,7 +182,8 @@ fn worker(
         shed: 0,
         bad_request: 0,
         transport_errors: 0,
-        latencies_us: Vec::with_capacity(flows),
+        reconnects: 0,
+        latency: HdrHistogram::new(),
         versions: Vec::new(),
     };
     let start = Instant::now();
@@ -183,7 +216,7 @@ fn worker(
                 if !out.versions.contains(&model_version) {
                     out.versions.push(model_version);
                 }
-                out.latencies_us.push(t0.elapsed().as_micros() as f64);
+                out.latency.record(t0.elapsed().as_micros() as u64);
             }
             Ok(Reply::Overloaded { .. }) => out.shed += 1,
             Ok(Reply::BadRequest { .. }) => out.bad_request += 1,
@@ -194,26 +227,11 @@ fn worker(
                 // a grace window) and keep exercising it.
                 out.transport_errors += 1;
                 client = ServeClient::connect_with_retry(addr, &retry)?;
+                out.reconnects += 1;
             }
         }
     }
     Ok(out)
-}
-
-/// Linear-interpolated percentile of an unsorted sample, `q` in [0, 1].
-fn percentile_us(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    if lo == hi {
-        sorted[lo]
-    } else {
-        let frac = pos - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    }
 }
 
 /// Runs an open-loop load-generation session against `addr`.
@@ -282,7 +300,6 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> Result<LoadReport, 
         elapsed_s,
         ..LoadReport::default()
     };
-    let mut latencies = Vec::new();
     for outcome in outcomes {
         let o = outcome?;
         report.ok += o.ok;
@@ -290,7 +307,8 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> Result<LoadReport, 
         report.shed += o.shed;
         report.bad_request += o.bad_request;
         report.transport_errors += o.transport_errors;
-        latencies.extend(o.latencies_us);
+        report.reconnects_per_worker.push(o.reconnects);
+        report.latency.merge(&o.latency);
         for v in o.versions {
             if !report.versions_seen.contains(&v) {
                 report.versions_seen.push(v);
@@ -304,9 +322,12 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> Result<LoadReport, 
     } else {
         0.0
     };
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    report.p50_us = percentile_us(&latencies, 0.50);
-    report.p99_us = percentile_us(&latencies, 0.99);
+    let q = |p: f64| report.latency.quantile(p).unwrap_or(0) as f64;
+    report.p50_us = q(0.50);
+    report.p90_us = q(0.90);
+    report.p99_us = q(0.99);
+    report.p999_us = q(0.999);
+    report.max_us = report.latency.max.unwrap_or(0) as f64;
     report.reload_version = match reload_version {
         Some(r) => Some(r?),
         None => None,
@@ -332,22 +353,14 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_interpolate() {
-        let sorted = [10.0, 20.0, 30.0, 40.0];
-        assert_eq!(percentile_us(&sorted, 0.0), 10.0);
-        assert_eq!(percentile_us(&sorted, 1.0), 40.0);
-        assert!((percentile_us(&sorted, 0.5) - 25.0).abs() < 1e-12);
-        assert_eq!(percentile_us(&[], 0.5), 0.0);
-    }
-
-    #[test]
-    fn bench_metrics_are_rate_class_and_inverted() {
+    fn bench_metrics_cover_rate_and_lat_classes() {
         let report = LoadReport {
             sent: 100,
             ok: 90,
             flows_per_s: 5000.0,
             p50_us: 200.0,
             p99_us: 1000.0,
+            p999_us: 2500.0,
             ..LoadReport::default()
         };
         let metrics = report.bench_metrics("serve");
@@ -359,8 +372,42 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(get("rate.serve.flows_per_s"), 5000.0);
+        // Inverted forms kept one release for old baselines.
         assert_eq!(get("rate.serve.p50_inv"), 5000.0);
         assert_eq!(get("rate.serve.p99_inv"), 1000.0);
         assert!((get("rate.serve.accept_ratio") - 0.9).abs() < 1e-12);
+        // Direct ceiling-checked latency metrics.
+        assert_eq!(get("lat.serve.p50_us"), 200.0);
+        assert_eq!(get("lat.serve.p99_us"), 1000.0);
+        assert_eq!(get("lat.serve.p999_us"), 2500.0);
+    }
+
+    #[test]
+    fn report_percentiles_come_from_the_merged_histogram() {
+        // Two synthetic worker outcomes merged the way run_loadgen does.
+        let mut a = HdrHistogram::new();
+        let mut b = HdrHistogram::new();
+        for v in 1..=50u64 {
+            a.record(v);
+        }
+        for v in 51..=100u64 {
+            b.record(v);
+        }
+        let mut report = LoadReport::default();
+        report.latency.merge(&a);
+        report.latency.merge(&b);
+        let q = |p: f64| report.latency.quantile(p).unwrap_or(0) as f64;
+        report.p50_us = q(0.50);
+        report.p90_us = q(0.90);
+        report.p99_us = q(0.99);
+        report.p999_us = q(0.999);
+        report.max_us = report.latency.max.unwrap_or(0) as f64;
+        // Values < 128 land in exact buckets: true order statistics.
+        assert_eq!(report.p50_us, 50.0);
+        assert_eq!(report.p90_us, 90.0);
+        assert_eq!(report.p99_us, 99.0);
+        assert_eq!(report.p999_us, 100.0);
+        assert_eq!(report.max_us, 100.0);
+        assert!(report.latency_summary().contains("p999 = 100us"));
     }
 }

@@ -105,6 +105,7 @@ impl ModelRegistry {
     /// different feature width; either way the previous model keeps
     /// serving and the failure counter is bumped.
     pub fn reload(&self) -> Result<u32, ServeError> {
+        let started = std::time::Instant::now();
         let outcome = self.try_load_candidate();
         match outcome {
             Ok(scorer) => {
@@ -114,6 +115,12 @@ impl ModelRegistry {
                 drop(cur);
                 self.reloads.fetch_add(1, Ordering::Relaxed);
                 cnd_obs::counter_add_volatile("serve.reload.count", 1);
+                // Reloads are rare (control plane), so recording the
+                // swap latency directly is fine — no ring needed.
+                cnd_obs::hdr_record_volatile(
+                    "serve.reload.us",
+                    started.elapsed().as_micros() as u64,
+                );
                 Ok(version)
             }
             Err(e) => {

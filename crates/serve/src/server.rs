@@ -44,11 +44,18 @@ use std::time::{Duration, Instant};
 use cnd_linalg::Matrix;
 use cnd_metrics::threshold::quantile_threshold;
 
+use cnd_obs::ring::{Record, RingBuffer};
+use cnd_obs::slo::SloConfig;
+
 use crate::continual::{MirrorSample, TrafficMirror};
 use crate::protocol::{
     read_request_after_first, write_reply, FrameError, Reply, Request, ServerInfo, Verdict,
 };
 use crate::registry::{ModelRegistry, VersionedModel};
+use crate::telemetry::{
+    shed_record, stage_record, Stage, TelemetryHub, TelemetrySnapshot, BATCHER_RING_CAP,
+    READER_RING_CAP,
+};
 use crate::ServeError;
 
 /// Idle poll interval for reader first-byte reads and the acceptor.
@@ -87,6 +94,11 @@ pub struct ServeConfig {
     /// of the f64 bit-identity contract; threshold calibration and the
     /// alert comparison still happen in f64 on the widened scores.
     pub score_f32: bool,
+    /// Request-lifecycle telemetry ([`crate::telemetry`]): per-stage
+    /// latency histograms, shed attribution, and SLO burn-rate
+    /// tracking. On the hot path this costs one wait-free ring push
+    /// per stage; disable only to measure that overhead.
+    pub telemetry: bool,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +113,7 @@ impl Default for ServeConfig {
             watch: None,
             mirror: None,
             score_f32: false,
+            telemetry: true,
         }
     }
 }
@@ -199,6 +212,8 @@ struct Shared {
     counters: Counters,
     registry: ModelRegistry,
     cfg: ServeConfig,
+    /// Lifecycle telemetry hub; `None` when `cfg.telemetry` is off.
+    hub: Option<Arc<TelemetryHub>>,
 }
 
 impl Shared {
@@ -250,6 +265,11 @@ impl Server {
         cnd_obs::counter_add_volatile("serve.scored.count", 0);
         cnd_obs::counter_add_volatile("serve.bad_frame.count", 0);
 
+        let hub = if cfg.telemetry {
+            Some(TelemetryHub::start(SloConfig::default()))
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             notify: Condvar::new(),
@@ -258,6 +278,7 @@ impl Server {
             counters: Counters::default(),
             registry,
             cfg,
+            hub,
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
 
@@ -348,6 +369,13 @@ impl Server {
         }
     }
 
+    /// Harvested lifecycle telemetry: per-stage latency histograms,
+    /// queue/shed attribution, and SLO burn rates. `None` when the
+    /// server was started with [`ServeConfig::telemetry`] off.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.shared.hub.as_ref().map(|h| h.snapshot())
+    }
+
     /// Stops accepting, drains the queue, joins all threads, and
     /// returns the final counters.
     pub fn shutdown(mut self) -> ServeStats {
@@ -383,6 +411,11 @@ impl Server {
         self.shared.notify.notify_all();
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
+        }
+        // All producers are gone: stop the harvester after one final
+        // drain so no lifecycle record is stranded in a ring.
+        if let Some(hub) = &self.shared.hub {
+            hub.shutdown();
         }
     }
 }
@@ -435,6 +468,13 @@ fn send_reply(conn: &Arc<Mutex<TcpStream>>, reply: &Reply) -> bool {
     write_reply(&mut *w, reply).is_ok()
 }
 
+/// Wait-free telemetry push; a `None` ring (telemetry off) is a no-op.
+fn push_rec(ring: Option<&Arc<RingBuffer>>, rec: Record) {
+    if let Some(r) = ring {
+        r.push(rec);
+    }
+}
+
 fn serve_connection(mut conn: TcpStream, shared: &Shared) {
     let _ = conn.set_nodelay(true);
     let Ok(write_clone) = conn.try_clone() else {
@@ -444,6 +484,13 @@ fn serve_connection(mut conn: TcpStream, shared: &Shared) {
     if conn.set_read_timeout(Some(POLL)).is_err() {
         return;
     }
+    // One SPSC ring per reader thread; registration is the only lock
+    // this thread ever takes on the telemetry path.
+    let ring = shared
+        .hub
+        .as_ref()
+        .map(|h| h.register_ring(READER_RING_CAP));
+    let ring = ring.as_ref();
     let mut first = [0u8; 1];
     loop {
         if shared.stopping() {
@@ -460,11 +507,24 @@ fn serve_connection(mut conn: TcpStream, shared: &Shared) {
             Err(_) => break,
         }
         // Frame under way: give the rest of it a generous deadline.
+        let frame_started = Instant::now();
         let _ = conn.set_read_timeout(Some(FRAME_TIMEOUT));
         let outcome = read_request_after_first(first[0], &mut conn);
         let _ = conn.set_read_timeout(Some(POLL));
+        if outcome.is_ok() {
+            push_rec(
+                ring,
+                stage_record(Stage::Parse, frame_started.elapsed().as_micros() as u64),
+            );
+        }
         match outcome {
-            Ok(Request::Score { id, features }) => handle_score(id, features, &write_half, shared),
+            Ok(Request::Score { id, features }) => {
+                match handle_score(id, features, &write_half, shared) {
+                    Admit::Admitted => {}
+                    Admit::Shed { depth } => push_rec(ring, shed_record(depth)),
+                    Admit::BadFrame => push_rec(ring, stage_record(Stage::BadFrame, 0)),
+                }
+            }
             Ok(Request::Reload { id }) => {
                 let reply = match shared.registry.reload() {
                     Ok(model_version) => Reply::ReloadOk { id, model_version },
@@ -489,6 +549,7 @@ fn serve_connection(mut conn: TcpStream, shared: &Shared) {
             Err(FrameError::Closed) => break,
             Err(FrameError::Malformed { id, reason }) => {
                 bump_bad_frame(shared);
+                push_rec(ring, stage_record(Stage::BadFrame, 0));
                 let reply = Reply::BadRequest {
                     id,
                     reason: reason.to_string(),
@@ -499,6 +560,7 @@ fn serve_connection(mut conn: TcpStream, shared: &Shared) {
             }
             Err(FrameError::Fatal { id, reason }) => {
                 bump_bad_frame(shared);
+                push_rec(ring, stage_record(Stage::BadFrame, 0));
                 // Best-effort typed reply before closing the broken stream.
                 let _ = send_reply(
                     &write_half,
@@ -533,7 +595,26 @@ fn info_snapshot(shared: &Shared) -> ServerInfo {
     }
 }
 
-fn handle_score(id: u64, features: Vec<f64>, conn: &Arc<Mutex<TcpStream>>, shared: &Shared) {
+/// Admission outcome of a score request, for shed attribution: which
+/// decision rejected it, and (for queue sheds) at what depth.
+enum Admit {
+    /// Queued for batching.
+    Admitted,
+    /// Rejected with `Overloaded`; the queue held `depth` requests.
+    Shed {
+        /// Queue depth observed at the shed decision.
+        depth: usize,
+    },
+    /// Rejected with `BadRequest` before touching the queue.
+    BadFrame,
+}
+
+fn handle_score(
+    id: u64,
+    features: Vec<f64>,
+    conn: &Arc<Mutex<TcpStream>>,
+    shared: &Shared,
+) -> Admit {
     let expected = shared.registry.current().scorer.n_features();
     if features.len() != expected {
         bump_bad_frame(shared);
@@ -547,12 +628,12 @@ fn handle_score(id: u64, features: Vec<f64>, conn: &Arc<Mutex<TcpStream>>, share
                 ),
             },
         );
-        return;
+        return Admit::BadFrame;
     }
-    let admitted = {
+    let shed_depth = {
         let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if q.len() >= shared.cfg.queue_cap {
-            false
+            Some(q.len())
         } else {
             q.push_back(Pending {
                 id,
@@ -561,16 +642,21 @@ fn handle_score(id: u64, features: Vec<f64>, conn: &Arc<Mutex<TcpStream>>, share
                 enqueued: Instant::now(),
             });
             shared.notify.notify_one();
-            true
+            None
         }
     };
-    if admitted {
-        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
-        cnd_obs::counter_add_volatile("serve.accept.count", 1);
-    } else {
-        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
-        cnd_obs::counter_add_volatile("serve.shed.count", 1);
-        send_reply(conn, &Reply::Overloaded { id });
+    match shed_depth {
+        None => {
+            shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            cnd_obs::counter_add_volatile("serve.accept.count", 1);
+            Admit::Admitted
+        }
+        Some(depth) => {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            cnd_obs::counter_add_volatile("serve.shed.count", 1);
+            send_reply(conn, &Reply::Overloaded { id });
+            Admit::Shed { depth }
+        }
     }
 }
 
@@ -583,6 +669,11 @@ struct Calibration {
 
 fn batch_loop(shared: &Shared) {
     let mut calib: HashMap<u32, Calibration> = HashMap::new();
+    let ring = shared
+        .hub
+        .as_ref()
+        .map(|h| h.register_ring(BATCHER_RING_CAP));
+    let ring = ring.as_ref();
     loop {
         let batch = {
             let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -613,16 +704,39 @@ fn batch_loop(shared: &Shared) {
                 }
             }
             cnd_obs::histogram_record_volatile("serve.queue.depth", q.len() as f64);
+            push_rec(
+                ring,
+                Record::new(Stage::QueueDepth as u16, 0, q.len() as u64),
+            );
             let n = q.len().min(shared.cfg.max_batch);
             q.drain(..n).collect::<Vec<Pending>>()
         };
-        process_batch(batch, shared, &mut calib);
+        process_batch(batch, shared, &mut calib, ring, Instant::now());
     }
 }
 
-fn process_batch(batch: Vec<Pending>, shared: &Shared, calib: &mut HashMap<u32, Calibration>) {
+fn process_batch(
+    batch: Vec<Pending>,
+    shared: &Shared,
+    calib: &mut HashMap<u32, Calibration>,
+    ring: Option<&Arc<RingBuffer>>,
+    drained_at: Instant,
+) {
     if batch.is_empty() {
         return;
+    }
+    // Queue wait ends at the drain; every request in the batch then
+    // experiences the full matrix-assembly and kernel durations, so
+    // those stage values are recorded once per request, un-amortized —
+    // that is what makes stage medians sum to the end-to-end median.
+    for p in &batch {
+        push_rec(
+            ring,
+            stage_record(
+                Stage::QueueWait,
+                drained_at.saturating_duration_since(p.enqueued).as_micros() as u64,
+            ),
+        );
     }
     let model = shared.registry.current();
     let d = model.scorer.n_features();
@@ -632,11 +746,18 @@ fn process_batch(batch: Vec<Pending>, shared: &Shared, calib: &mut HashMap<u32, 
         data.extend_from_slice(&p.features);
     }
     let x = Matrix::from_vec(n, d, data).expect("admitted frames are dimension-checked");
+    let formed_at = Instant::now();
+    let batch_form_us = formed_at.duration_since(drained_at).as_micros() as u64;
     let score_result = if shared.cfg.score_f32 {
         model.scorer_f32.anomaly_scores(&x)
     } else {
         model.scorer.anomaly_scores(&x)
     };
+    let score_us = formed_at.elapsed().as_micros() as u64;
+    for _ in 0..n {
+        push_rec(ring, stage_record(Stage::BatchForm, batch_form_us));
+        push_rec(ring, stage_record(Stage::Score, score_us));
+    }
     let scores = match score_result {
         Ok(s) => s,
         Err(e) => {
@@ -655,6 +776,7 @@ fn process_batch(batch: Vec<Pending>, shared: &Shared, calib: &mut HashMap<u32, 
                         .counters
                         .reply_failures
                         .fetch_add(1, Ordering::Relaxed);
+                    push_rec(ring, stage_record(Stage::ReplyFailure, 0));
                 }
             }
             return;
@@ -702,16 +824,22 @@ fn process_batch(batch: Vec<Pending>, shared: &Shared, calib: &mut HashMap<u32, 
             score,
             verdict,
         };
+        let write_started = Instant::now();
         if send_reply(&p.conn, &reply) {
-            cnd_obs::histogram_record_volatile(
-                "serve.latency.us",
-                p.enqueued.elapsed().as_micros() as f64,
+            push_rec(
+                ring,
+                stage_record(Stage::Write, write_started.elapsed().as_micros() as u64),
+            );
+            push_rec(
+                ring,
+                stage_record(Stage::Total, p.enqueued.elapsed().as_micros() as u64),
             );
         } else {
             shared
                 .counters
                 .reply_failures
                 .fetch_add(1, Ordering::Relaxed);
+            push_rec(ring, stage_record(Stage::ReplyFailure, 0));
         }
     }
 }

@@ -18,11 +18,14 @@
 //!   pipeline's final health report.
 //! * `serve <model.txt> [--addr A] [--max-batch N] [--max-delay-us U]
 //!   [--queue-cap N] [--threshold T | --quantile Q --calibrate N]
-//!   [--watch [--watch-interval-ms MS]] [--score-f32] [--runtime-s S]`
+//!   [--watch [--watch-interval-ms MS]] [--score-f32] [--no-telemetry]
+//!   [--runtime-s S]`
 //!   — serve the frozen model over the `cnd-serve` TCP wire protocol
 //!   with micro-batching, hot-swap reload, and admission control;
 //!   `--score-f32` scores on the single-precision twin (threshold
-//!   decisions stay in f64). With
+//!   decisions stay in f64); `--no-telemetry` disables the per-stage
+//!   lifecycle telemetry (rings + SLO tracking), which exists mainly
+//!   to measure its own overhead. With
 //!   `--continual --data <labelled.csv>` the process also runs the
 //!   closed continual loop: live traffic is mirrored into a training
 //!   buffer, score drift triggers a background retrain, candidates are
@@ -34,9 +37,11 @@
 //!   [--reload-midway] [--tag T] [--out BENCH_serve.json] [--append]` —
 //!   drive open-loop load against a running server and write a
 //!   bench-check report with achieved flows/s and latency percentiles.
-//! * `observe <trace.jsonl> [--top [N]]` — validate a trace written by
-//!   `--trace-out` (or `CND_OBS_OUT`) and print the phase-time
-//!   breakdown; `--top` prints a self-time profile instead.
+//! * `observe <trace.jsonl> [--top [N]] [--latency]` — validate a trace
+//!   written by `--trace-out` (or `CND_OBS_OUT`) and print the
+//!   phase-time breakdown; `--top` prints a self-time profile instead;
+//!   `--latency` prints the latency-breakdown report (every hdr metric
+//!   in the trace as count/mean/p50/p90/p99/p999/max).
 //! * `bench-check <current> [--baseline <path>] [--update]
 //!   [--tolerance T]` — compare a bench report or quality trace against
 //!   a committed baseline under `baselines/` and exit non-zero on
@@ -127,9 +132,9 @@ const USAGE: &str = "usage:
   cnd-ids-cli train <data.csv> <model.txt> [--experiences M] [--seed N]
   cnd-ids-cli score <model.txt> <data.csv> [--quantile Q]
   cnd-ids-cli stream <data.csv> [--experiences M] [--seed N] [--chunk N] [--fault-rate R] [--health]
-  cnd-ids-cli serve <model.txt> [--addr 127.0.0.1:7071] [--max-batch N] [--max-delay-us U] [--queue-cap N] [--threshold T] [--quantile Q] [--calibrate N] [--watch] [--watch-interval-ms MS] [--score-f32] [--runtime-s S] [--continual --data <labelled.csv> [--experiences M] [--seed N] [--drift-window N] [--min-retrain N] [--probation N]]
+  cnd-ids-cli serve <model.txt> [--addr 127.0.0.1:7071] [--max-batch N] [--max-delay-us U] [--queue-cap N] [--threshold T] [--quantile Q] [--calibrate N] [--watch] [--watch-interval-ms MS] [--score-f32] [--no-telemetry] [--runtime-s S] [--continual --data <labelled.csv> [--experiences M] [--seed N] [--drift-window N] [--min-retrain N] [--probation N]]
   cnd-ids-cli loadgen <addr> [--flows N] [--concurrency C] [--rate R] [--seed N] [--reload-midway] [--tag T] [--out <path>] [--append]
-  cnd-ids-cli observe <trace.jsonl> [--top [N]]
+  cnd-ids-cli observe <trace.jsonl> [--top [N]] [--latency]
   cnd-ids-cli bench-check <current> [--baseline <path>] [--update] [--tolerance T]
 
 observability: every subcommand accepts --trace-out <path> to record a
@@ -400,6 +405,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .then(|| std::time::Duration::from_millis(watch_interval_ms.max(10))),
         mirror: mirror.clone(),
         score_f32: args.iter().any(|a| a == "--score-f32"),
+        telemetry: !args.iter().any(|a| a == "--no-telemetry"),
     };
     // Make sure the counters the server records are live so a
     // CND_OBS_LISTEN /metrics scrape always sees them.
@@ -516,13 +522,15 @@ fn cmd_loadgen(args: &[String]) -> Result<ExitCode, String> {
         report.bad_request,
         report.transport_errors
     );
+    println!("{}", report.latency_summary());
     println!(
-        "latency p50 = {:.0}us  p99 = {:.0}us  accept ratio = {:.3}  alerts = {}",
-        report.p50_us,
-        report.p99_us,
+        "accept ratio = {:.3}  alerts = {}",
         report.accept_ratio(),
         report.alerts
     );
+    if report.reconnects_per_worker.iter().any(|&r| r > 0) {
+        println!("reconnects per worker: {:?}", report.reconnects_per_worker);
+    }
     if let Some(v) = report.reload_version {
         println!(
             "midway hot-swap -> model v{v}; versions seen in replies: {:?}",
@@ -575,6 +583,18 @@ fn cmd_observe(args: &[String]) -> Result<(), String> {
         "trace: {path} ({lines} lines, schema v{})",
         cnd_obs::trace::TRACE_VERSION
     );
+    if args.iter().any(|a| a == "--latency") {
+        // Latency-breakdown report: every hdr metric in the trace
+        // (per-stage serving latencies, reload times, ...) as a
+        // count/mean/percentile table.
+        let lat = cnd_obs::latency_report(&text).map_err(|e| format!("{path}: {e}"))?;
+        if lat.rows.is_empty() {
+            println!("no hdr latency metrics in this trace");
+        } else {
+            print!("{}", lat.render());
+        }
+        return Ok(());
+    }
     match args.iter().position(|a| a == "--top") {
         None => print!("{}", report.render()),
         Some(i) => {

@@ -178,3 +178,48 @@ fn deterministic_traces_identical_across_pool_sizes() {
     );
     obs::trace::validate_jsonl(&traces[0]).expect("trace validates");
 }
+
+/// Satellite: per-thread HDR partials merged through the registry
+/// serialize to byte-identical aggregate traces whether the workload
+/// ran on 1 thread or 4. Merge is associative and commutative and the
+/// bucket map has one canonical order, so chunking must not leak into
+/// the trace.
+#[test]
+fn hdr_aggregate_traces_byte_identical_across_pool_sizes() {
+    use cnd_ids::obs::hdr::HdrHistogram;
+
+    let _session = obs::Session::deterministic();
+    let n = 10_000usize;
+    // A spiky deterministic latency stream spanning many buckets.
+    let value = |i: usize| ((i as u64).wrapping_mul(2_654_435_761) >> 8) % 900_000 + 1;
+
+    let mut traces = Vec::new();
+    for threads in [1usize, 4] {
+        obs::reset(obs::ClockKind::Deterministic);
+        let pool = ThreadPool::new(threads);
+        let partials = pool.par_chunks(n, 64, |range| {
+            let mut h = HdrHistogram::new();
+            for i in range {
+                h.record(value(i));
+            }
+            h
+        });
+        if threads > 1 {
+            assert!(partials.len() > 1, "workload must actually split");
+        }
+        for p in &partials {
+            obs::hdr_merge("it.stage.us", p);
+        }
+        traces.push(obs::snapshot_jsonl());
+    }
+    assert!(
+        traces[0].contains("\"ev\":\"hdr\""),
+        "no hdr event in trace: {}",
+        traces[0]
+    );
+    assert_eq!(
+        traces[0], traces[1],
+        "hdr aggregate traces differ between 1 and 4 threads"
+    );
+    obs::trace::validate_jsonl(&traces[0]).expect("trace validates");
+}

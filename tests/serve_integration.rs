@@ -358,21 +358,34 @@ fn hot_swap_under_load_is_atomic_and_bit_exact() {
             .unwrap()[0]
     };
 
+    // Each worker keeps scoring until it has seen a handful of replies
+    // from the swapped-in model (the cap only guards against a reload
+    // that never lands), so the "both versions observed" assertion
+    // cannot race the swap on a slow or loaded machine.
     let workers = 4;
-    let per_worker = 200;
+    let cap = 5000;
     let handles: Vec<_> = (0..workers)
         .map(|w| {
             std::thread::spawn(move || {
                 let mut c = ServeClient::connect(addr).expect("connect");
                 let mut seen = Vec::new();
-                for i in 0..per_worker {
-                    let k = w * per_worker + i;
+                let mut after_swap = 0;
+                for i in 0..cap {
+                    let k = w * cap + i;
                     match c.score(&feature_row(k, d)).expect("round trip") {
                         Reply::Score {
                             score,
                             model_version,
                             ..
-                        } => seen.push((k, model_version, score)),
+                        } => {
+                            seen.push((k, model_version, score));
+                            if model_version >= 2 {
+                                after_swap += 1;
+                                if after_swap >= 8 {
+                                    break;
+                                }
+                            }
+                        }
                         other => panic!("flow {k}: unexpected reply {other:?}"),
                     }
                 }
@@ -381,9 +394,12 @@ fn hot_swap_under_load_is_atomic_and_bit_exact() {
         })
         .collect();
 
-    // Swap to model B mid-run: overwrite the artifact atomically, then
-    // reload through the server API (same path the wire `reload` takes).
-    std::thread::sleep(Duration::from_millis(30));
+    // Swap to model B mid-run: wait until traffic is demonstrably
+    // flowing, overwrite the artifact atomically, then reload through
+    // the server API (same path the wire `reload` takes).
+    while server.stats().scored < 50 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
     scorer_b
         .save_to_path(artifact.path())
         .expect("artifact swaps");
@@ -391,8 +407,10 @@ fn hot_swap_under_load_is_atomic_and_bit_exact() {
     assert_eq!(new_version, 2);
 
     let mut versions_seen = std::collections::BTreeSet::new();
+    let mut sent = 0u64;
     for h in handles {
         for (k, version, score) in h.join().expect("worker") {
+            sent += 1;
             versions_seen.insert(version);
             let expected = match version {
                 1 => expect(&scorer_a, k),
@@ -413,8 +431,7 @@ fn hot_swap_under_load_is_atomic_and_bit_exact() {
 
     let stats = server.shutdown();
     assert_eq!(
-        stats.accepted,
-        (workers * per_worker) as u64,
+        stats.accepted, sent,
         "default queue depth should admit everything"
     );
     assert_eq!(
@@ -475,7 +492,141 @@ fn loadgen_reports_throughput_and_survives_midway_reload() {
     assert!(report.flows_per_s > 0.0);
     assert_eq!(report.reload_version, Some(2));
     let metrics = report.bench_metrics("it");
-    assert!(metrics.iter().all(|(n, _)| n.starts_with("rate.it.")));
+    assert!(metrics
+        .iter()
+        .all(|(n, _)| n.starts_with("rate.it.") || n.starts_with("lat.it.")));
+    assert!(metrics.iter().any(|(n, _)| n == "lat.it.p99_us"));
+    assert_eq!(report.reconnects_per_worker.len(), 2);
+    assert_eq!(report.latency.count, report.ok);
+    assert!(report.max_us >= report.p999_us && report.p999_us >= report.p50_us);
     let stats = server.shutdown();
     assert_eq!(stats.scored + stats.shed, 400);
+}
+
+/// The lifecycle-telemetry contract: every served request appears in
+/// each stage histogram, shed decisions carry the queue depth that
+/// caused them, and — because `total` is measured end-to-end rather
+/// than summed — the sum of stage medians must agree with the
+/// end-to-end median within the batching jitter.
+#[test]
+fn stage_medians_are_consistent_with_end_to_end_latency() {
+    let scorer = trained_scorer(3);
+    let d = scorer.n_features();
+    let artifact = TempArtifact::new("stages", &scorer);
+    let server = Server::start(
+        artifact.path(),
+        "127.0.0.1:0",
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let workers = 3;
+    let per_worker = 150;
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                for i in 0..per_worker {
+                    match c
+                        .score(&feature_row(w * per_worker + i, d))
+                        .expect("scores")
+                    {
+                        Reply::Score { .. } => {}
+                        other => panic!("unexpected reply {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client worker");
+    }
+
+    let snap = server
+        .telemetry_snapshot()
+        .expect("telemetry is on by default");
+    let served = (workers * per_worker) as u64;
+    // Every request passed through every stage exactly once.
+    assert_eq!(snap.total.count, served);
+    assert_eq!(snap.queue_wait.count, served);
+    assert_eq!(snap.batch_form.count, served);
+    assert_eq!(snap.score.count, served);
+    assert_eq!(snap.write.count, served);
+    assert_eq!(snap.parse.count, served);
+    assert!(snap.queue_depth.count > 0, "depth sampled at every drain");
+    assert_eq!(snap.records_dropped, 0, "rings must not saturate here");
+    assert_eq!(snap.shed_queue_full, 0);
+    assert_eq!(snap.bad_frames, 0);
+
+    // Sum of stage medians vs the end-to-end median. The stages
+    // partition [enqueue, reply-written] (parse precedes the enqueue
+    // timestamp, so it is excluded), but medians of different
+    // distributions do not sum exactly — allow generous slack plus the
+    // HDR quantile error before calling it inconsistent.
+    let p50 = |h: &cnd_ids::obs::hdr::HdrHistogram| h.quantile(0.5).unwrap_or(0) as f64;
+    let stage_sum =
+        p50(&snap.queue_wait) + p50(&snap.batch_form) + p50(&snap.score) + p50(&snap.write);
+    let total = p50(&snap.total);
+    assert!(
+        stage_sum <= 2.0 * total + 500.0,
+        "stage medians ({stage_sum}us) wildly exceed end-to-end median ({total}us)"
+    );
+    assert!(
+        stage_sum >= 0.25 * total - 500.0,
+        "stage medians ({stage_sum}us) unaccountably below end-to-end median ({total}us)"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.scored, served);
+}
+
+/// Shed attribution: requests rejected by admission control show up in
+/// the telemetry with the queue depth at the decision, separate from
+/// bad-frame rejections.
+#[test]
+fn shed_decisions_are_attributed_with_queue_depth() {
+    let scorer = trained_scorer(3);
+    let d = scorer.n_features();
+    let artifact = TempArtifact::new("shed_attr", &scorer);
+    let server = Server::start(
+        artifact.path(),
+        "127.0.0.1:0",
+        ServeConfig {
+            max_batch: 64,
+            max_delay: Duration::from_millis(500),
+            queue_cap: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let total = 12;
+    let handles: Vec<_> = (0..total)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                c.score(&feature_row(k, d)).expect("round trip")
+            })
+        })
+        .collect();
+    let shed = handles
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .filter(|r| matches!(r, Reply::Overloaded { .. }))
+        .count() as u64;
+    assert!(shed >= 1, "queue_cap=2 with 12 concurrent must shed");
+
+    let snap = server.telemetry_snapshot().expect("telemetry on");
+    assert_eq!(snap.shed_queue_full, shed, "every shed is attributed");
+    assert_eq!(snap.shed_depth.count, shed);
+    // Each shed saw the queue at (or beyond) its cap.
+    assert!(snap.shed_depth.min.unwrap_or(0) >= 2);
+    assert_eq!(snap.bad_frames, 0, "sheds are not bad frames");
+    drop(server);
 }
