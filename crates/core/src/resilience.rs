@@ -1127,6 +1127,17 @@ impl ResilientStreamingCndIds {
                 cnd_obs::counter_add("resilience.retrain.failure.count", 1);
                 cnd_obs::counter_add("resilience.rollback.count", 1);
                 let failure = err.to_string();
+                // Capture the watchdog rollback in the flight recorder
+                // and, if a dump path is configured, persist the ring so
+                // the fault is postmortem-able even if the process dies
+                // before the next scrape.
+                cnd_obs::flight::record(
+                    "resilience",
+                    "watchdog_rollback",
+                    None,
+                    &format!("attempt {} rolled back: {failure}", self.attempts),
+                );
+                let _ = cnd_obs::flight::dump_on_fault(&format!("watchdog rollback: {failure}"));
                 self.last_failure = Some(failure.clone());
                 if self.consecutive_failures >= self.config.retry.max_attempts {
                     if self.mode == Mode::Normal {

@@ -1,17 +1,92 @@
-//! `obs-schema-check` — validates a JSONL trace file.
+//! `obs-schema-check` — validates a JSONL observability file.
 //!
-//! Usage: `obs-schema-check <trace.jsonl> [--require-span <name>]...
-//! [--require-quality N] [--require-hdr <name>]...`
+//! Usage: `obs-schema-check <file.jsonl> [--require-span <name>]...
+//! [--require-quality N] [--require-hdr <name>]... [--require-provenance]`
 //!
-//! Exits 0 when the trace is structurally valid (and every required
+//! The stream kind is dispatched on the meta line: plain span/metric
+//! traces, provenance ledgers (`"stream":"ledger"`), and crash flight
+//! dumps (`"stream":"flight"`) are each validated against their own
+//! schema. For ledgers the hash chain is re-verified entry by entry.
+//!
+//! `--require-provenance` additionally demands forensic substance: a
+//! ledger must contain at least one disposition entry, a flight dump at
+//! least one event attributed to a continual cycle; the flag is an
+//! error on a plain trace (traces carry cevents, not provenance).
+//!
+//! Exits 0 when the file is structurally valid (and every required
 //! span name appears, at least N `quality` events are present, and
 //! every required `hdr` metric exists with a nonzero count), 1
-//! otherwise. Used by the CI `obs-smoke`, `quality-gate`, and
-//! `serve-smoke` jobs.
+//! otherwise. Used by the CI `obs-smoke`, `quality-gate`,
+//! `serve-smoke`, and `forensics-smoke` jobs.
 
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: obs-schema-check <trace.jsonl> [--require-span <name>]... [--require-quality N] [--require-hdr <name>]...";
+const USAGE: &str = "usage: obs-schema-check <file.jsonl> [--require-span <name>]... [--require-quality N] [--require-hdr <name>]... [--require-provenance]";
+
+/// Which JSONL schema the meta line declares.
+fn stream_kind(text: &str) -> &'static str {
+    let Some(first) = text.lines().next() else {
+        return "trace";
+    };
+    match cnd_obs::json::parse_json(first)
+        .ok()
+        .and_then(|m| m.get("stream").and_then(|s| s.as_str().map(String::from)))
+        .as_deref()
+    {
+        Some("ledger") => "ledger",
+        Some("flight") => "flight",
+        _ => "trace",
+    }
+}
+
+fn check_ledger(path: &str, text: &str, require_provenance: bool) -> ExitCode {
+    let entries = match cnd_obs::ledger::verify(text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("INVALID ledger {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if require_provenance && entries.is_empty() {
+        eprintln!("INVALID ledger {path}: no disposition entries recorded");
+        return ExitCode::FAILURE;
+    }
+    let cycles: std::collections::BTreeSet<u64> = entries.iter().map(|e| e.cycle).collect();
+    println!(
+        "OK {path}: ledger, {} entries across {} cycles, hash chain verified",
+        entries.len(),
+        cycles.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn check_flight(path: &str, text: &str, require_provenance: bool) -> ExitCode {
+    let (cause, events) = match cnd_obs::flight::validate_flight(text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("INVALID flight dump {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if require_provenance {
+        let with_cycle = text
+            .lines()
+            .skip(1)
+            .filter(|l| {
+                cnd_obs::json::parse_json(l)
+                    .ok()
+                    .and_then(|e| e.get("cycle").and_then(|c| c.as_u64()))
+                    .is_some()
+            })
+            .count();
+        if with_cycle == 0 {
+            eprintln!("INVALID flight dump {path}: no event attributed to a continual cycle");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("OK {path}: flight dump, {events} events, cause: {cause}");
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,9 +94,14 @@ fn main() -> ExitCode {
     let mut required: Vec<&str> = Vec::new();
     let mut required_hdr: Vec<&str> = Vec::new();
     let mut require_quality: usize = 0;
+    let mut require_provenance = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--require-provenance" => {
+                require_provenance = true;
+                i += 1;
+            }
             "--require-span" => {
                 if i + 1 >= args.len() {
                     eprintln!("--require-span needs a value");
@@ -71,6 +151,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    match stream_kind(&text) {
+        "ledger" => return check_ledger(path, &text, require_provenance),
+        "flight" => return check_flight(path, &text, require_provenance),
+        _ => {}
+    }
+    if require_provenance {
+        eprintln!(
+            "INVALID trace {path}: --require-provenance applies to ledger/flight streams, not traces"
+        );
+        return ExitCode::FAILURE;
+    }
     let lines = match cnd_obs::trace::validate_jsonl(&text) {
         Ok(n) => n,
         Err(e) => {

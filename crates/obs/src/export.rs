@@ -119,16 +119,40 @@ pub fn prometheus_text() -> String {
 }
 
 /// Renders the recorder's health snapshot as a one-line JSON object.
+///
+/// When the serving SLO harvester is publishing burn-rate alert gauges
+/// (`serve.slo.alert.availability` / `serve.slo.alert.latency`), the
+/// snapshot carries an `"slo"` object so one endpoint answers "is the
+/// error budget burning?": `tracked` flips to `true` once the gauges
+/// exist, and each alert flag mirrors its gauge (any non-zero value
+/// means the multi-window burn-rate policy is firing). The overall
+/// `status` degrades from `"ok"` to `"burning"` while either alert is
+/// up.
 pub fn health_json() -> String {
     let enabled = crate::enabled();
     let r = crate::recorder();
+    let alert_gauge = |name: &str| -> Option<bool> {
+        match r.metrics.get(name).map(|m| &m.value) {
+            Some(MetricValue::Gauge(g)) => Some(*g != 0.0),
+            _ => None,
+        }
+    };
+    let availability = alert_gauge("serve.slo.alert.availability");
+    let latency = alert_gauge("serve.slo.alert.latency");
+    let tracked = availability.is_some() || latency.is_some();
+    let burning = availability.unwrap_or(false) || latency.unwrap_or(false);
+    let status = if burning { "burning" } else { "ok" };
     format!(
-        "{{\"status\":\"ok\",\"enabled\":{},\"clock\":\"{}\",\"events\":{},\"dropped\":{},\"metrics\":{}}}",
+        "{{\"status\":\"{}\",\"enabled\":{},\"clock\":\"{}\",\"events\":{},\"dropped\":{},\"metrics\":{},\"slo\":{{\"tracked\":{},\"availability_alert\":{},\"latency_alert\":{}}}}}",
+        status,
         enabled,
         r.clock.kind().name(),
         r.events.len(),
         r.dropped,
-        r.metrics.len()
+        r.metrics.len(),
+        tracked,
+        availability.unwrap_or(false),
+        latency.unwrap_or(false)
     )
 }
 
@@ -342,5 +366,39 @@ mod tests {
         let missing = http_get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
         drop(exporter); // must join without hanging
+    }
+
+    #[test]
+    fn health_reports_slo_burn_alert_state() {
+        use crate::json::Json;
+        let _session = Session::wall();
+        // No SLO gauges yet: untracked, status ok.
+        let obj = crate::json::parse_json(&health_json()).expect("health is JSON");
+        assert_eq!(obj.get("status").and_then(Json::as_str), Some("ok"));
+        let slo = obj.get("slo").expect("slo object");
+        assert_eq!(slo.get("tracked").and_then(Json::as_bool), Some(false));
+
+        // Harvester publishes quiet alert gauges: tracked, still ok.
+        crate::gauge_set_volatile("serve.slo.alert.availability", 0.0);
+        crate::gauge_set_volatile("serve.slo.alert.latency", 0.0);
+        let obj = crate::json::parse_json(&health_json()).expect("health is JSON");
+        assert_eq!(obj.get("status").and_then(Json::as_str), Some("ok"));
+        let slo = obj.get("slo").expect("slo object");
+        assert_eq!(slo.get("tracked").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            slo.get("availability_alert").and_then(Json::as_bool),
+            Some(false)
+        );
+
+        // Latency budget starts burning: status degrades.
+        crate::gauge_set_volatile("serve.slo.alert.latency", 1.0);
+        let obj = crate::json::parse_json(&health_json()).expect("health is JSON");
+        assert_eq!(obj.get("status").and_then(Json::as_str), Some("burning"));
+        let slo = obj.get("slo").expect("slo object");
+        assert_eq!(slo.get("latency_alert").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            slo.get("availability_alert").and_then(Json::as_bool),
+            Some(false)
+        );
     }
 }

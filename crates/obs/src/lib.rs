@@ -38,8 +38,10 @@
 pub mod baseline;
 pub mod clock;
 pub mod export;
+pub mod flight;
 pub mod hdr;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod quality;
 pub mod report;
@@ -50,8 +52,15 @@ pub mod trace;
 pub use clock::{Clock, ClockKind, DeterministicClock, WallClock};
 pub use export::{init_exporter_from_env, Exporter};
 pub use hdr::HdrHistogram;
+pub use ledger::{
+    Disposition, DriftProvenance, EntryDraft, Ledger, LedgerEntry, SampleProvenance,
+    ShadowProvenance,
+};
 pub use quality::{DriftMonitor, DriftThresholds, DriftVerdict, QualityRecord};
-pub use report::{latency_report, phase_report, LatencyReport, PhaseReport, PhaseRow};
+pub use report::{
+    latency_report, phase_report, timeline_report, LatencyReport, PhaseReport, PhaseRow,
+    TimelineReport,
+};
 pub use ring::{Record, RingBuffer, RingSet};
 pub use slo::{SloConfig, SloSnapshot, SloTracker, WindowBurn};
 
@@ -426,6 +435,28 @@ pub fn quality_record(record: QualityRecord) {
     }
     let t = r.clock.now();
     r.events.push(Event::Quality { t, record });
+}
+
+/// Appends a continual-learning control-plane event to the trace stream
+/// as a typed `cevent` line carrying the cycle id — the single source of
+/// truth `observe --timeline` reconstructs causal chains from. No-op
+/// while disabled; counts against the same event cap as spans.
+pub fn continual_event(cycle: u64, kind: &str, detail: &str) {
+    if !enabled() {
+        return;
+    }
+    let mut r = recorder();
+    if r.events.len() >= EVENT_CAP {
+        r.dropped += 1;
+        return;
+    }
+    let t = r.clock.now();
+    r.events.push(Event::Continual {
+        t,
+        cycle,
+        kind: kind.to_string(),
+        detail: detail.to_string(),
+    });
 }
 
 // ---------------------------------------------------------------------

@@ -332,6 +332,157 @@ impl LatencyReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Continual-learning causal timeline (cevent lines)
+// ---------------------------------------------------------------------
+
+/// One control-plane event inside a cycle's causal chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineStage {
+    /// Timestamp (clock units).
+    pub t: u64,
+    /// Machine-readable event kind (e.g. `drift_detected`, `swapped`).
+    pub kind: String,
+    /// Rendered human-readable description.
+    pub detail: String,
+}
+
+/// The detect→retrain→validate→swap→probation→rollback chain for one
+/// cycle id, in timestamp order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleChain {
+    /// Cycle id (0 groups events recorded outside any cycle).
+    pub cycle: u64,
+    /// Stages in timestamp (then recording) order.
+    pub stages: Vec<TimelineStage>,
+}
+
+impl CycleChain {
+    /// Time from the first to the last stage (clock units).
+    pub fn total(&self) -> u64 {
+        match (self.stages.first(), self.stages.last()) {
+            (Some(a), Some(b)) => b.t.saturating_sub(a.t),
+            _ => 0,
+        }
+    }
+}
+
+/// A causal timeline reconstructed from the typed `cevent` lines of a
+/// trace: one chain per cycle id, rendered as a tree with per-stage
+/// durations. This is what `observe --timeline` prints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineReport {
+    /// Timestamp unit from the meta line (`us` / `tick`).
+    pub unit: String,
+    /// Chains sorted by cycle id.
+    pub chains: Vec<CycleChain>,
+}
+
+/// Builds a timeline report from JSONL trace text by collecting every
+/// `cevent` line and grouping by cycle id. Lines of other kinds are
+/// skipped; a malformed `cevent` line is an error.
+pub fn timeline_report(text: &str) -> Result<TimelineReport, String> {
+    let mut unit = String::from("us");
+    let mut chains: BTreeMap<u64, Vec<TimelineStage>> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let obj = parse_json(line).map_err(|e| format!("line {n}: {e}"))?;
+        match obj.get("ev").and_then(Json::as_str) {
+            Some("meta") => {
+                if let Some(u) = obj.get("unit").and_then(Json::as_str) {
+                    unit = u.to_string();
+                }
+            }
+            Some("cevent") => {
+                let cycle = obj
+                    .get("cycle")
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("line {n}: cevent missing cycle"))?;
+                chains.entry(cycle).or_default().push(TimelineStage {
+                    t: obj
+                        .get("t")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("line {n}: cevent missing t"))?,
+                    kind: obj
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .ok_or(format!("line {n}: cevent missing kind"))?
+                        .to_string(),
+                    detail: obj
+                        .get("detail")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+    let chains = chains
+        .into_iter()
+        .map(|(cycle, mut stages)| {
+            stages.sort_by_key(|s| s.t);
+            CycleChain { cycle, stages }
+        })
+        .collect();
+    Ok(TimelineReport { unit, chains })
+}
+
+impl TimelineReport {
+    /// Chain lookup by cycle id.
+    pub fn chain(&self, cycle: u64) -> Option<&CycleChain> {
+        self.chains.iter().find(|c| c.cycle == cycle)
+    }
+
+    /// Renders the causal tree: one block per cycle, each stage with
+    /// the time elapsed since the previous stage.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "continual timeline (unit: {}, cycles: {})",
+            self.unit,
+            self.chains.len()
+        );
+        if self.chains.is_empty() {
+            out.push_str("  no continual events recorded\n");
+            return out;
+        }
+        for chain in &self.chains {
+            if chain.cycle == 0 {
+                let _ = writeln!(out, "uncorrelated (no cycle)");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "cycle {} (stages: {}, total: {} {})",
+                    chain.cycle,
+                    chain.stages.len(),
+                    chain.total(),
+                    self.unit
+                );
+            }
+            let mut prev_t = None;
+            for (i, s) in chain.stages.iter().enumerate() {
+                let branch = if i + 1 == chain.stages.len() {
+                    "└─"
+                } else {
+                    "├─"
+                };
+                let delta = match prev_t {
+                    Some(p) => format!("+{}", s.t.saturating_sub(p)),
+                    None => format!("t={}", s.t),
+                };
+                let _ = writeln!(out, "  {branch} {:<18} {:>12}  {}", s.kind, delta, s.detail);
+                prev_t = Some(s.t);
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +715,38 @@ mod tests {
         assert!(latency_report(bad_bucket)
             .unwrap_err()
             .contains("bad bucket index"));
+    }
+
+    #[test]
+    fn timeline_groups_cevents_by_cycle_in_time_order() {
+        let cev = |t: u64, cycle: u64, kind: &str, detail: &str| Event::Continual {
+            t,
+            cycle,
+            kind: kind.into(),
+            detail: detail.into(),
+        };
+        let text = trace_of(vec![
+            cev(10, 1, "drift_detected", "psi 0.40"),
+            cev(12, 1, "retrain_started", "512 samples, attempt 1"),
+            cev(90, 1, "swapped", "v2 live"),
+            cev(140, 1, "rolled_back", "v2 -> v1"),
+            cev(200, 2, "drift_detected", "psi 0.35"),
+        ]);
+        let report = timeline_report(&text).expect("timeline");
+        assert_eq!(report.chains.len(), 2);
+        let c1 = report.chain(1).expect("cycle 1");
+        assert_eq!(c1.stages.len(), 4);
+        assert_eq!(c1.stages[0].kind, "drift_detected");
+        assert_eq!(c1.stages[3].kind, "rolled_back");
+        assert_eq!(c1.total(), 130);
+        assert_eq!(report.chain(2).unwrap().stages.len(), 1);
+        let tree = report.render();
+        assert!(tree.contains("cycle 1"), "{tree}");
+        assert!(tree.contains("└─ rolled_back"), "{tree}");
+        assert!(tree.contains("+78"), "per-stage duration rendered: {tree}");
+        // Empty traces render stably.
+        let empty = timeline_report("").expect("empty");
+        assert!(empty.render().contains("no continual events"));
     }
 
     #[test]

@@ -389,6 +389,101 @@ mod tests {
     }
 
     #[test]
+    fn prune_under_churn_folds_exact_drop_counts() {
+        // Aggressive connection churn: waves of short-lived reader
+        // threads register a ring, push more than it can hold, and die
+        // while a harvester drains and prunes concurrently. Every record
+        // ever produced must end up either delivered or counted as
+        // dropped — pruning must surrender dead rings' drop counters
+        // instead of losing them.
+        let set = Arc::new(RingSet::new());
+        const WAVES: usize = 8;
+        const READERS: usize = 6;
+        const PUSHES: u64 = 40; // > capacity, so some drops are certain
+        const CAPACITY: usize = 8;
+
+        let harvester = {
+            let set = Arc::clone(&set);
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop_flag = Arc::clone(&stop);
+            let handle = thread::spawn(move || {
+                let mut delivered = 0u64;
+                let mut folded = 0u64;
+                while !stop_flag.load(Ordering::Relaxed) {
+                    let mut batch = Vec::new();
+                    delivered += set.drain_all(&mut batch) as u64;
+                    folded += set.prune_orphans();
+                    thread::yield_now();
+                }
+                // Final sweep after all producers are gone.
+                let mut batch = Vec::new();
+                delivered += set.drain_all(&mut batch) as u64;
+                folded += set.prune_orphans();
+                (delivered, folded)
+            });
+            (handle, stop)
+        };
+
+        let mut produced = 0u64;
+        let mut accepted = 0u64;
+        for _ in 0..WAVES {
+            let readers: Vec<_> = (0..READERS)
+                .map(|_| {
+                    let set = Arc::clone(&set);
+                    thread::spawn(move || {
+                        let ring = set.register(CAPACITY);
+                        let mut ok = 0u64;
+                        for v in 0..PUSHES {
+                            if ring.push(Record::new(1, 0, v)) {
+                                ok += 1;
+                            }
+                        }
+                        ok
+                        // Handle dropped here: the ring is orphaned.
+                    })
+                })
+                .collect();
+            for r in readers {
+                accepted += r.join().expect("reader panicked");
+                produced += PUSHES;
+            }
+        }
+
+        let (handle, stop) = harvester;
+        stop.store(true, Ordering::Relaxed);
+        let (delivered, folded_drops) = handle.join().expect("harvester panicked");
+
+        // All orphaned-and-drained rings are gone; whatever survived
+        // (none expected after the final sweep) still reports its drops.
+        let live_drops = set.dropped();
+        assert_eq!(delivered, accepted, "every accepted push is delivered once");
+        assert_eq!(
+            delivered + folded_drops + live_drops,
+            produced,
+            "exact accounting: delivered + folded drops + live drops == produced"
+        );
+        assert_eq!(set.len(), 0, "all orphaned rings pruned after final sweep");
+
+        // One last reader with no harvester racing: the overflow count
+        // is exact, and pruning must surrender exactly that count.
+        let ring = set.register(CAPACITY);
+        let cap = ring.capacity() as u64;
+        for v in 0..cap + 5 {
+            ring.push(Record::new(1, 0, v));
+        }
+        drop(ring); // connection killed
+        assert_eq!(set.prune_orphans(), 0, "undrained orphan must survive");
+        let mut batch = Vec::new();
+        assert_eq!(set.drain_all(&mut batch) as u64, cap);
+        assert_eq!(
+            set.prune_orphans(),
+            5,
+            "drained orphan folds its exact drop count"
+        );
+        assert_eq!(set.len(), 0);
+    }
+
+    #[test]
     fn ring_set_drains_all_registered_rings() {
         let set = RingSet::new();
         let a = set.register(8);

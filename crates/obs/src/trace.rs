@@ -66,6 +66,23 @@ pub enum Event {
         /// The quality payload.
         record: QualityRecord,
     },
+    /// A continual-learning control-plane event (`cevent` line): the
+    /// typed form of [`ContinualEvent`]s, carrying the causal cycle id
+    /// so `observe --timeline` can reconstruct each
+    /// detect→retrain→validate→swap→probation→rollback chain.
+    ///
+    /// [`ContinualEvent`]: https://docs.rs/cnd-serve
+    Continual {
+        /// Timestamp (clock units).
+        t: u64,
+        /// Cycle id minted when a drift verdict armed the retrain
+        /// (0 for events outside any cycle).
+        cycle: u64,
+        /// Machine-readable event kind (e.g. `drift_detected`, `swapped`).
+        kind: String,
+        /// Rendered human-readable description.
+        detail: String,
+    },
 }
 
 fn write_value(v: &Value, out: &mut String) {
@@ -210,6 +227,21 @@ fn write_event(ev: &Event, out: &mut String) {
             out.push_str(",\"scores\":{");
             write_histogram_body(&record.scores, out);
             out.push_str("}}");
+        }
+        Event::Continual {
+            t,
+            cycle,
+            kind,
+            detail,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"cevent\",\"t\":{t},\"cycle\":{cycle},\"kind\":\""
+            );
+            escape_json(kind, out);
+            out.push_str("\",\"detail\":\"");
+            escape_json(detail, out);
+            out.push_str("\"}");
         }
     }
 }
@@ -409,6 +441,18 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
                         return Err(format!("line {n}: quality scores missing buckets"));
                     }
                 }
+                "cevent" => {
+                    for field in ["t", "cycle"] {
+                        obj.get(field)
+                            .and_then(Json::as_u64)
+                            .ok_or(format!("line {n}: cevent missing {field}"))?;
+                    }
+                    for field in ["kind", "detail"] {
+                        obj.get(field)
+                            .and_then(Json::as_str)
+                            .ok_or(format!("line {n}: cevent missing {field}"))?;
+                    }
+                }
                 other => return Err(format!("line {n}: unknown event kind {other}")),
             }
         }
@@ -569,6 +613,35 @@ mod tests {
             "{meta}\n{{\"ev\":\"hdr\",\"name\":\"x\",\"count\":1,\"min\":5,\"max\":5,\"buckets\":{{}}}}"
         );
         assert!(validate_jsonl(&no_sum).unwrap_err().contains("missing sum"));
+    }
+
+    #[test]
+    fn continual_events_serialize_and_validate() {
+        let events = vec![Event::Continual {
+            t: 5,
+            cycle: 2,
+            kind: "swapped".into(),
+            detail: "swapped in v3 \"canary\"".into(),
+        }];
+        let text = to_jsonl(
+            ClockKind::Deterministic,
+            &events,
+            0,
+            &Registry::default(),
+            false,
+        );
+        validate_jsonl(&text).expect("cevent trace validates");
+        let obj = parse_json(text.lines().nth(1).unwrap()).expect("cevent line parses");
+        assert_eq!(obj.get("ev").and_then(Json::as_str), Some("cevent"));
+        assert_eq!(obj.get("cycle").and_then(Json::as_u64), Some(2));
+        assert_eq!(obj.get("kind").and_then(Json::as_str), Some("swapped"));
+        let meta =
+            "{\"ev\":\"meta\",\"version\":1,\"clock\":\"wall\",\"unit\":\"us\",\"dropped\":0}";
+        let no_cycle =
+            format!("{meta}\n{{\"ev\":\"cevent\",\"t\":1,\"kind\":\"x\",\"detail\":\"y\"}}");
+        assert!(validate_jsonl(&no_cycle)
+            .unwrap_err()
+            .contains("cevent missing cycle"));
     }
 
     #[test]

@@ -71,6 +71,9 @@ use cnd_core::{CndIds, CoreError};
 use cnd_linalg::Matrix;
 use cnd_metrics::curve::pr_auc;
 use cnd_metrics::threshold::{best_f1_threshold, quantile_threshold};
+use cnd_obs::ledger::{
+    Disposition, DriftProvenance, EntryDraft, Ledger, SampleProvenance, ShadowProvenance,
+};
 use cnd_obs::{DriftMonitor, DriftThresholds, DriftVerdict};
 
 use crate::server::Server;
@@ -385,13 +388,27 @@ pub struct ContinualStats {
 
 /// One observable transition of the closed loop, returned by
 /// [`ContinualController::step`].
+///
+/// Every variant carries the *cycle id* minted when the drift verdict
+/// armed the retrain, so each event resolves to a provenance-ledger
+/// entry and to the `cevent` trace lines `observe --timeline` groups
+/// into causal chains. Retries of a failed attempt stay in the same
+/// cycle; the id is retired when the cycle reaches a terminal outcome
+/// (probation passed, or rolled back).
 #[derive(Debug, Clone)]
 pub enum ContinualEvent {
     /// A drift window's verdict crossed the configured thresholds.
-    DriftDetected(DriftVerdict),
+    DriftDetected {
+        /// Cycle id minted by this detection.
+        cycle: u64,
+        /// The verdict that armed the retrain.
+        verdict: DriftVerdict,
+    },
     /// A background retrain started on the given number of mirrored
     /// samples (1-based attempt counter).
     RetrainStarted {
+        /// Cycle id this retrain belongs to.
+        cycle: u64,
         /// Mirrored samples in the training batch.
         samples: usize,
         /// 1-based training attempt number.
@@ -400,18 +417,29 @@ pub enum ContinualEvent {
     /// The trainer thread failed (panic or error); the serving model is
     /// untouched.
     TrainerFailed {
+        /// Cycle id this attempt belonged to.
+        cycle: u64,
         /// Rendered cause.
         reason: String,
     },
     /// The shadow gate rejected the candidate.
-    CandidateRejected(ShadowReport),
+    CandidateRejected {
+        /// Cycle id this candidate belonged to.
+        cycle: u64,
+        /// The failing comparison.
+        report: ShadowReport,
+    },
     /// The registry refused to swap the candidate artifact in.
     SwapRefused {
+        /// Cycle id this candidate belonged to.
+        cycle: u64,
         /// Rendered cause.
         reason: String,
     },
     /// A validated candidate went live.
     Swapped {
+        /// Cycle id that produced the candidate.
+        cycle: u64,
         /// The new serving model version.
         version: u32,
         /// The shadow report that admitted it.
@@ -420,6 +448,8 @@ pub enum ContinualEvent {
     /// Post-swap degradation detected; serving was restored to the
     /// last-known-good model.
     RolledBack {
+        /// Cycle id being rolled back.
+        cycle: u64,
         /// The version rolled away from.
         from_version: u32,
         /// The version now serving (a re-promotion of the last-known-
@@ -430,35 +460,79 @@ pub enum ContinualEvent {
     },
     /// The canary survived probation and is now the last-known-good.
     ProbationPassed {
+        /// Cycle id that produced the canary.
+        cycle: u64,
         /// The surviving model version.
         version: u32,
     },
     /// A rollback reload failed; it is retried on the next step.
     RollbackFailed {
+        /// Cycle id being rolled back.
+        cycle: u64,
         /// Rendered cause.
         reason: String,
     },
 }
 
+impl ContinualEvent {
+    /// The causal cycle id this event belongs to (0 only for events
+    /// recorded outside any armed cycle, which the loop never emits).
+    pub fn cycle(&self) -> u64 {
+        match self {
+            ContinualEvent::DriftDetected { cycle, .. }
+            | ContinualEvent::RetrainStarted { cycle, .. }
+            | ContinualEvent::TrainerFailed { cycle, .. }
+            | ContinualEvent::CandidateRejected { cycle, .. }
+            | ContinualEvent::SwapRefused { cycle, .. }
+            | ContinualEvent::Swapped { cycle, .. }
+            | ContinualEvent::RolledBack { cycle, .. }
+            | ContinualEvent::ProbationPassed { cycle, .. }
+            | ContinualEvent::RollbackFailed { cycle, .. } => *cycle,
+        }
+    }
+
+    /// Machine-readable event kind, shared by the `cevent` trace lines,
+    /// flight-recorder entries, and (for disposition events) the
+    /// provenance ledger's `kind` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ContinualEvent::DriftDetected { .. } => "drift_detected",
+            ContinualEvent::RetrainStarted { .. } => "retrain_started",
+            ContinualEvent::TrainerFailed { .. } => "trainer_failed",
+            ContinualEvent::CandidateRejected { .. } => "shadow_rejected",
+            ContinualEvent::SwapRefused { .. } => "swap_refused",
+            ContinualEvent::Swapped { .. } => "swapped",
+            ContinualEvent::RolledBack { .. } => "rolled_back",
+            ContinualEvent::ProbationPassed { .. } => "probation_passed",
+            ContinualEvent::RollbackFailed { .. } => "rollback_failed",
+        }
+    }
+}
+
 impl std::fmt::Display for ContinualEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[cycle {}] ", self.cycle())?;
         match self {
-            ContinualEvent::DriftDetected(v) => write!(
+            ContinualEvent::DriftDetected { verdict: v, .. } => write!(
                 f,
                 "drift detected (psi {:.3}, sym-kl {:.3})",
                 v.psi, v.sym_kl
             ),
-            ContinualEvent::RetrainStarted { samples, attempt } => {
+            ContinualEvent::RetrainStarted {
+                samples, attempt, ..
+            } => {
                 write!(f, "retrain #{attempt} started on {samples} mirrored samples")
             }
-            ContinualEvent::TrainerFailed { reason } => write!(f, "trainer failed: {reason}"),
-            ContinualEvent::CandidateRejected(r) => write!(
+            ContinualEvent::TrainerFailed { reason, .. } => write!(f, "trainer failed: {reason}"),
+            ContinualEvent::CandidateRejected { report: r, .. } => write!(
                 f,
                 "candidate rejected by shadow gate (F1 {:.3} vs live {:.3}, PR-AUC {:.3} vs live {:.3}, {} non-finite)",
                 r.candidate_f1, r.live_f1, r.candidate_pr_auc, r.live_pr_auc, r.nonfinite_scores
             ),
-            ContinualEvent::SwapRefused { reason } => write!(f, "canary swap refused: {reason}"),
-            ContinualEvent::Swapped { version, report } => write!(
+            ContinualEvent::SwapRefused { reason, .. } => write!(f, "canary swap refused: {reason}"),
+            ContinualEvent::Swapped {
+                version, report, ..
+            } => write!(
                 f,
                 "canary swapped in as v{version} (F1 {:.3} vs live {:.3})",
                 report.candidate_f1, report.live_f1
@@ -467,14 +541,15 @@ impl std::fmt::Display for ContinualEvent {
                 from_version,
                 restored_version,
                 alert_rate,
+                ..
             } => write!(
                 f,
                 "rolled back v{from_version} -> v{restored_version} (probation alert rate {alert_rate:.3})"
             ),
-            ContinualEvent::ProbationPassed { version } => {
+            ContinualEvent::ProbationPassed { version, .. } => {
                 write!(f, "v{version} passed probation")
             }
-            ContinualEvent::RollbackFailed { reason } => {
+            ContinualEvent::RollbackFailed { reason, .. } => {
                 write!(f, "rollback failed (will retry): {reason}")
             }
         }
@@ -531,7 +606,12 @@ pub struct ContinualController {
     model: CndIds,
     val: ValidationSet,
     mirror: TrafficMirror,
-    ledger: LastKnownGood,
+    known_good: LastKnownGood,
+    provenance: Ledger,
+    cycle: u64,
+    cycles_minted: u64,
+    cycle_parent: u64,
+    armed_verdict: Option<DriftVerdict>,
     drift: DriftMonitor,
     window_count: usize,
     drift_pending: bool,
@@ -589,7 +669,12 @@ impl ContinualController {
             model,
             val: validation,
             mirror,
-            ledger: LastKnownGood::new(4),
+            known_good: LastKnownGood::new(4),
+            provenance: Ledger::new(),
+            cycle: 0,
+            cycles_minted: 0,
+            cycle_parent: 0,
+            armed_verdict: None,
             drift,
             window_count: 0,
             drift_pending: false,
@@ -624,7 +709,30 @@ impl ContinualController {
 
     /// Versions currently in the last-known-good ledger, oldest first.
     pub fn known_good_versions(&self) -> Vec<u32> {
-        self.ledger.versions()
+        self.known_good.versions()
+    }
+
+    /// The append-only model-provenance ledger: one hash-chained entry
+    /// per lifecycle disposition (trainer failure, shadow rejection,
+    /// swap refusal, swap, probation verdict, rollback).
+    pub fn ledger(&self) -> &Ledger {
+        &self.provenance
+    }
+
+    /// Mirrors every future ledger entry (and the entries already
+    /// recorded) to a JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures creating or writing the file.
+    pub fn set_ledger_path(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        self.provenance.attach_path(path)
+    }
+
+    /// The cycle id of the currently armed drift episode (0 when no
+    /// cycle is in flight).
+    pub fn current_cycle(&self) -> u64 {
+        self.cycle
     }
 
     /// Mirrored samples currently buffered for the next retrain.
@@ -634,10 +742,25 @@ impl ContinualController {
 
     /// Pumps the loop once: drains the mirror, advances the state
     /// machine, and returns every transition that happened.
+    ///
+    /// Each returned event is also recorded as a `cevent` trace line
+    /// (the single source of truth the CLI's stderr log and
+    /// `observe --timeline` both render from) and into the crash
+    /// flight recorder's ring.
     pub fn step(&mut self, server: &Server) -> Vec<ContinualEvent> {
+        let events = self.step_inner(server);
+        for event in &events {
+            let detail = event.to_string();
+            cnd_obs::continual_event(event.cycle(), event.kind(), &detail);
+            cnd_obs::flight::record("continual", event.kind(), Some(event.cycle()), &detail);
+        }
+        events
+    }
+
+    fn step_inner(&mut self, server: &Server) -> Vec<ContinualEvent> {
         if !self.synced {
             self.live_version = server.model_version();
-            self.ledger
+            self.known_good
                 .record(self.live_version, self.live_scorer.clone());
             self.synced = true;
         }
@@ -669,17 +792,35 @@ impl ContinualController {
                     Err(_) => {
                         self.stats.trainer_panics += 1;
                         cnd_obs::counter_add_volatile("continual.retrain_fail.count", 1);
+                        let reason = format!("trainer thread panicked (attempt {attempt})");
+                        self.record_disposition(
+                            Disposition::TrainerFailed,
+                            0,
+                            Some(shadow_rows.len()),
+                            None,
+                            &reason,
+                        );
                         self.fail_cycle();
                         events.push(ContinualEvent::TrainerFailed {
-                            reason: format!("trainer thread panicked (attempt {attempt})"),
+                            cycle: self.cycle,
+                            reason,
                         });
                     }
                     Ok(Err(e)) => {
                         self.stats.trainer_failures += 1;
                         cnd_obs::counter_add_volatile("continual.retrain_fail.count", 1);
+                        let reason = format!("attempt {attempt}: {e}");
+                        self.record_disposition(
+                            Disposition::TrainerFailed,
+                            0,
+                            Some(shadow_rows.len()),
+                            None,
+                            &reason,
+                        );
                         self.fail_cycle();
                         events.push(ContinualEvent::TrainerFailed {
-                            reason: format!("attempt {attempt}: {e}"),
+                            cycle: self.cycle,
+                            reason,
                         });
                     }
                     Ok(Ok((new_model, candidate))) => {
@@ -744,13 +885,24 @@ impl ContinualController {
                         &mut events,
                     );
                 } else {
-                    self.ledger.record(version, candidate);
+                    self.known_good.record(version, candidate);
                     self.stats.probation_passes += 1;
                     self.stats.consecutive_failures = 0;
                     self.samples_until_retry = 0;
                     cnd_obs::counter_add_volatile("continual.probation_pass.count", 1);
+                    self.record_disposition(
+                        Disposition::ProbationPassed,
+                        u64::from(version),
+                        None,
+                        None,
+                        &format!("alert rate {alert_rate:.3} within budget"),
+                    );
                     self.state = State::Stable;
-                    events.push(ContinualEvent::ProbationPassed { version });
+                    events.push(ContinualEvent::ProbationPassed {
+                        cycle: self.cycle,
+                        version,
+                    });
+                    self.retire_cycle();
                 }
             }
         }
@@ -809,7 +961,17 @@ impl ContinualController {
                     self.drift_pending = true;
                     self.stats.drift_detections += 1;
                     cnd_obs::counter_add_volatile("continual.drift.count", 1);
-                    events.push(ContinualEvent::DriftDetected(verdict));
+                    // Mint the cycle id that threads this drift episode
+                    // through every event, span, and ledger entry until
+                    // it reaches a terminal outcome.
+                    self.cycles_minted += 1;
+                    self.cycle = self.cycles_minted;
+                    self.cycle_parent = u64::from(self.live_version);
+                    self.armed_verdict = Some(verdict);
+                    events.push(ContinualEvent::DriftDetected {
+                        cycle: self.cycle,
+                        verdict,
+                    });
                 }
             }
         }
@@ -839,10 +1001,11 @@ impl ContinualController {
         let rows: Vec<Vec<f64>> = self.buffer.iter().cloned().collect();
         let shadow_rows = rows.clone();
         let mut model = self.model.clone();
+        let cycle = self.cycle;
         let spawned = std::thread::Builder::new()
             .name("cnd-continual-train".into())
             .spawn(move || -> TrainOutcome {
-                let _span = cnd_obs::span!("continual.retrain");
+                let _span = cnd_obs::span!("continual.retrain", cycle = cycle);
                 match fault {
                     Some(TrainingFault::Panic) => panic!("injected trainer panic"),
                     Some(TrainingFault::Error) => {
@@ -872,6 +1035,7 @@ impl ContinualController {
                 self.stats.retrains_started += 1;
                 cnd_obs::counter_add_volatile("continual.retrain.count", 1);
                 events.push(ContinualEvent::RetrainStarted {
+                    cycle: self.cycle,
                     samples: shadow_rows.len(),
                     attempt,
                 });
@@ -884,9 +1048,12 @@ impl ContinualController {
             }
             Err(e) => {
                 self.stats.trainer_failures += 1;
+                let reason = format!("spawn failed: {e}");
+                self.record_disposition(Disposition::TrainerFailed, 0, None, None, &reason);
                 self.fail_cycle();
                 events.push(ContinualEvent::TrainerFailed {
-                    reason: format!("spawn failed: {e}"),
+                    cycle: self.cycle,
+                    reason,
                 });
             }
         }
@@ -902,7 +1069,7 @@ impl ContinualController {
         events: &mut Vec<ContinualEvent>,
     ) {
         let report = {
-            let _span = cnd_obs::span!("continual.shadow");
+            let _span = cnd_obs::span!("continual.shadow", cycle = self.cycle);
             self.shadow_evaluate(&candidate, shadow_rows)
         };
         let report = match report {
@@ -910,9 +1077,18 @@ impl ContinualController {
             Err(e) => {
                 self.stats.shadow_rejects += 1;
                 cnd_obs::counter_add_volatile("continual.shadow_reject.count", 1);
+                let reason = format!("shadow evaluation failed: {e}");
+                self.record_disposition(
+                    Disposition::TrainerFailed,
+                    0,
+                    Some(shadow_rows.len()),
+                    None,
+                    &reason,
+                );
                 self.fail_cycle();
                 events.push(ContinualEvent::TrainerFailed {
-                    reason: format!("shadow evaluation failed: {e}"),
+                    cycle: self.cycle,
+                    reason,
                 });
                 return;
             }
@@ -920,15 +1096,25 @@ impl ContinualController {
         if !report.passed {
             self.stats.shadow_rejects += 1;
             cnd_obs::counter_add_volatile("continual.shadow_reject.count", 1);
+            self.record_disposition(
+                Disposition::ShadowRejected,
+                0,
+                Some(shadow_rows.len()),
+                Some(&report),
+                "candidate behind live model on validation set",
+            );
             self.fail_cycle();
-            events.push(ContinualEvent::CandidateRejected(report));
+            events.push(ContinualEvent::CandidateRejected {
+                cycle: self.cycle,
+                report,
+            });
             return;
         }
         // Canary swap: remember the serving model as a rollback target,
         // write the candidate artifact, and swap through the registry
         // (which refuses unloadable or mismatched artifacts outright).
-        let _span = cnd_obs::span!("continual.swap");
-        self.ledger
+        let _span = cnd_obs::span!("continual.swap", cycle = self.cycle);
+        self.known_good
             .record(self.live_version, self.live_scorer.clone());
         let path = server.model_path().to_path_buf();
         let write_result = match artifact_fault {
@@ -942,9 +1128,18 @@ impl ContinualController {
             self.stats.swap_refusals += 1;
             cnd_obs::counter_add_volatile("continual.swap_refused.count", 1);
             let _ = self.live_scorer.save_to_path(&path);
+            let reason = format!("artifact write failed: {e}");
+            self.record_disposition(
+                Disposition::SwapRefused,
+                0,
+                Some(shadow_rows.len()),
+                Some(&report),
+                &reason,
+            );
             self.fail_cycle();
             events.push(ContinualEvent::SwapRefused {
-                reason: format!("artifact write failed: {e}"),
+                cycle: self.cycle,
+                reason,
             });
             return;
         }
@@ -955,15 +1150,31 @@ impl ContinualController {
                 // Restore a good artifact so watchers and later swaps
                 // never see the corrupt bytes.
                 let _ = self.live_scorer.save_to_path(&path);
+                let reason = e.to_string();
+                self.record_disposition(
+                    Disposition::SwapRefused,
+                    0,
+                    Some(shadow_rows.len()),
+                    Some(&report),
+                    &reason,
+                );
                 self.fail_cycle();
                 events.push(ContinualEvent::SwapRefused {
-                    reason: e.to_string(),
+                    cycle: self.cycle,
+                    reason,
                 });
             }
             Ok(version) => {
                 self.stats.swaps += 1;
                 cnd_obs::counter_add_volatile("continual.swap.count", 1);
                 let prev_model = std::mem::replace(&mut self.model, new_model);
+                self.record_disposition(
+                    Disposition::Swapped,
+                    u64::from(version),
+                    Some(shadow_rows.len()),
+                    Some(&report),
+                    "shadow gate passed; canary promoted to probation",
+                );
                 self.live_version = version;
                 self.live_scorer = candidate.clone();
                 // The swap resets drift accounting: the new model's
@@ -973,7 +1184,11 @@ impl ContinualController {
                 self.drift_pending = false;
                 self.buffer.clear();
                 let baseline_errors = error_snapshot(server);
-                events.push(ContinualEvent::Swapped { version, report });
+                events.push(ContinualEvent::Swapped {
+                    cycle: self.cycle,
+                    version,
+                    report,
+                });
                 self.state = State::Probation {
                     version,
                     tau: report.probation_tau,
@@ -1001,7 +1216,7 @@ impl ContinualController {
         alert_rate: f64,
         events: &mut Vec<ContinualEvent>,
     ) {
-        let Some((_, good)) = self.ledger.current() else {
+        let Some((_, good)) = self.known_good.current() else {
             // Cannot happen: the pre-swap model is always recorded.
             self.state = State::Stable;
             return;
@@ -1018,7 +1233,7 @@ impl ContinualController {
                 cnd_obs::counter_add_volatile("continual.rollback.count", 1);
                 self.live_version = restored_version;
                 self.live_scorer = good.clone();
-                self.ledger.record(restored_version, good);
+                self.known_good.record(restored_version, good);
                 self.model = *prev_model;
                 self.stats.consecutive_failures = self.stats.consecutive_failures.saturating_add(1);
                 self.samples_until_retry = self
@@ -1028,16 +1243,26 @@ impl ContinualController {
                 self.drift = DriftMonitor::new(self.cfg.drift_thresholds);
                 self.window_count = 0;
                 self.drift_pending = false;
+                self.record_disposition(
+                    Disposition::RolledBack,
+                    u64::from(version),
+                    None,
+                    None,
+                    &format!("probation alert rate {alert_rate:.3}; restored v{restored_version}"),
+                );
                 self.state = State::Stable;
                 events.push(ContinualEvent::RolledBack {
+                    cycle: self.cycle,
                     from_version: version,
                     restored_version,
                     alert_rate,
                 });
+                self.retire_cycle();
             }
             Err(e) => {
                 self.stats.rollback_failures += 1;
                 events.push(ContinualEvent::RollbackFailed {
+                    cycle: self.cycle,
                     reason: e.to_string(),
                 });
                 // Stay in probation and retry the rollback next step.
@@ -1054,6 +1279,8 @@ impl ContinualController {
         }
     }
 
+    /// A failed attempt backs off but keeps the drift episode (and its
+    /// cycle id) armed, so the retry is attributed to the same cycle.
     fn fail_cycle(&mut self) {
         self.stats.consecutive_failures = self.stats.consecutive_failures.saturating_add(1);
         self.samples_until_retry = self
@@ -1061,6 +1288,54 @@ impl ContinualController {
             .retry
             .backoff_flows(self.stats.consecutive_failures);
         self.state = State::Stable;
+    }
+
+    /// Terminal outcome reached (probation passed or rolled back): the
+    /// cycle id is retired so the next drift verdict mints a fresh one.
+    fn retire_cycle(&mut self) {
+        self.cycle = 0;
+        self.cycle_parent = 0;
+        self.armed_verdict = None;
+    }
+
+    /// Appends one hash-chained entry to the provenance ledger for a
+    /// lifecycle disposition of the currently armed cycle.
+    fn record_disposition(
+        &mut self,
+        kind: Disposition,
+        version: u64,
+        train_samples: Option<usize>,
+        report: Option<&ShadowReport>,
+        detail: &str,
+    ) {
+        let drift = self.armed_verdict.map(|v| DriftProvenance {
+            psi: v.psi,
+            sym_kl: v.sym_kl,
+            window: self.cfg.drift_window as u64,
+        });
+        let samples = train_samples.map(|train| SampleProvenance {
+            train: train as u64,
+            mirror_seen: self.mirror.seen(),
+            mirror_dropped: self.mirror.dropped(),
+            poisoned: self.stats.poisoned_rejected,
+        });
+        let shadow = report.map(|r| ShadowProvenance {
+            live_f1: r.live_f1,
+            cand_f1: r.candidate_f1,
+            live_pr_auc: r.live_pr_auc,
+            cand_pr_auc: r.candidate_pr_auc,
+            tau: r.probation_tau,
+        });
+        self.provenance.append(EntryDraft {
+            cycle: self.cycle,
+            kind,
+            version,
+            parent: self.cycle_parent,
+            drift,
+            samples,
+            shadow,
+            detail: detail.to_string(),
+        });
     }
 
     fn shadow_evaluate(

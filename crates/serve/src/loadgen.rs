@@ -102,16 +102,9 @@ impl LoadReport {
     /// `rate.<tag>.*` (higher-is-better, relative tolerance) and
     /// latency percentiles under `lat.<tag>.*_us` (lower-is-better,
     /// ceiling-checked — see `cnd_obs::baseline`).
-    ///
-    /// The inverted `rate.<tag>.p50_inv`/`p99_inv` forms predate the
-    /// `lat.` tolerance class and are kept for one release so existing
-    /// baselines keep passing; prefer the direct `lat.` metrics.
     pub fn bench_metrics(&self, tag: &str) -> Vec<(String, f64)> {
-        let inv = |us: f64| if us > 0.0 { 1e6 / us } else { 0.0 };
         vec![
             (format!("rate.{tag}.flows_per_s"), self.flows_per_s),
-            (format!("rate.{tag}.p50_inv"), inv(self.p50_us)),
-            (format!("rate.{tag}.p99_inv"), inv(self.p99_us)),
             (format!("rate.{tag}.accept_ratio"), self.accept_ratio()),
             (format!("lat.{tag}.p50_us"), self.p50_us),
             (format!("lat.{tag}.p99_us"), self.p99_us),
@@ -372,14 +365,13 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(get("rate.serve.flows_per_s"), 5000.0);
-        // Inverted forms kept one release for old baselines.
-        assert_eq!(get("rate.serve.p50_inv"), 5000.0);
-        assert_eq!(get("rate.serve.p99_inv"), 1000.0);
         assert!((get("rate.serve.accept_ratio") - 0.9).abs() < 1e-12);
         // Direct ceiling-checked latency metrics.
         assert_eq!(get("lat.serve.p50_us"), 200.0);
         assert_eq!(get("lat.serve.p99_us"), 1000.0);
         assert_eq!(get("lat.serve.p999_us"), 2500.0);
+        // The deprecated inverted rate forms are gone.
+        assert!(metrics.iter().all(|(n, _)| !n.ends_with("_inv")));
     }
 
     #[test]

@@ -121,11 +121,23 @@ impl ModelRegistry {
                     "serve.reload.us",
                     started.elapsed().as_micros() as u64,
                 );
+                cnd_obs::flight::record(
+                    "registry",
+                    "reload",
+                    None,
+                    &format!("artifact reloaded as v{version}"),
+                );
                 Ok(version)
             }
             Err(e) => {
                 self.reload_failures.fetch_add(1, Ordering::Relaxed);
                 cnd_obs::counter_add_volatile("serve.reload_fail.count", 1);
+                cnd_obs::flight::record(
+                    "registry",
+                    "reload_refused",
+                    None,
+                    &format!("artifact refused, previous model keeps serving: {e}"),
+                );
                 Err(e)
             }
         }

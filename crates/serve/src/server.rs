@@ -866,8 +866,24 @@ fn watch_loop(shared: &Shared, interval: Duration) {
         if now.is_some() && now != last {
             last = now;
             match shared.registry.reload() {
-                Ok(v) => eprintln!("cnd-serve: watch reload -> model v{v}"),
-                Err(e) => eprintln!("cnd-serve: watch reload failed ({e}); keeping old model"),
+                Ok(v) => {
+                    cnd_obs::flight::record(
+                        "watcher",
+                        "artifact_changed",
+                        None,
+                        &format!("on-disk artifact change picked up as v{v}"),
+                    );
+                    eprintln!("cnd-serve: watch reload -> model v{v}");
+                }
+                Err(e) => {
+                    cnd_obs::flight::record(
+                        "watcher",
+                        "artifact_rejected",
+                        None,
+                        &format!("on-disk artifact change rejected: {e}"),
+                    );
+                    eprintln!("cnd-serve: watch reload failed ({e}); keeping old model");
+                }
             }
         }
     }

@@ -132,9 +132,9 @@ const USAGE: &str = "usage:
   cnd-ids-cli train <data.csv> <model.txt> [--experiences M] [--seed N]
   cnd-ids-cli score <model.txt> <data.csv> [--quantile Q]
   cnd-ids-cli stream <data.csv> [--experiences M] [--seed N] [--chunk N] [--fault-rate R] [--health]
-  cnd-ids-cli serve <model.txt> [--addr 127.0.0.1:7071] [--max-batch N] [--max-delay-us U] [--queue-cap N] [--threshold T] [--quantile Q] [--calibrate N] [--watch] [--watch-interval-ms MS] [--score-f32] [--no-telemetry] [--runtime-s S] [--continual --data <labelled.csv> [--experiences M] [--seed N] [--drift-window N] [--min-retrain N] [--probation N]]
+  cnd-ids-cli serve <model.txt> [--addr 127.0.0.1:7071] [--max-batch N] [--max-delay-us U] [--queue-cap N] [--threshold T] [--quantile Q] [--calibrate N] [--watch] [--watch-interval-ms MS] [--score-f32] [--no-telemetry] [--runtime-s S] [--continual --data <labelled.csv> [--experiences M] [--seed N] [--drift-window N] [--min-retrain N] [--probation N] [--ledger <path>] [--flight-dump <path>]]
   cnd-ids-cli loadgen <addr> [--flows N] [--concurrency C] [--rate R] [--seed N] [--reload-midway] [--tag T] [--out <path>] [--append]
-  cnd-ids-cli observe <trace.jsonl> [--top [N]] [--latency]
+  cnd-ids-cli observe <trace.jsonl> [--top [N]] [--latency] [--timeline]
   cnd-ids-cli bench-check <current> [--baseline <path>] [--update] [--tolerance T]
 
 observability: every subcommand accepts --trace-out <path> to record a
@@ -429,8 +429,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 probation_samples: parse_flag(args, "--probation", 128)?,
                 ..ContinualConfig::default()
             };
-            let c =
+            let mut c =
                 ContinualController::new(ccfg, model, val, mirror).map_err(|e| e.to_string())?;
+            // Forensics: mirror every lifecycle disposition to an
+            // append-only hash-chained ledger, and arm the crash
+            // flight recorder so a panic or watchdog rollback leaves
+            // a postmortem dump behind.
+            let ledger_path = parse_flag::<String>(args, "--ledger", String::new())?;
+            if !ledger_path.is_empty() {
+                c.set_ledger_path(std::path::Path::new(&ledger_path))
+                    .map_err(|e| format!("--ledger {ledger_path}: {e}"))?;
+                eprintln!("provenance ledger at {ledger_path}");
+            }
+            let flight_path = parse_flag::<String>(args, "--flight-dump", String::new())?;
+            if !flight_path.is_empty() {
+                cnd_obs::flight::set_dump_path(Some(std::path::Path::new(&flight_path)));
+                eprintln!("flight recorder dumps to {flight_path}");
+            }
+            cnd_obs::flight::install_panic_hook();
             eprintln!(
                 "continual loop armed: drift window {}, min retrain {}, probation {}",
                 parse_flag::<usize>(args, "--drift-window", 256)?,
@@ -583,6 +599,17 @@ fn cmd_observe(args: &[String]) -> Result<(), String> {
         "trace: {path} ({lines} lines, schema v{})",
         cnd_obs::trace::TRACE_VERSION
     );
+    if args.iter().any(|a| a == "--timeline") {
+        // Causal timeline: continual-loop events grouped by cycle id
+        // into detect → retrain → validate → swap → probation chains.
+        let tl = cnd_obs::timeline_report(&text).map_err(|e| format!("{path}: {e}"))?;
+        if tl.chains.is_empty() {
+            println!("no continual events in this trace");
+        } else {
+            print!("{}", tl.render());
+        }
+        return Ok(());
+    }
     if args.iter().any(|a| a == "--latency") {
         // Latency-breakdown report: every hdr metric in the trace
         // (per-stage serving latencies, reload times, ...) as a

@@ -235,7 +235,7 @@ impl Harness {
             phase += 64;
         }
         assert!(self.controller.stats().drift_detections >= 1);
-        assert!(self.saw(|e| matches!(e, ContinualEvent::DriftDetected(_))));
+        assert!(self.saw(|e| matches!(e, ContinualEvent::DriftDetected { .. })));
         assert!(self.saw(|e| matches!(e, ContinualEvent::RetrainStarted { .. })));
     }
 
@@ -269,7 +269,7 @@ fn injected_drift_yields_exactly_one_validated_swap() {
     let stats = h.controller.stats();
     assert_eq!(stats.probation_passes, 1, "canary survived: {stats:?}");
     assert_eq!(stats.rollbacks, 0);
-    assert!(h.saw(|e| matches!(e, ContinualEvent::ProbationPassed { version: 2 })));
+    assert!(h.saw(|e| matches!(e, ContinualEvent::ProbationPassed { version: 2, .. })));
 
     // The new model now serves the drifted distribution: no further
     // drift verdicts, no second swap.
