@@ -33,6 +33,7 @@ fn main() {
             min_batch: 200,
             drift_window: 100,
             drift_threshold: 3.0,
+            reservoir_seed: 42,
         },
         ..ResilientConfig::default()
     };

@@ -10,6 +10,8 @@
 //! * `CND_SUBSTRATE_QUICK=1` — small shapes for CI smoke runs.
 //! * `CND_THREADS=N` — compute threads for the parallel measurements.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use cnd_linalg::Matrix;
@@ -17,6 +19,45 @@ use cnd_ml::pca::{ComponentSelection, Pca};
 use cnd_nn::{Activation, Sequential};
 use cnd_parallel::ThreadPool;
 use rand::SeedableRng;
+
+/// Counting wrapper around the system allocator so the out-of-core
+/// bench can report a peak-allocation proxy: `LIVE` tracks currently
+/// allocated bytes, `PEAK` the high-water mark since the last
+/// [`reset_peak_to_live`]. Relaxed ordering is fine — the benches that
+/// read these run their measured sections single-threaded, and the
+/// counter only feeds a coarse MiB-level report.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Resets the high-water mark to the current live byte count and
+/// returns that baseline; `PEAK - baseline` after a measured section is
+/// the section's peak extra allocation.
+fn reset_peak_to_live() -> usize {
+    let live = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+    live
+}
 
 /// One serial-vs-parallel measurement.
 struct Measurement {
@@ -138,6 +179,111 @@ fn bench_serve_score_f32(
         parallel_rate: rows as f64 / f32_secs,
         bit_identical: within_tolerance,
     }
+}
+
+/// Out-of-core scoring through a `.cnds` flow store. Two rows come out:
+///
+/// * `store_stream_<shape>` — `serial_*` scores the fully materialized
+///   matrix, `parallel_*` streams chunk-at-a-time from the store (both
+///   on the serial pool — the comparison is data plane, not thread
+///   fan-out); `bit_identical` records that the streamed f64 scores are
+///   bitwise equal to the in-memory ones.
+/// * `store_peak_alloc_<shape>` — the same two passes measured once
+///   through the counting allocator; `serial_rate`/`parallel_rate` are
+///   peak extra MiB allocated by the in-memory vs streamed pass, and
+///   `bit_identical` asserts the streamed pass never out-allocated the
+///   in-memory one (the memory-boundedness claim of the data plane).
+fn bench_store_stream(
+    rows: usize,
+    cols: usize,
+    reps: usize,
+    serial: &ThreadPool,
+) -> [Measurement; 2] {
+    use cnd_core::{CndIds, CndIdsConfig};
+    use cnd_store::{DType, FlowStore, StoreWriter};
+
+    const CHUNK_ROWS: usize = 256;
+    const MIB: f64 = 1024.0 * 1024.0;
+
+    let normal = |i: usize, j: usize| ((i * 7 + j * 3) % 13) as f64 * 0.1;
+    let n_c = Matrix::from_fn(50, cols, normal);
+    let train = Matrix::from_fn(300, cols, |i, j| {
+        if i < 240 {
+            normal(i + 100, j)
+        } else {
+            normal(i + 100, j) + 2.5
+        }
+    });
+    let mut model = CndIds::new(CndIdsConfig::fast(cnd_bench::BENCH_SEED), &n_c).expect("builds");
+    model.train_experience(&train).expect("trains");
+    let scorer = model.freeze().expect("freezes");
+    let x = Matrix::from_fn(rows, cols, |i, j| {
+        normal(i + 500, j) + ((i % 10) as f64) * 0.2
+    });
+
+    let path =
+        std::env::temp_dir().join(format!("cnd_substrate_{}_{rows}.cnds", std::process::id()));
+    let mut writer =
+        StoreWriter::create(&path, cols, DType::F64, false).expect("store is writable");
+    writer.push_matrix(&x, &[]).expect("rows append");
+    writer.finalize().expect("store finalizes");
+
+    let stream_pass = || {
+        let store = FlowStore::open(&path).expect("store opens");
+        let chunks = store.chunks(CHUNK_ROWS).expect("chunk iter opens");
+        let mut scores = Vec::with_capacity(rows);
+        for part in scorer.score_chunks(chunks) {
+            scores.extend(part.expect("chunk scores").scores);
+        }
+        scores
+    };
+
+    // Peak-allocation proxy, measured once per path (not in the timing
+    // loop, so the warmup cannot inflate the high-water mark).
+    let base = reset_peak_to_live();
+    let mem_secs_once = Instant::now();
+    let s_mem = serial.install(|| scorer.anomaly_scores(&x).expect("scores"));
+    let mem_once = mem_secs_once.elapsed().as_secs_f64();
+    let mem_peak = PEAK.load(Ordering::Relaxed).saturating_sub(base);
+
+    let base = reset_peak_to_live();
+    let stream_secs_once = Instant::now();
+    let s_stream = serial.install(stream_pass);
+    let stream_once = stream_secs_once.elapsed().as_secs_f64();
+    let stream_peak = PEAK.load(Ordering::Relaxed).saturating_sub(base);
+
+    let bitwise = s_mem.len() == s_stream.len()
+        && s_mem
+            .iter()
+            .zip(&s_stream)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    let mem_secs = time_best(reps, || {
+        serial.install(|| scorer.anomaly_scores(&x).expect("scores"))
+    });
+    let stream_secs = time_best(reps, || serial.install(stream_pass));
+    let _ = std::fs::remove_file(&path);
+
+    [
+        Measurement {
+            name: format!("store_stream_{rows}x{cols}"),
+            serial_secs: mem_secs,
+            parallel_secs: stream_secs,
+            rate_unit: "flows/s",
+            serial_rate: rows as f64 / mem_secs,
+            parallel_rate: rows as f64 / stream_secs,
+            bit_identical: bitwise,
+        },
+        Measurement {
+            name: format!("store_peak_alloc_{rows}x{cols}"),
+            serial_secs: mem_once,
+            parallel_secs: stream_once,
+            rate_unit: "MiB peak",
+            serial_rate: mem_peak as f64 / MIB,
+            parallel_rate: stream_peak as f64 / MIB,
+            bit_identical: stream_peak <= mem_peak,
+        },
+    ]
 }
 
 fn bench_pca_score(
@@ -277,7 +423,7 @@ fn main() {
 
     let reps = if quick { 2 } else { 3 };
     let (score_rows, score_cols) = if quick { (2_000, 32) } else { (20_000, 64) };
-    let results = vec![
+    let mut results = vec![
         {
             let _s = cnd_obs::span!("bench.matmul");
             bench_matmul(192, reps, &serial, parallel)
@@ -305,6 +451,10 @@ fn main() {
             bench_serve_score_f32(score_rows, score_cols, reps, &serial)
         },
     ];
+    {
+        let _s = cnd_obs::span!("bench.store_stream");
+        results.extend(bench_store_stream(score_rows, score_cols, reps, &serial));
+    }
     cnd_obs::set_enabled(false);
     let phases = cnd_obs::phase_report(&cnd_obs::snapshot_jsonl()).expect("bench trace parses");
 

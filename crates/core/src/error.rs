@@ -56,6 +56,9 @@ pub enum CoreError {
     },
     /// Filesystem I/O failure while saving or loading an artifact.
     Io(std::io::Error),
+    /// Out-of-core flow storage failure (corrupt, truncated, or
+    /// unreadable `.cnds` data).
+    Storage(cnd_store::StoreError),
 }
 
 impl fmt::Display for CoreError {
@@ -79,6 +82,7 @@ impl fmt::Display for CoreError {
                 write!(f, "corrupt model artifact: {reason}")
             }
             CoreError::Io(e) => write!(f, "i/o error: {e}"),
+            CoreError::Storage(e) => write!(f, "flow storage error: {e}"),
         }
     }
 }
@@ -93,6 +97,7 @@ impl Error for CoreError {
             CoreError::Dataset(e) => Some(e),
             CoreError::Metrics(e) => Some(e),
             CoreError::Io(e) => Some(e),
+            CoreError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -131,6 +136,11 @@ impl From<MetricsError> for CoreError {
 impl From<std::io::Error> for CoreError {
     fn from(e: std::io::Error) -> Self {
         CoreError::Io(e)
+    }
+}
+impl From<cnd_store::StoreError> for CoreError {
+    fn from(e: cnd_store::StoreError) -> Self {
+        CoreError::Storage(e)
     }
 }
 

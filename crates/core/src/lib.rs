@@ -50,6 +50,7 @@ pub mod baselines;
 pub mod cfe;
 pub mod cnd_ids;
 pub mod deploy;
+pub mod outofcore;
 pub mod resilience;
 pub mod runner;
 pub mod streaming;

@@ -1218,6 +1218,7 @@ mod tests {
                     min_batch: 50,
                     drift_window: 40,
                     drift_threshold: 3.0,
+                    reservoir_seed: 42,
                 },
                 guard: GuardConfig::default(),
                 retry,

@@ -493,6 +493,7 @@ mod tests {
                     min_batch: 100,
                     drift_window: 50,
                     drift_threshold: 3.0,
+                    reservoir_seed: 42,
                 },
                 ..ResilientConfig::default()
             },

@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 
 use cnd_linalg::{vector, Matrix};
+use cnd_store::ReservoirBuffer;
 
 use crate::cfe::TrainStats;
 use crate::{CndIds, CoreError};
@@ -222,6 +223,12 @@ pub struct StreamingConfig {
     pub drift_window: usize,
     /// Drift threshold in reference standard deviations.
     pub drift_threshold: f64,
+    /// Seed for the bounded flow-memory reservoir (Algorithm R). The
+    /// stream buffer retains at most `max_buffer` flows as a seeded
+    /// uniform sample of everything pushed since the last training
+    /// step, so memory stays O(`max_buffer`) even when drift gating
+    /// keeps a regime buffered for a long time.
+    pub reservoir_seed: u64,
 }
 
 impl Default for StreamingConfig {
@@ -232,6 +239,7 @@ impl Default for StreamingConfig {
             min_batch: 200,
             drift_window: 100,
             drift_threshold: 3.0,
+            reservoir_seed: 42,
         }
     }
 }
@@ -273,7 +281,12 @@ impl Default for StreamingConfig {
 pub struct StreamingCndIds {
     model: CndIds,
     config: StreamingConfig,
-    buffer: Vec<Vec<f64>>,
+    /// Bounded replay memory: a seeded Algorithm-R uniform sample of
+    /// the flows pushed since the last training step, never more than
+    /// `config.max_buffer` rows. Training triggers count *offered*
+    /// flows ([`ReservoirBuffer::seen`]), so trigger timing matches the
+    /// old unbounded-buffer behaviour exactly until the cap is hit.
+    buffer: ReservoirBuffer<Vec<f64>>,
     drift: DriftDetector,
 }
 
@@ -284,7 +297,7 @@ impl StreamingCndIds {
         StreamingCndIds {
             model,
             config,
-            buffer: Vec::new(),
+            buffer: ReservoirBuffer::new(config.max_buffer.max(1), config.reservoir_seed),
             drift,
         }
     }
@@ -294,9 +307,10 @@ impl StreamingCndIds {
         &self.model
     }
 
-    /// Flows currently buffered and not yet trained on.
+    /// Flows awaiting the next training step (offered since the last
+    /// one; at most `max_buffer` of them are physically retained).
     pub fn buffered(&self) -> usize {
-        self.buffer.len()
+        self.buffer.seen() as usize
     }
 
     /// Pushes a batch of flows into the stream.
@@ -320,12 +334,13 @@ impl StreamingCndIds {
             }
         }
         for row in x.iter_rows() {
-            self.buffer.push(row.to_vec());
+            self.buffer.offer(row.to_vec());
         }
-        let bootstrap = self.model.experiences_trained() == 0
-            && self.buffer.len() >= self.config.bootstrap_batch;
-        let full = self.buffer.len() >= self.config.max_buffer;
-        let drift_ready = drifted && self.buffer.len() >= self.config.min_batch;
+        let pending = self.buffer.seen() as usize;
+        let bootstrap =
+            self.model.experiences_trained() == 0 && pending >= self.config.bootstrap_batch;
+        let full = pending >= self.config.max_buffer;
+        let drift_ready = drifted && pending >= self.config.min_batch;
         if bootstrap || full || drift_ready {
             let trigger = if drift_ready && !full {
                 Trigger::DriftDetected
@@ -334,9 +349,7 @@ impl StreamingCndIds {
             };
             self.train_on_buffer(trigger)
         } else {
-            Ok(StreamEvent::Buffered {
-                buffered: self.buffer.len(),
-            })
+            Ok(StreamEvent::Buffered { buffered: pending })
         }
     }
 
@@ -362,9 +375,12 @@ impl StreamingCndIds {
             samples = self.buffer.len(),
             trigger = trigger.as_str(),
         );
-        let x = Matrix::from_rows(&self.buffer)?;
+        let x = self.buffer.to_matrix().ok_or(CoreError::InvalidConfig {
+            name: "buffer",
+            constraint: "cannot train on an empty stream buffer",
+        })?;
         let stats = self.model.train_experience(&x)?;
-        let samples = self.buffer.len();
+        let samples = x.rows();
         cnd_obs::counter_add("stream.retrain.count", 1);
         match trigger {
             Trigger::DriftDetected => cnd_obs::counter_add("stream.retrain.drift.count", 1),
@@ -403,6 +419,7 @@ mod tests {
                 min_batch: 50,
                 drift_window: 40,
                 drift_threshold: 3.0,
+                reservoir_seed: 42,
             },
         )
     }

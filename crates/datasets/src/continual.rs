@@ -118,7 +118,7 @@ pub fn prepare(
             reason: format!("{n_classes} attack classes cannot fill {m} experiences"),
         });
     }
-    let normals = dataset.normal_indices();
+    let normals: Vec<usize> = dataset.normal_indices().collect();
     if normals.len() < m * 20 {
         return Err(DatasetError::BadSplit {
             reason: format!(

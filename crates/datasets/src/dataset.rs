@@ -39,29 +39,24 @@ impl Dataset {
         self.class_names.len().saturating_sub(1)
     }
 
-    /// Binary labels: `0` normal, `1` attack.
-    pub fn binary_labels(&self) -> Vec<u8> {
-        self.class.iter().map(|&c| u8::from(c != 0)).collect()
+    /// Binary labels: `0` normal, `1` attack. Lazily derived — collect
+    /// only when a materialized `Vec` is genuinely needed.
+    pub fn binary_labels(&self) -> impl Iterator<Item = u8> + '_ {
+        self.class.iter().map(|&c| u8::from(c != 0))
     }
 
     /// Row indices of normal samples, in stream order.
-    pub fn normal_indices(&self) -> Vec<usize> {
-        self.class
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c == 0)
-            .map(|(i, _)| i)
-            .collect()
+    pub fn normal_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.class_indices(0)
     }
 
-    /// Row indices of samples belonging to attack class `c`.
-    pub fn class_indices(&self, c: usize) -> Vec<usize> {
+    /// Row indices of samples belonging to class `c` (0 = normal).
+    pub fn class_indices(&self, c: usize) -> impl Iterator<Item = usize> + '_ {
         self.class
             .iter()
             .enumerate()
-            .filter(|(_, &cls)| cls == c)
+            .filter(move |(_, &cls)| cls == c)
             .map(|(i, _)| i)
-            .collect()
     }
 
     /// Count of normal samples.
@@ -102,9 +97,9 @@ mod tests {
     #[test]
     fn labels_and_indices() {
         let d = tiny();
-        assert_eq!(d.binary_labels(), vec![0, 1, 0, 1, 1]);
-        assert_eq!(d.normal_indices(), vec![0, 2]);
-        assert_eq!(d.class_indices(1), vec![1, 4]);
-        assert_eq!(d.class_indices(2), vec![3]);
+        assert_eq!(d.binary_labels().collect::<Vec<_>>(), vec![0, 1, 0, 1, 1]);
+        assert_eq!(d.normal_indices().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(d.class_indices(1).collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(d.class_indices(2).collect::<Vec<_>>(), vec![3]);
     }
 }

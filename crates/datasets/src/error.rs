@@ -31,6 +31,8 @@ pub enum DatasetError {
     },
     /// An I/O error while reading a dataset file.
     Io(std::io::Error),
+    /// Writing or reading a `.cnds` flow store failed.
+    Storage(cnd_store::StoreError),
 }
 
 impl fmt::Display for DatasetError {
@@ -45,6 +47,7 @@ impl fmt::Display for DatasetError {
                 write!(f, "csv parse error at line {line}: {message}")
             }
             DatasetError::Io(e) => write!(f, "io error: {e}"),
+            DatasetError::Storage(e) => write!(f, "flow storage error: {e}"),
         }
     }
 }
@@ -54,6 +57,7 @@ impl Error for DatasetError {
         match self {
             DatasetError::Linalg(e) => Some(e),
             DatasetError::Io(e) => Some(e),
+            DatasetError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -68,6 +72,12 @@ impl From<LinalgError> for DatasetError {
 impl From<std::io::Error> for DatasetError {
     fn from(e: std::io::Error) -> Self {
         DatasetError::Io(e)
+    }
+}
+
+impl From<cnd_store::StoreError> for DatasetError {
+    fn from(e: cnd_store::StoreError) -> Self {
+        DatasetError::Storage(e)
     }
 }
 

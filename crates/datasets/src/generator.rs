@@ -475,7 +475,7 @@ mod tests {
             let d = generate(p, &GeneratorConfig::small(3)).unwrap();
             for c in 1..=p.n_attack_classes() {
                 assert!(
-                    d.class_indices(c).len() >= 10,
+                    d.class_indices(c).count() >= 10,
                     "{p}: class {c} has too few samples"
                 );
             }
@@ -509,7 +509,9 @@ mod tests {
         // Most benign variance should concentrate in ~latent_rank dims.
         let p = DatasetProfile::UnswNb15;
         let d = generate(p, &GeneratorConfig::small(4)).unwrap();
-        let normals = d.x.select_rows(&d.normal_indices()).unwrap();
+        let normals =
+            d.x.select_rows(&d.normal_indices().collect::<Vec<_>>())
+                .unwrap();
         let cov = stats::covariance(&normals).unwrap();
         let eig = cnd_linalg::eigen::symmetric_eigen(&cov, 1e-6).unwrap();
         let total: f64 = eig.eigenvalues.iter().sum();
@@ -530,7 +532,7 @@ mod tests {
             ..GeneratorConfig::small(5)
         };
         let d = generate(p, &cfg).unwrap();
-        let normals = d.normal_indices();
+        let normals: Vec<usize> = d.normal_indices().collect();
         let early = d.x.select_rows(&normals[..200]).unwrap();
         let late = d.x.select_rows(&normals[normals.len() - 200..]).unwrap();
         let me = stats::column_means(&early).unwrap();

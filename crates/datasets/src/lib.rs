@@ -49,10 +49,12 @@ mod error;
 
 pub mod continual;
 pub mod generator;
+pub mod ingest;
 pub mod loader;
 pub mod profiles;
 
 pub use dataset::Dataset;
 pub use error::DatasetError;
 pub use generator::GeneratorConfig;
+pub use ingest::{ingest_csv_from, ingest_csv_to_store, IngestOptions, IngestReport};
 pub use profiles::DatasetProfile;

@@ -30,8 +30,87 @@ pub fn read_csv<P: AsRef<Path>>(path: P, has_header: bool) -> Result<Dataset, Da
     read_csv_from(std::io::BufReader::new(file), has_header, name)
 }
 
+/// Normalizes one raw CSV line into trimmed fields, absorbing the
+/// encoding quirks real capture exports have:
+///
+/// * a UTF-8 byte-order mark glued to the first line (common in files
+///   exported from Windows tooling),
+/// * CRLF line endings (the trailing `\r` survives [`BufRead::lines`]),
+/// * a single trailing delimiter (`1,2,dos,` — the empty final field is
+///   a formatting artifact, not an empty label).
+///
+/// Returns `None` for lines that are blank after normalization.
+pub(crate) fn split_fields(line: &str, first_line: bool) -> Option<Vec<&str>> {
+    let mut s = line;
+    if first_line {
+        s = s.strip_prefix('\u{feff}').unwrap_or(s);
+    }
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let mut fields: Vec<&str> = s.split(',').map(str::trim).collect();
+    if fields.len() > 1 && fields.last() == Some(&"") {
+        fields.pop();
+    }
+    Some(fields)
+}
+
+/// Parses the feature prefix of a field row (everything but the label).
+pub(crate) fn parse_features(
+    feat_fields: &[&str],
+    human_line: usize,
+) -> Result<Vec<f64>, DatasetError> {
+    let mut row = Vec::with_capacity(feat_fields.len());
+    for f in feat_fields {
+        let v: f64 = f.parse().map_err(|_| DatasetError::Parse {
+            line: human_line,
+            message: format!("non-numeric feature {f:?}"),
+        })?;
+        row.push(v);
+    }
+    Ok(row)
+}
+
+/// Interns class labels in order of first appearance; index 0 is always
+/// `"normal"` (labels `normal` / `benign` / `0`, case-insensitively).
+pub(crate) struct LabelMap {
+    names: Vec<String>,
+}
+
+impl LabelMap {
+    pub(crate) fn new() -> Self {
+        LabelMap {
+            names: vec!["normal".to_string()],
+        }
+    }
+
+    pub(crate) fn intern(&mut self, label: &str) -> usize {
+        if label.eq_ignore_ascii_case("normal")
+            || label.eq_ignore_ascii_case("benign")
+            || label == "0"
+        {
+            return 0;
+        }
+        match self.names.iter().position(|n| n == label) {
+            Some(p) => p,
+            None => {
+                self.names.push(label.to_string());
+                self.names.len() - 1
+            }
+        }
+    }
+
+    pub(crate) fn into_names(self) -> Vec<String> {
+        self.names
+    }
+}
+
 /// Reads a dataset from any [`BufRead`] source (pass `&mut reader` if you
 /// need the reader back afterwards).
+///
+/// Tolerates a UTF-8 BOM, CRLF line endings, and a single trailing
+/// delimiter per row; parse errors carry accurate 1-based line numbers.
 ///
 /// # Errors
 ///
@@ -43,7 +122,7 @@ pub fn read_csv_from<R: BufRead>(
 ) -> Result<Dataset, DatasetError> {
     let mut rows: Vec<Vec<f64>> = Vec::new();
     let mut class: Vec<usize> = Vec::new();
-    let mut class_names: Vec<String> = vec!["normal".to_string()];
+    let mut labels = LabelMap::new();
     let mut width: Option<usize> = None;
 
     for (line_no, line) in reader.lines().enumerate() {
@@ -52,11 +131,9 @@ pub fn read_csv_from<R: BufRead>(
         if line_no == 0 && has_header {
             continue;
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
+        let Some(fields) = split_fields(&line, line_no == 0) else {
             continue;
-        }
-        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        };
         if fields.len() < 2 {
             return Err(DatasetError::Parse {
                 line: human_line,
@@ -74,31 +151,8 @@ pub fn read_csv_from<R: BufRead>(
             }
             _ => {}
         }
-        let mut row = Vec::with_capacity(feat_fields.len());
-        for f in feat_fields {
-            let v: f64 = f.parse().map_err(|_| DatasetError::Parse {
-                line: human_line,
-                message: format!("non-numeric feature {f:?}"),
-            })?;
-            row.push(v);
-        }
-        let label = label_field[0];
-        let cls = if label.eq_ignore_ascii_case("normal")
-            || label.eq_ignore_ascii_case("benign")
-            || label == "0"
-        {
-            0
-        } else {
-            match class_names.iter().position(|n| n == label) {
-                Some(p) => p,
-                None => {
-                    class_names.push(label.to_string());
-                    class_names.len() - 1
-                }
-            }
-        };
-        rows.push(row);
-        class.push(cls);
+        rows.push(parse_features(feat_fields, human_line)?);
+        class.push(labels.intern(label_field[0]));
     }
     if rows.is_empty() {
         return Err(DatasetError::Parse {
@@ -110,7 +164,7 @@ pub fn read_csv_from<R: BufRead>(
     Ok(Dataset {
         x,
         class,
-        class_names,
+        class_names: labels.into_names(),
         name,
     })
 }
@@ -137,7 +191,7 @@ mod tests {
     fn skips_header_and_blank_lines() {
         let d = load("f1,f2,label\n1,2,benign\n\n3,4,scan\n", true).unwrap();
         assert_eq!(d.len(), 2);
-        assert_eq!(d.binary_labels(), vec![0, 1]);
+        assert_eq!(d.binary_labels().collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]
@@ -172,6 +226,52 @@ mod tests {
             load("header,only\n", true),
             Err(DatasetError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn handles_crlf_line_endings() {
+        let d = load("1.0,2.0,normal\r\n3.0,4.0,dos\r\n", false).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.class, vec![0, 1]);
+        assert_eq!(d.class_names, vec!["normal", "dos"]);
+    }
+
+    #[test]
+    fn strips_utf8_bom_on_first_line() {
+        let d = load("\u{feff}1.0,2.0,normal\n3.0,4.0,dos\n", false).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.x.row(0), &[1.0, 2.0]);
+        // BOM before a header line must not corrupt header detection either.
+        let h = load("\u{feff}f1,f2,label\n1,2,benign\n", true).unwrap();
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn tolerates_single_trailing_delimiter() {
+        let d = load("1.0,2.0,normal,\r\n3.0,4.0,dos,\n", false).unwrap();
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.class, vec![0, 1]);
+        assert_eq!(
+            d.class_names,
+            vec!["normal", "dos"],
+            "the empty trailing field must not become a label"
+        );
+        // Two trailing delimiters are not a formatting artifact — only
+        // one is absorbed, so the row no longer parses and the error
+        // points at the right line.
+        let e = load("1.0,2.0,normal,,\n", false);
+        assert!(matches!(e, Err(DatasetError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn errors_keep_one_based_line_numbers_with_quirks_present() {
+        // CRLF + BOM + a bad row: the reported line must still be the
+        // 1-based physical line of the bad row.
+        let e = load("\u{feff}f1,f2,label\r\n1,2,benign\r\nbad,2,dos\r\n", true);
+        assert!(
+            matches!(e, Err(DatasetError::Parse { line: 3, .. })),
+            "{e:?}"
+        );
     }
 
     #[test]

@@ -82,7 +82,7 @@ proptest! {
         };
         let data = DatasetProfile::WustlIiot.generate(&cfg).unwrap();
         // Count exact consecutive-window duplicates among normals.
-        let normals = data.normal_indices();
+        let normals: Vec<usize> = data.normal_indices().collect();
         let mut dups = 0;
         for w in normals.windows(51) {
             let last = w[w.len() - 1];
@@ -104,7 +104,7 @@ proptest! {
             ..GeneratorConfig::small(seed)
         };
         let data = DatasetProfile::UnswNb15.generate(&cfg).unwrap();
-        let normals = data.normal_indices();
+        let normals: Vec<usize> = data.normal_indices().collect();
         for w in normals.windows(2) {
             prop_assert_ne!(data.x.row(w[0]), data.x.row(w[1]));
         }

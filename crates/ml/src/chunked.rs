@@ -1,0 +1,307 @@
+//! Out-of-core fits and transforms over [`RowChunk`] streams.
+//!
+//! These are not approximations: in deterministic mode the chunked fits
+//! land on **bitwise identical** parameters to their in-memory
+//! counterparts for every chunk size, because the accumulators in
+//! `cnd_store::stream` replicate the exact association order of the
+//! in-memory kernels (see that module for the argument). What changes is
+//! only the peak footprint — one [`RowChunk`] slab instead of the whole
+//! dataset.
+//!
+//! Both fits are **two-pass** (the ISSUE's "two-pass streaming
+//! mean/variance" / "chunked covariance accumulation"): variance and
+//! covariance need the means first, so callers hand over a *pass
+//! factory* — a closure producing a fresh chunk iterator per pass —
+//! rather than a single iterator. [`cnd_store::FlowStore::chunks`] is
+//! exactly such a factory.
+//!
+//! Errors from the chunk source (type `E`) convert into [`MlError`] via
+//! `From`, so a [`cnd_store::StoreError`] stream and an already-`MlError`
+//! stream (e.g. scaled/encoded chunks) both plug in directly.
+
+use cnd_linalg::Matrix;
+use cnd_store::stream::{ColumnSquaredDeviations, ColumnSums, CovarianceAccumulator};
+use cnd_store::RowChunk;
+
+use crate::pca::ComponentSelection;
+use crate::{MlError, Pca, StandardScaler};
+
+/// Enforces a consistent feature width across a chunk stream.
+fn check_dim(expected: usize, chunk: &RowChunk) -> Result<(), MlError> {
+    if chunk.rows.cols() != expected {
+        return Err(MlError::DimensionMismatch {
+            fitted: expected,
+            given: chunk.rows.cols(),
+        });
+    }
+    Ok(())
+}
+
+/// Drives one full pass, feeding every non-empty chunk to `feed` and
+/// returning the first chunk's width (`None` when the stream was empty).
+fn drive_pass<E, I, F>(
+    pass: I,
+    mut dim: Option<usize>,
+    mut feed: F,
+) -> Result<Option<usize>, MlError>
+where
+    MlError: From<E>,
+    I: IntoIterator<Item = Result<RowChunk, E>>,
+    F: FnMut(&Matrix),
+{
+    for chunk in pass {
+        let chunk = chunk?;
+        if chunk.is_empty() {
+            continue;
+        }
+        match dim {
+            None => dim = Some(chunk.rows.cols()),
+            Some(d) => check_dim(d, &chunk)?,
+        }
+        feed(&chunk.rows);
+    }
+    Ok(dim)
+}
+
+impl StandardScaler {
+    /// Fits the scaler from a chunk stream in two passes (means, then
+    /// squared deviations) without ever holding more than one slab.
+    ///
+    /// `passes` is called once per pass and must yield the same rows in
+    /// the same order each time (a [`cnd_store::FlowStore`] does); a row
+    /// count that changes between passes is rejected.
+    ///
+    /// In deterministic mode the result is bitwise identical to
+    /// [`StandardScaler::fit`] on the concatenated rows, for any chunk
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::EmptyInput`] for an empty stream; source errors
+    /// convert via `From`; [`MlError::DimensionMismatch`] on ragged
+    /// chunk widths.
+    pub fn fit_chunked<E, I, F>(mut passes: F) -> Result<Self, MlError>
+    where
+        MlError: From<E>,
+        I: IntoIterator<Item = Result<RowChunk, E>>,
+        F: FnMut() -> Result<I, E>,
+    {
+        let _span = cnd_obs::span!("scaler.fit_chunked");
+        let mut sums: Option<ColumnSums> = None;
+        let mut feed_dim = None;
+        feed_dim = drive_pass(passes()?, feed_dim, |x| {
+            sums.get_or_insert_with(|| ColumnSums::new(x.cols()))
+                .push_matrix(x);
+        })?;
+        let sums = sums.ok_or(MlError::EmptyInput)?;
+        let n_mean = sums.rows();
+        let mean = sums.finish_means().ok_or(MlError::EmptyInput)?;
+
+        let mut dev = ColumnSquaredDeviations::new(mean.clone());
+        drive_pass(passes()?, feed_dim, |x| dev.push_matrix(x))?;
+        if dev.rows() != n_mean {
+            return Err(MlError::InvalidParameter {
+                name: "passes",
+                constraint: "must yield the same rows on every pass",
+            });
+        }
+        let std = dev
+            .finish_variances()
+            .ok_or(MlError::EmptyInput)?
+            .into_iter()
+            .map(f64::sqrt)
+            .collect();
+        cnd_obs::counter_add("scaler.fit_chunked.count", 1);
+        StandardScaler::from_parts(mean, std)
+    }
+}
+
+impl Pca {
+    /// Fits PCA from a chunk stream in two passes (means, then a
+    /// row-order rank-1 covariance accumulation), then runs the same
+    /// eigendecomposition/selection tail as [`Pca::fit`].
+    ///
+    /// In deterministic mode the fitted mean, components, and explained
+    /// variances are bitwise identical to [`Pca::fit`] on the
+    /// concatenated rows, for any chunk size (the in-memory GEMM is
+    /// proptested bitwise-equal to the ascending-row accumulation this
+    /// path uses).
+    ///
+    /// # Errors
+    ///
+    /// As [`Pca::fit`], plus source errors via `From` and
+    /// [`MlError::DimensionMismatch`] on ragged chunk widths.
+    pub fn fit_chunked<E, I, F>(
+        mut passes: F,
+        selection: ComponentSelection,
+    ) -> Result<Self, MlError>
+    where
+        MlError: From<E>,
+        I: IntoIterator<Item = Result<RowChunk, E>>,
+        F: FnMut() -> Result<I, E>,
+    {
+        let _span = cnd_obs::span!("pca.fit_chunked");
+        let mut sums: Option<ColumnSums> = None;
+        let mut feed_dim = None;
+        feed_dim = drive_pass(passes()?, feed_dim, |x| {
+            sums.get_or_insert_with(|| ColumnSums::new(x.cols()))
+                .push_matrix(x);
+        })?;
+        let sums = sums.ok_or(MlError::EmptyInput)?;
+        let n_mean = sums.rows();
+        let mean = sums.finish_means().ok_or(MlError::EmptyInput)?;
+
+        let mut cov_acc = CovarianceAccumulator::new(mean.clone());
+        drive_pass(passes()?, feed_dim, |x| cov_acc.push_matrix(x))?;
+        if cov_acc.rows() != n_mean {
+            return Err(MlError::InvalidParameter {
+                name: "passes",
+                constraint: "must yield the same rows on every pass",
+            });
+        }
+        let cov = cov_acc.finish().ok_or(MlError::EmptyInput)?;
+        Pca::fit_from_moments(mean, cov, selection)
+    }
+}
+
+impl StandardScaler {
+    /// Lazily standardizes a chunk stream, preserving labels and row
+    /// offsets. Source errors surface through the items (converted into
+    /// [`MlError`]); the stream stays one-slab-at-a-time.
+    pub fn transform_chunks<'a, E, I>(
+        &'a self,
+        chunks: I,
+    ) -> impl Iterator<Item = Result<RowChunk, MlError>> + 'a
+    where
+        E: 'a,
+        MlError: From<E>,
+        I: IntoIterator<Item = Result<RowChunk, E>>,
+        I::IntoIter: 'a,
+    {
+        chunks.into_iter().map(move |chunk| {
+            let chunk = chunk?;
+            Ok(RowChunk {
+                rows: self.transform(&chunk.rows)?,
+                labels: chunk.labels,
+                start: chunk.start,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnd_store::{DType, FlowStore, StoreWriter};
+    use std::path::PathBuf;
+
+    fn demo(rows: usize, cols: usize) -> Matrix {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i as f64) * 1.3).cos() * 40.0 + (i % 11) as f64)
+            .collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    fn store_of(x: &Matrix, name: &str) -> (FlowStore, PathBuf) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("cnd_ml_chunked_{}_{name}.cnds", std::process::id()));
+        let mut w = StoreWriter::create(&path, x.cols(), DType::F64, false).unwrap();
+        w.push_matrix(x, &[]).unwrap();
+        w.finalize().unwrap();
+        (FlowStore::open(&path).unwrap(), path)
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn scaler_fit_chunked_bitwise_equals_fit() {
+        // 600 rows straddles the kernel's 512-row accumulation block.
+        let x = demo(600, 5);
+        let oracle = StandardScaler::fit(&x).unwrap();
+        let (store, path) = store_of(&x, "scaler");
+        for chunk_rows in [1usize, 7, 256, 511, 512, 513, 600, 4096] {
+            let sc = StandardScaler::fit_chunked(|| store.chunks(chunk_rows)).unwrap();
+            assert_eq!(bits(sc.mean()), bits(oracle.mean()), "chunk={chunk_rows}");
+            assert_eq!(bits(sc.std()), bits(oracle.std()), "chunk={chunk_rows}");
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn pca_fit_chunked_bitwise_equals_fit() {
+        let x = demo(700, 6);
+        let oracle = Pca::fit(&x, ComponentSelection::VarianceFraction(0.95)).unwrap();
+        let (store, path) = store_of(&x, "pca");
+        for chunk_rows in [3usize, 512, 700] {
+            let pca = Pca::fit_chunked(
+                || store.chunks(chunk_rows),
+                ComponentSelection::VarianceFraction(0.95),
+            )
+            .unwrap();
+            assert_eq!(pca.n_components(), oracle.n_components());
+            assert_eq!(bits(pca.mean()), bits(oracle.mean()));
+            assert_eq!(
+                bits(pca.components().as_slice()),
+                bits(oracle.components().as_slice()),
+                "chunk={chunk_rows}: components drifted"
+            );
+            assert_eq!(
+                bits(pca.explained_variance()),
+                bits(oracle.explained_variance())
+            );
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn transform_chunks_matches_in_memory_transform() {
+        let x = demo(300, 4);
+        let sc = StandardScaler::fit(&x).unwrap();
+        let oracle = sc.transform(&x).unwrap();
+        let (store, path) = store_of(&x, "transform");
+        let mut seen = 0usize;
+        for chunk in sc.transform_chunks(store.chunks(64).unwrap()) {
+            let chunk = chunk.unwrap();
+            let want = oracle.slice_rows(seen, seen + chunk.rows.rows()).unwrap();
+            assert_eq!(bits(chunk.rows.as_slice()), bits(want.as_slice()));
+            seen += chunk.rows.rows();
+        }
+        assert_eq!(seen, 300);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_stream_is_empty_input() {
+        let x = demo(1, 3);
+        let (store, path) = store_of(&x, "empty");
+        // A store can't be empty here, but an empty *iterator* can.
+        let empty = StandardScaler::fit_chunked(|| {
+            Ok::<_, MlError>(std::iter::empty::<Result<RowChunk, MlError>>())
+        });
+        assert!(matches!(empty, Err(MlError::EmptyInput)));
+        drop(store);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn ragged_chunks_rejected() {
+        let a = demo(4, 3);
+        let b = demo(4, 5);
+        let chunks: Vec<Result<RowChunk, MlError>> = vec![
+            Ok(RowChunk {
+                rows: a,
+                labels: vec![],
+                start: 0,
+            }),
+            Ok(RowChunk {
+                rows: b,
+                labels: vec![],
+                start: 4,
+            }),
+        ];
+        let r = StandardScaler::fit_chunked(|| Ok::<_, MlError>(chunks.clone().into_iter()));
+        assert!(matches!(r, Err(MlError::DimensionMismatch { .. })));
+    }
+}

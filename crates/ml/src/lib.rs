@@ -38,6 +38,7 @@
 
 mod error;
 
+pub mod chunked;
 pub mod kmeans;
 pub mod pca;
 pub mod scaler;

@@ -68,6 +68,21 @@ impl Pca {
         if x.rows() == 0 {
             return Err(MlError::EmptyInput);
         }
+        let mean = stats::column_means(x)?;
+        let cov = stats::covariance(x)?;
+        Self::fit_from_moments(mean, cov, selection)
+    }
+
+    /// Fits PCA from precomputed first/second moments: the column means
+    /// and the sample covariance of the data. This is the shared tail of
+    /// [`Pca::fit`] and the chunked out-of-core fit — eigendecomposition,
+    /// PSD clamping, explained-variance ratios, and component selection
+    /// all happen here, so the two paths cannot drift.
+    pub(crate) fn fit_from_moments(
+        mean: Vec<f64>,
+        cov: Matrix,
+        selection: ComponentSelection,
+    ) -> Result<Self, MlError> {
         match selection {
             ComponentSelection::VarianceFraction(f) if !(f > 0.0 && f <= 1.0) => {
                 return Err(MlError::InvalidParameter {
@@ -83,8 +98,6 @@ impl Pca {
             }
             _ => {}
         }
-        let mean = stats::column_means(x)?;
-        let cov = stats::covariance(x)?;
         let eig = eigen::symmetric_eigen(&cov, 1e-7)?;
         // Covariance is PSD; clamp tiny negative rounding artifacts.
         let eigenvalues: Vec<f64> = eig.eigenvalues.iter().map(|&l| l.max(0.0)).collect();
@@ -118,7 +131,7 @@ impl Pca {
         };
         // Keep the first n_keep columns of the eigenvector matrix,
         // copying row slices rather than indexing element by element.
-        let d = x.cols();
+        let d = cov.rows();
         let mut components = Matrix::zeros(d, n_keep);
         for r in 0..d {
             components

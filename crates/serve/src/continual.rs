@@ -75,6 +75,7 @@ use cnd_obs::ledger::{
     Disposition, DriftProvenance, EntryDraft, Ledger, SampleProvenance, ShadowProvenance,
 };
 use cnd_obs::{DriftMonitor, DriftThresholds, DriftVerdict};
+use cnd_store::{ReservoirBuffer, StoreMeta, StoreWriter};
 
 use crate::server::Server;
 use crate::ServeError;
@@ -100,6 +101,10 @@ struct MirrorInner {
     capacity: usize,
     seen: u64,
     dropped: u64,
+    /// Out-of-core overflow: evicted samples are appended here instead
+    /// of vanishing. `None` when spilling is off or permanently failed.
+    spill: Option<StoreWriter>,
+    spill_errors: u64,
 }
 
 /// Bounded, thread-safe buffer of recently scored traffic.
@@ -124,8 +129,21 @@ impl TrafficMirror {
                 capacity: capacity.max(1),
                 seen: 0,
                 dropped: 0,
+                spill: None,
+                spill_errors: 0,
             })),
         }
+    }
+
+    /// A mirror that appends every sample it would otherwise evict to a
+    /// `.cnds` [`StoreWriter`], so retrospective analysis (or a later
+    /// out-of-core retrain) can still see traffic the bounded queue had
+    /// to shed. Call [`finish_spill`](TrafficMirror::finish_spill) at
+    /// shutdown to seal the store.
+    pub fn with_spill(capacity: usize, writer: StoreWriter) -> Self {
+        let mirror = TrafficMirror::new(capacity);
+        mirror.inner.lock().unwrap_or_else(|e| e.into_inner()).spill = Some(writer);
+        mirror
     }
 
     /// Pushes one scored flow, evicting the oldest beyond capacity.
@@ -133,10 +151,33 @@ impl TrafficMirror {
         let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         g.seen += 1;
         if g.queue.len() >= g.capacity {
-            g.queue.pop_front();
+            let evicted = g.queue.pop_front();
             g.dropped += 1;
+            if let (Some(spill), Some(victim)) = (g.spill.as_mut(), evicted) {
+                if spill.push_row(&victim.features, None).is_err() {
+                    // One failed append means the file is suspect; stop
+                    // spilling rather than risk blocking the hot path
+                    // on a sick disk. The counter records the outage.
+                    g.spill = None;
+                    g.spill_errors += 1;
+                    cnd_obs::counter_add_volatile("store.spill.errors.count", 1);
+                }
+            }
         }
         g.queue.push_back(sample);
+    }
+
+    /// Finalizes the spill store, returning its metadata (`None` when
+    /// no spill was configured or it already failed). After this the
+    /// mirror keeps serving but evictions are no longer preserved.
+    pub fn finish_spill(&self) -> Option<StoreMeta> {
+        let writer = self
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .spill
+            .take()?;
+        writer.finalize().ok()
     }
 
     /// Takes every buffered sample, oldest first.
@@ -258,6 +299,12 @@ pub struct ContinualConfig {
     /// samples (`max_attempts` is not used by the loop — it retries
     /// indefinitely with capped backoff).
     pub retry: RetryPolicy,
+    /// Seed for the bounded training-memory reservoir. The replay
+    /// buffer holds a seeded Algorithm-R uniform sample of the traffic
+    /// accepted since the last swap (capacity `max_train_samples`)
+    /// instead of just the most recent window, so long drift episodes
+    /// do not silently forget their early flows.
+    pub reservoir_seed: u64,
 }
 
 impl Default for ContinualConfig {
@@ -274,6 +321,7 @@ impl Default for ContinualConfig {
             probation_max_alert_rate: 0.5,
             probation_max_errors: 10,
             retry: RetryPolicy::default(),
+            reservoir_seed: 42,
         }
     }
 }
@@ -615,7 +663,7 @@ pub struct ContinualController {
     drift: DriftMonitor,
     window_count: usize,
     drift_pending: bool,
-    buffer: VecDeque<Vec<f64>>,
+    buffer: ReservoirBuffer<Vec<f64>>,
     state: State,
     injector: Option<Box<dyn FaultInjector + Send>>,
     attempts: u64,
@@ -664,6 +712,7 @@ impl ContinualController {
             cnd_obs::counter_add_volatile(name, 0);
         }
         let drift = DriftMonitor::new(cfg.drift_thresholds);
+        let buffer = ReservoirBuffer::new(cfg.max_train_samples, cfg.reservoir_seed);
         Ok(ContinualController {
             cfg,
             model,
@@ -678,7 +727,7 @@ impl ContinualController {
             drift,
             window_count: 0,
             drift_pending: false,
-            buffer: VecDeque::new(),
+            buffer,
             state: State::Stable,
             injector: None,
             attempts: 0,
@@ -936,10 +985,10 @@ impl ContinualController {
     }
 
     fn buffer_sample(&mut self, features: Vec<f64>) {
-        if self.buffer.len() >= self.cfg.max_train_samples {
-            self.buffer.pop_front();
-        }
-        self.buffer.push_back(features);
+        // Algorithm-R replay memory: bounded at `max_train_samples`, a
+        // uniform (seeded, deterministic) sample of everything accepted
+        // since the last clear rather than a most-recent window.
+        self.buffer.offer(features);
     }
 
     fn ingest_stable(&mut self, events: &mut Vec<ContinualEvent>) {
@@ -998,10 +1047,20 @@ impl ContinualController {
             Some(inj) => (inj.training_fault(attempt), inj.artifact_fault(attempt)),
             None => (None, None),
         };
-        let rows: Vec<Vec<f64>> = self.buffer.iter().cloned().collect();
+        let rows: Vec<Vec<f64>> = self.buffer.items().to_vec();
         let shadow_rows = rows.clone();
         let mut model = self.model.clone();
         let cycle = self.cycle;
+        // Breadcrumb BEFORE the spawn: the trainer may die (or be
+        // fault-injected to panic) before step() drains this attempt's
+        // events into the flight ring, and a crash dump must still
+        // attribute the in-flight work to its cycle.
+        cnd_obs::flight::record(
+            "continual",
+            "retrain_spawning",
+            Some(cycle),
+            &format!("attempt {attempt}, {} samples", rows.len()),
+        );
         let spawned = std::thread::Builder::new()
             .name("cnd-continual-train".into())
             .spawn(move || -> TrainOutcome {
@@ -1475,6 +1534,32 @@ mod tests {
         assert_eq!(drained[2].features[0], 4.0);
         assert!(m.is_empty());
         assert_eq!(m.dropped(), 2);
+    }
+
+    #[test]
+    fn mirror_spills_evictions_to_store() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("cnd_serve_spill_{}.cnds", std::process::id()));
+        let writer = StoreWriter::create(&path, 1, cnd_store::DType::F64, false).unwrap();
+        let m = TrafficMirror::with_spill(3, writer);
+        for i in 0..10 {
+            m.push(MirrorSample {
+                features: vec![i as f64],
+                score: 0.0,
+                model_version: 1,
+            });
+        }
+        let meta = m.finish_spill().expect("spill store finalizes");
+        assert_eq!(meta.count, m.dropped(), "every eviction is preserved");
+        let store = cnd_store::FlowStore::open(&path).unwrap();
+        let rows = store.read_rows(0, meta.count as usize).unwrap();
+        // Evictions happen oldest-first: samples 0..7 spill in order.
+        for (i, row) in rows.rows.iter_rows().enumerate() {
+            assert_eq!(row[0], i as f64);
+        }
+        // A second finish is a clean no-op.
+        assert!(m.finish_spill().is_none());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

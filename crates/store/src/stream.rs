@@ -1,0 +1,326 @@
+//! Streaming column statistics, bit-compatible with the in-memory kernels.
+//!
+//! The workspace's determinism contract says f64 results never depend on
+//! how work is chunked. These accumulators extend that contract across
+//! the out-of-core boundary by replicating the *exact* floating-point
+//! association order of the in-memory implementations:
+//!
+//! * [`ColumnSums`] reproduces `Matrix::col_sums`: rows accumulate
+//!   serially into fixed 512-row blocks (the kernel's `COL_SUM_CHUNK`)
+//!   whose partials combine through [`cnd_parallel::tree_reduce`] — the
+//!   same ordered pairwise tree the in-memory reduction uses, with a
+//!   shape fixed by the row count alone. Feed rows in store order with
+//!   *any* chunk size and the sums (hence means) are bitwise equal to
+//!   `cnd_linalg::stats::column_means` in deterministic mode.
+//! * [`ColumnSquaredDeviations`] reproduces the purely sequential
+//!   row-order pass of `stats::column_variances` (`d = v - m; acc += d*d`
+//!   then one division per column), which has no chunking at all, so any
+//!   split of the stream is trivially bit-identical.
+//! * [`CovarianceAccumulator`] reproduces `stats::covariance`: the GEMM
+//!   there is proptested bitwise-equal to the naive ascending-`k`
+//!   accumulation `out[i][j] += centered[k][i] * centered[k][j]`, which
+//!   is exactly a row-order rank-1 update — so accumulating one centered
+//!   row at a time, then scaling by `1/denom`, lands on the same bits.
+//!
+//! Variance and covariance need the means first, so chunked fits built
+//! on these are two-pass by construction (`ISSUE`: "two-pass streaming
+//! mean/variance", "chunked covariance accumulation").
+
+use cnd_linalg::Matrix;
+
+/// Fixed accumulation-block height; must track `COL_SUM_CHUNK` in
+/// `cnd-linalg::matrix` (asserted against the kernel by tests).
+const BLOCK_ROWS: usize = 512;
+
+/// Streaming replica of `Matrix::col_sums` (and therefore of
+/// `stats::column_means`). See the module docs for the bit-identity
+/// argument.
+#[derive(Debug, Clone)]
+pub struct ColumnSums {
+    partials: Vec<Vec<f64>>,
+    current: Vec<f64>,
+    rows_in_current: usize,
+    rows: u64,
+}
+
+impl ColumnSums {
+    /// New accumulator for `dim`-wide rows.
+    pub fn new(dim: usize) -> Self {
+        ColumnSums {
+            partials: Vec::new(),
+            current: vec![0.0; dim],
+            rows_in_current: 0,
+            rows: 0,
+        }
+    }
+
+    /// Feeds one row (must match the accumulator width).
+    pub fn push_row(&mut self, row: &[f64]) {
+        debug_assert_eq!(row.len(), self.current.len());
+        for (o, &v) in self.current.iter_mut().zip(row) {
+            *o += v;
+        }
+        self.rows += 1;
+        self.rows_in_current += 1;
+        if self.rows_in_current == BLOCK_ROWS {
+            let dim = self.current.len();
+            self.partials
+                .push(std::mem::replace(&mut self.current, vec![0.0; dim]));
+            self.rows_in_current = 0;
+        }
+    }
+
+    /// Feeds every row of a matrix, in order.
+    pub fn push_matrix(&mut self, x: &Matrix) {
+        for row in x.iter_rows() {
+            self.push_row(row);
+        }
+    }
+
+    /// Rows fed so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Column sums, combined in the kernel's tree order.
+    pub fn finish(mut self) -> Vec<f64> {
+        if self.rows_in_current > 0 || self.partials.is_empty() {
+            self.partials.push(self.current);
+        }
+        cnd_parallel::tree_reduce(self.partials, |mut acc, part| {
+            for (a, b) in acc.iter_mut().zip(&part) {
+                *a += b;
+            }
+            acc
+        })
+        .expect("at least one partial pushed above")
+    }
+
+    /// Column means (`sum / rows`), matching `stats::column_means`.
+    ///
+    /// Returns `None` when no rows were fed.
+    pub fn finish_means(self) -> Option<Vec<f64>> {
+        if self.rows == 0 {
+            return None;
+        }
+        let n = self.rows as f64;
+        Some(self.finish().into_iter().map(|s| s / n).collect())
+    }
+}
+
+/// Streaming replica of the squared-deviation pass of
+/// `stats::column_variances` (second pass; needs the means up front).
+#[derive(Debug, Clone)]
+pub struct ColumnSquaredDeviations {
+    means: Vec<f64>,
+    acc: Vec<f64>,
+    rows: u64,
+}
+
+impl ColumnSquaredDeviations {
+    /// New accumulator around known column means.
+    pub fn new(means: Vec<f64>) -> Self {
+        let dim = means.len();
+        ColumnSquaredDeviations {
+            means,
+            acc: vec![0.0; dim],
+            rows: 0,
+        }
+    }
+
+    /// Feeds one row, in stream order.
+    pub fn push_row(&mut self, row: &[f64]) {
+        debug_assert_eq!(row.len(), self.acc.len());
+        for ((a, &v), &m) in self.acc.iter_mut().zip(row).zip(&self.means) {
+            let d = v - m;
+            *a += d * d;
+        }
+        self.rows += 1;
+    }
+
+    /// Feeds every row of a matrix, in order.
+    pub fn push_matrix(&mut self, x: &Matrix) {
+        for row in x.iter_rows() {
+            self.push_row(row);
+        }
+    }
+
+    /// Rows fed so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Population variances (`acc / n`), matching
+    /// `stats::column_variances`. `None` when no rows were fed.
+    pub fn finish_variances(mut self) -> Option<Vec<f64>> {
+        if self.rows == 0 {
+            return None;
+        }
+        let n = self.rows as f64;
+        for a in &mut self.acc {
+            *a /= n;
+        }
+        Some(self.acc)
+    }
+}
+
+/// Streaming replica of `stats::covariance` (second pass; needs the
+/// means up front). Accumulates the centered Gram matrix one rank-1
+/// row update at a time — the same per-element ascending-row
+/// accumulation order as the in-memory GEMM.
+#[derive(Debug, Clone)]
+pub struct CovarianceAccumulator {
+    means: Vec<f64>,
+    acc: Vec<f64>,
+    centered: Vec<f64>,
+    rows: u64,
+}
+
+impl CovarianceAccumulator {
+    /// New accumulator around known column means.
+    pub fn new(means: Vec<f64>) -> Self {
+        let dim = means.len();
+        CovarianceAccumulator {
+            means,
+            acc: vec![0.0; dim * dim],
+            centered: vec![0.0; dim],
+            rows: 0,
+        }
+    }
+
+    /// Feeds one row, in stream order.
+    pub fn push_row(&mut self, row: &[f64]) {
+        let dim = self.means.len();
+        debug_assert_eq!(row.len(), dim);
+        for ((c, &v), &m) in self.centered.iter_mut().zip(row).zip(&self.means) {
+            *c = v - m;
+        }
+        for i in 0..dim {
+            let ci = self.centered[i];
+            let out = &mut self.acc[i * dim..(i + 1) * dim];
+            for (o, &cj) in out.iter_mut().zip(&self.centered) {
+                *o += ci * cj;
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Feeds every row of a matrix, in order.
+    pub fn push_matrix(&mut self, x: &Matrix) {
+        for row in x.iter_rows() {
+            self.push_row(row);
+        }
+    }
+
+    /// Rows fed so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Sample covariance (`/ (n-1)`, `/ 1` when `n == 1`), matching
+    /// `stats::covariance`. `None` when no rows were fed.
+    pub fn finish(self) -> Option<Matrix> {
+        if self.rows == 0 {
+            return None;
+        }
+        let denom = if self.rows > 1 {
+            (self.rows - 1) as f64
+        } else {
+            1.0
+        };
+        let dim = self.means.len();
+        let cov = Matrix::from_vec(dim, dim, self.acc).expect("dim*dim accumulator");
+        Some(cov.scale(1.0 / denom))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnd_linalg::stats;
+
+    fn demo(rows: usize, cols: usize) -> Matrix {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i as f64) * 0.7).sin() * 100.0 + (i % 13) as f64)
+            .collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Feeds `x` through an accumulator in `chunk` pieces.
+    fn feed<F: FnMut(&[f64])>(x: &Matrix, chunk: usize, mut push: F) {
+        let mut i = 0;
+        while i < x.rows() {
+            let end = (i + chunk).min(x.rows());
+            for r in i..end {
+                push(x.row(r));
+            }
+            i = end;
+        }
+    }
+
+    #[test]
+    fn means_bitwise_match_any_chunking() {
+        // Straddles the 512-row block boundary on purpose.
+        for rows in [1usize, 17, 511, 512, 513, 1024, 1500] {
+            let x = demo(rows, 6);
+            let oracle = stats::column_means(&x).unwrap();
+            for chunk in [1usize, 3, 256, 511, 512, 513, 4096] {
+                let mut acc = ColumnSums::new(6);
+                feed(&x, chunk, |r| acc.push_row(r));
+                let means = acc.finish_means().unwrap();
+                assert_eq!(
+                    bits(&means),
+                    bits(&oracle),
+                    "rows={rows} chunk={chunk}: streaming means drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variances_bitwise_match_any_chunking() {
+        for rows in [2usize, 513, 1024] {
+            let x = demo(rows, 5);
+            let oracle = stats::column_variances(&x).unwrap();
+            let means = stats::column_means(&x).unwrap();
+            for chunk in [1usize, 7, 512, 1000] {
+                let mut acc = ColumnSquaredDeviations::new(means.clone());
+                feed(&x, chunk, |r| acc.push_row(r));
+                let vars = acc.finish_variances().unwrap();
+                assert_eq!(bits(&vars), bits(&oracle), "rows={rows} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_bitwise_matches_gemm_path() {
+        for rows in [1usize, 2, 64, 513] {
+            let x = demo(rows, 7);
+            let oracle = stats::covariance(&x).unwrap();
+            let means = stats::column_means(&x).unwrap();
+            for chunk in [1usize, 5, 512] {
+                let mut acc = CovarianceAccumulator::new(means.clone());
+                feed(&x, chunk, |r| acc.push_row(r));
+                let cov = acc.finish().unwrap();
+                assert_eq!(
+                    bits(cov.as_slice()),
+                    bits(oracle.as_slice()),
+                    "rows={rows} chunk={chunk}: streaming covariance drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_accumulators_return_none() {
+        assert!(ColumnSums::new(3).finish_means().is_none());
+        assert!(ColumnSquaredDeviations::new(vec![0.0; 3])
+            .finish_variances()
+            .is_none());
+        assert!(CovarianceAccumulator::new(vec![0.0; 3]).finish().is_none());
+    }
+}

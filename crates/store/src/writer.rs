@@ -1,0 +1,173 @@
+//! Atomic, append-only `.cnds` writer.
+
+use crate::format::{Crc32, COUNT_OFFSET};
+use crate::{DType, StoreError, StoreMeta};
+use cnd_linalg::Matrix;
+use std::ffi::OsString;
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Streaming writer for the `.cnds` flow-record format.
+///
+/// Rows are appended one at a time (or a [`Matrix`] at a time) without
+/// knowing the final count up front; [`finalize`](StoreWriter::finalize)
+/// writes the CRC footer, patches the header row count in place, syncs,
+/// and atomically renames the temporary file over the target path — the
+/// same tmp+rename discipline as `DeployedScorer::save_to_path`, so a
+/// crashed or abandoned write never leaves a half-store where a reader
+/// could find it. Dropping an unfinalized writer deletes the tmp file.
+#[derive(Debug)]
+pub struct StoreWriter {
+    out: Option<BufWriter<File>>,
+    tmp_path: PathBuf,
+    final_path: PathBuf,
+    meta: StoreMeta,
+    crc: Crc32,
+    row_buf: Vec<u8>,
+}
+
+impl StoreWriter {
+    /// Opens a writer targeting `path` for `dim`-wide rows.
+    ///
+    /// `labelled` stores carry a `u16` class id per row; every
+    /// subsequent [`push_row`](StoreWriter::push_row) must agree.
+    pub fn create(
+        path: impl AsRef<Path>,
+        dim: usize,
+        dtype: DType,
+        labelled: bool,
+    ) -> Result<Self, StoreError> {
+        if dim == 0 || dim > crate::MAX_DIM {
+            return Err(StoreError::Usage(format!(
+                "store dimension {dim} outside 1..={}",
+                crate::MAX_DIM
+            )));
+        }
+        let final_path = path.as_ref().to_path_buf();
+        let mut tmp: OsString = final_path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp_path = PathBuf::from(tmp);
+        let meta = StoreMeta {
+            dim,
+            count: 0,
+            dtype,
+            labelled,
+        };
+        let mut out = BufWriter::new(File::create(&tmp_path)?);
+        if let Err(e) = out.write_all(&meta.encode_header()) {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e.into());
+        }
+        Ok(StoreWriter {
+            out: Some(out),
+            tmp_path,
+            final_path,
+            meta,
+            crc: Crc32::new(),
+            row_buf: Vec::with_capacity(meta.stride()),
+        })
+    }
+
+    /// Shape of the store being written (count reflects rows so far).
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// Appends one row. `label` must be `Some` exactly when the store
+    /// was created labelled.
+    pub fn push_row(&mut self, features: &[f64], label: Option<u16>) -> Result<(), StoreError> {
+        if features.len() != self.meta.dim {
+            return Err(StoreError::Usage(format!(
+                "row width {} != store dimension {}",
+                features.len(),
+                self.meta.dim
+            )));
+        }
+        if label.is_some() != self.meta.labelled {
+            return Err(StoreError::Usage(if self.meta.labelled {
+                "labelled store requires a label per row".into()
+            } else {
+                "unlabelled store cannot take labels".into()
+            }));
+        }
+        self.row_buf.clear();
+        match self.meta.dtype {
+            DType::F64 => {
+                for &v in features {
+                    self.row_buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            DType::F32 => {
+                for &v in features {
+                    self.row_buf.extend_from_slice(&(v as f32).to_le_bytes());
+                }
+            }
+        }
+        if let Some(l) = label {
+            self.row_buf.extend_from_slice(&l.to_le_bytes());
+        }
+        self.crc.update(&self.row_buf);
+        let out = self
+            .out
+            .as_mut()
+            .expect("writer used after finalize (impossible: finalize consumes self)");
+        out.write_all(&self.row_buf)?;
+        self.meta.count += 1;
+        Ok(())
+    }
+
+    /// Appends every row of `x`; `labels` must be empty (unlabelled
+    /// store) or exactly `x.rows()` long.
+    pub fn push_matrix(&mut self, x: &Matrix, labels: &[u16]) -> Result<(), StoreError> {
+        if !labels.is_empty() && labels.len() != x.rows() {
+            return Err(StoreError::Usage(format!(
+                "{} labels for {} rows",
+                labels.len(),
+                x.rows()
+            )));
+        }
+        for (i, row) in x.iter_rows().enumerate() {
+            self.push_row(row, labels.get(i).copied())?;
+        }
+        Ok(())
+    }
+
+    /// Writes the footer, patches the header count, syncs, and renames
+    /// the tmp file into place. Returns the final store shape.
+    pub fn finalize(mut self) -> Result<StoreMeta, StoreError> {
+        let mut out = self.out.take().expect("finalize called once");
+        let result = (|| -> Result<(), StoreError> {
+            out.write_all(&self.meta.encode_footer(self.crc.finish()))?;
+            out.flush()?;
+            let file = out.get_mut();
+            file.seek(SeekFrom::Start(COUNT_OFFSET))?;
+            file.write_all(&self.meta.count.to_le_bytes())?;
+            file.sync_all()?;
+            Ok(())
+        })();
+        if let Err(e) = result {
+            let _ = std::fs::remove_file(&self.tmp_path);
+            return Err(e);
+        }
+        drop(out);
+        if let Err(e) = std::fs::rename(&self.tmp_path, &self.final_path) {
+            let _ = std::fs::remove_file(&self.tmp_path);
+            return Err(e.into());
+        }
+        let stride = self.meta.stride() as u64;
+        cnd_obs::counter_add("store.rows.written.count", self.meta.count);
+        cnd_obs::counter_add("store.bytes.written.count", self.meta.count * stride);
+        Ok(self.meta)
+    }
+}
+
+impl Drop for StoreWriter {
+    fn drop(&mut self) {
+        // `finalize` takes `self.out`; if it is still present the write
+        // was abandoned and the tmp file must not survive.
+        if self.out.take().is_some() {
+            let _ = std::fs::remove_file(&self.tmp_path);
+        }
+    }
+}

@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             min_batch: 300,
             drift_window: 150,
             drift_threshold: 2.0,
+            reservoir_seed: 42,
         },
     );
 

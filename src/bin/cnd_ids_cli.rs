@@ -4,13 +4,23 @@
 //!
 //! * `generate <profile> <out.csv> [--seed N] [--samples N]` — write a
 //!   synthetic dataset replica to CSV (features..., label).
+//! * `ingest <data.csv> <out.cnds> [--header] [--f32]` — convert a
+//!   (possibly huge) CSV capture into the chunked binary `.cnds` flow
+//!   store, streaming row by row; malformed rows are quarantined with
+//!   line numbers and reasons (sidecar `<out>.quarantine`) rather than
+//!   aborting the run.
 //! * `run <data.csv> [--experiences M] [--seed N] [--paper]` — run the
 //!   full continual protocol on a labelled CSV and print the result
 //!   matrix and CL metrics.
-//! * `train <data.csv> <model.txt> [--experiences M] [--seed N]` — train
-//!   on the whole stream and persist a frozen scorer.
-//! * `score <model.txt> <data.csv> [--quantile Q]` — score a CSV with a
-//!   deployed model; prints one score (and alert flag) per line.
+//! * `train <data.csv|data.cnds> <model.txt> [--experiences M] [--seed N]`
+//!   — train on the whole stream and persist a frozen scorer. With a
+//!   `.cnds` store the training is out-of-core: rows stream through
+//!   seeded reservoirs (`--clean-cap`, `--train-cap`, `--chunk-rows`)
+//!   and only the sample is ever materialized.
+//! * `score <model.txt> <data.csv|data.cnds> [--quantile Q]` — score a
+//!   capture with a deployed model; prints one score (and alert flag)
+//!   per line. A `.cnds` store is scored chunk-at-a-time with output
+//!   byte-identical to the CSV path (`--chunk-rows` tunes the slab).
 //! * `stream <data.csv> [--experiences M] [--seed N] [--chunk N]
 //!   [--fault-rate R] [--health]` — drive the fault-tolerant streaming
 //!   pipeline over the stream (optionally with seeded input corruption)
@@ -32,7 +42,9 @@
 //!   shadow-validated against a held-out split, validated ones are
 //!   canary-swapped in, and post-swap degradation rolls back to the
 //!   last-known-good model (`--drift-window`, `--min-retrain`,
-//!   `--probation` tune the loop).
+//!   `--probation` tune the loop). `--data` also accepts a `.cnds`
+//!   store for an out-of-core bootstrap, and `--mirror-spill <out.cnds>`
+//!   persists mirror-evicted flows to a store instead of dropping them.
 //! * `loadgen <addr> [--flows N] [--concurrency C] [--rate R] [--seed N]
 //!   [--reload-midway] [--tag T] [--out BENCH_serve.json] [--append]` —
 //!   drive open-loop load against a running server and write a
@@ -128,11 +140,12 @@ fn finish_observability(
 const USAGE: &str = "usage:
   cnd-ids-cli profiles
   cnd-ids-cli generate <profile> <out.csv> [--seed N] [--samples N]
+  cnd-ids-cli ingest <data.csv> <out.cnds> [--header] [--f32]
   cnd-ids-cli run <data.csv> [--experiences M] [--seed N] [--paper]
-  cnd-ids-cli train <data.csv> <model.txt> [--experiences M] [--seed N]
-  cnd-ids-cli score <model.txt> <data.csv> [--quantile Q]
+  cnd-ids-cli train <data.csv|data.cnds> <model.txt> [--experiences M] [--seed N] [--clean-cap N] [--train-cap N] [--chunk-rows N]
+  cnd-ids-cli score <model.txt> <data.csv|data.cnds> [--quantile Q] [--chunk-rows N]
   cnd-ids-cli stream <data.csv> [--experiences M] [--seed N] [--chunk N] [--fault-rate R] [--health]
-  cnd-ids-cli serve <model.txt> [--addr 127.0.0.1:7071] [--max-batch N] [--max-delay-us U] [--queue-cap N] [--threshold T] [--quantile Q] [--calibrate N] [--watch] [--watch-interval-ms MS] [--score-f32] [--no-telemetry] [--runtime-s S] [--continual --data <labelled.csv> [--experiences M] [--seed N] [--drift-window N] [--min-retrain N] [--probation N] [--ledger <path>] [--flight-dump <path>]]
+  cnd-ids-cli serve <model.txt> [--addr 127.0.0.1:7071] [--max-batch N] [--max-delay-us U] [--queue-cap N] [--threshold T] [--quantile Q] [--calibrate N] [--watch] [--watch-interval-ms MS] [--score-f32] [--no-telemetry] [--runtime-s S] [--continual --data <labelled.csv|.cnds> [--experiences M] [--seed N] [--drift-window N] [--min-retrain N] [--probation N] [--ledger <path>] [--flight-dump <path>] [--mirror-spill <out.cnds>]]
   cnd-ids-cli loadgen <addr> [--flows N] [--concurrency C] [--rate R] [--seed N] [--reload-midway] [--tag T] [--out <path>] [--append]
   cnd-ids-cli observe <trace.jsonl> [--top [N]] [--latency] [--timeline]
   cnd-ids-cli bench-check <current> [--baseline <path>] [--update] [--tolerance T]
@@ -184,6 +197,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         Some("generate") => done(cmd_generate(rest)),
+        Some("ingest") => done(cmd_ingest(rest)),
         Some("run") => done(cmd_run(rest)),
         Some("train") => done(cmd_train(rest)),
         Some("score") => done(cmd_score(rest)),
@@ -267,9 +281,90 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Converts a CSV capture into the chunked binary `.cnds` flow store
+/// the out-of-core train/score paths consume.
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    let csv = args.first().ok_or("ingest: missing <data.csv>")?;
+    let out = args.get(1).ok_or("ingest: missing <out.cnds>")?;
+    let options = cnd_datasets::IngestOptions {
+        // The CLI's CSV convention is headerless (matching `generate`,
+        // `train`, and `score`); `--header` opts in to skipping line 1.
+        // The safe failure mode is preserved either way: an unskipped
+        // header is quarantined loudly, never silently dropped.
+        has_header: args.iter().any(|a| a == "--header"),
+        dtype: if args.iter().any(|a| a == "--f32") {
+            cnd_store::DType::F32
+        } else {
+            cnd_store::DType::F64
+        },
+    };
+    let report =
+        cnd_datasets::ingest_csv_to_store(csv, out, &options).map_err(|e| e.to_string())?;
+    eprintln!(
+        "ingested {} rows x {} features ({} classes, {:?}) into {out}",
+        report.rows_written,
+        report.meta.dim,
+        report.class_names.len(),
+        report.meta.dtype,
+    );
+    if report.rows_quarantined > 0 {
+        eprintln!(
+            "quarantined {} malformed rows — see {}",
+            report.rows_quarantined,
+            report
+                .sidecar
+                .as_ref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default()
+        );
+        for q in &report.quarantined {
+            eprintln!("  line {}: {}", q.line, q.reason);
+        }
+        if report.rows_quarantined as usize > report.quarantined.len() {
+            eprintln!(
+                "  ... and {} more (full list in the sidecar)",
+                report.rows_quarantined as usize - report.quarantined.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `true` when a data path names a `.cnds` flow store rather than a CSV.
+fn is_store_path(path: &str) -> bool {
+    std::path::Path::new(path)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("cnds"))
+}
+
+/// Out-of-core `train`: stream the store through seeded reservoirs and
+/// run one experience on the sample (see `cnd_core::outofcore`).
+fn cmd_train_from_store(path: &str, model_out: &str, args: &[String]) -> Result<(), String> {
+    use cnd_core::outofcore::{train_from_store, OutOfCoreTrainConfig};
+
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let store = cnd_store::FlowStore::open(path).map_err(|e| e.to_string())?;
+    let mut cfg = OutOfCoreTrainConfig::new(CndIdsConfig::fast(seed));
+    cfg.seed = seed;
+    cfg.clean_capacity = parse_flag(args, "--clean-cap", cfg.clean_capacity)?;
+    cfg.train_capacity = parse_flag(args, "--train-cap", cfg.train_capacity)?;
+    cfg.chunk_rows = parse_flag(args, "--chunk-rows", cfg.chunk_rows)?;
+    let report = train_from_store(&store, &cfg).map_err(|e| e.to_string())?;
+    let scorer = report.model.freeze().map_err(|e| e.to_string())?;
+    scorer.save_to_path(model_out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "streamed {} rows ({} clean candidates); trained on {} sampled rows (N_c {}); scorer written to {model_out}",
+        report.rows_streamed, report.clean_candidates, report.train_sampled, report.clean_sampled
+    );
+    Ok(())
+}
+
 fn cmd_train(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("train: missing <data.csv>")?;
+    let path = args.first().ok_or("train: missing <data.csv|data.cnds>")?;
     let model_out = args.get(1).ok_or("train: missing <model.txt>")?;
+    if is_store_path(path) {
+        return cmd_train_from_store(path, model_out, args);
+    }
     let (_, split, seed) = load_and_split(path, args)?;
     let mut model =
         CndIds::new(CndIdsConfig::fast(seed), &split.clean_normal).map_err(|e| e.to_string())?;
@@ -334,13 +429,57 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
 /// server will serve and the loop will re-write on every swap), and
 /// build the held-out validation set the shadow gate scores candidates
 /// against.
+/// `--continual --data <store.cnds>`: bootstrap out-of-core. The model
+/// trains from reservoir samples streamed off the store, and the
+/// store's trailing rows (with their labels) become the shadow
+/// validation set — nothing larger than a chunk plus the reservoirs is
+/// ever resident.
+fn continual_bootstrap_from_store(
+    model_path: &str,
+    data_path: &str,
+    args: &[String],
+) -> Result<(CndIds, cnd_serve::ValidationSet), String> {
+    use cnd_core::outofcore::{train_from_store, OutOfCoreTrainConfig};
+
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let store = cnd_store::FlowStore::open(data_path).map_err(|e| e.to_string())?;
+    if !store.meta().labelled {
+        return Err(format!(
+            "serve --continual with {data_path} needs a labelled store (shadow validation requires labels; re-ingest the CSV with its label column)"
+        ));
+    }
+    let mut cfg = OutOfCoreTrainConfig::new(CndIdsConfig::fast(seed));
+    cfg.seed = seed;
+    cfg.chunk_rows = parse_flag(args, "--chunk-rows", cfg.chunk_rows)?;
+    let report = train_from_store(&store, &cfg).map_err(|e| e.to_string())?;
+    let val_len = (store.len() as usize).min(2048);
+    let chunk = store
+        .read_rows(store.len() as usize - val_len, val_len)
+        .map_err(|e| e.to_string())?;
+    let val_y: Vec<u8> = chunk.labels.iter().map(|&l| u8::from(l != 0)).collect();
+    let val = cnd_serve::ValidationSet::new(chunk.rows, val_y).map_err(|e| e.to_string())?;
+    let scorer = report.model.freeze().map_err(|e| e.to_string())?;
+    scorer.save_to_path(model_path).map_err(|e| e.to_string())?;
+    eprintln!(
+        "continual bootstrap (out-of-core): streamed {} rows from {data_path}, trained on {} sampled rows (N_c {}), {} validation rows; artifact written to {model_path}",
+        report.rows_streamed,
+        report.train_sampled,
+        report.clean_sampled,
+        val.len()
+    );
+    Ok((report.model, val))
+}
+
 fn continual_bootstrap(
     model_path: &str,
     args: &[String],
 ) -> Result<(CndIds, cnd_serve::ValidationSet), String> {
     let data_path: String = parse_flag(args, "--data", String::new())?;
     if data_path.is_empty() {
-        return Err("serve --continual requires --data <labelled.csv> (bootstrap + shadow validation come from it)".into());
+        return Err("serve --continual requires --data <labelled.csv|.cnds> (bootstrap + shadow validation come from it)".into());
+    }
+    if is_store_path(&data_path) {
+        return continual_bootstrap_from_store(model_path, &data_path, args);
     }
     let (_, split, seed) = load_and_split(&data_path, args)?;
     let mut model =
@@ -386,7 +525,26 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     } else {
         None
     };
-    let mirror = continual.then(|| TrafficMirror::new(8192));
+    let mirror = match &bootstrap {
+        Some((model, _)) => {
+            let spill: String = parse_flag(args, "--mirror-spill", String::new())?;
+            Some(if spill.is_empty() {
+                TrafficMirror::new(8192)
+            } else {
+                // Evicted mirror samples spill to a .cnds store instead
+                // of vanishing, so the replay window effectively covers
+                // the whole run for post-hoc analysis or re-training.
+                let dim = model.scaler().mean().len();
+                let writer =
+                    cnd_store::StoreWriter::create(&spill, dim, cnd_store::DType::F64, false)
+                        .map_err(|e| e.to_string())?;
+                eprintln!("mirror evictions spill to {spill}");
+                TrafficMirror::with_spill(8192, writer)
+            })
+        }
+        None => None,
+    };
+    let mirror_handle = mirror.clone();
 
     let cfg = ServeConfig {
         max_batch: parse_flag(args, "--max-batch", 64)?,
@@ -493,6 +651,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         );
     }
     let stats = server.shutdown();
+    if let Some(m) = &mirror_handle {
+        if let Some(meta) = m.finish_spill() {
+            eprintln!(
+                "mirror spill finalized: {} evicted flows persisted",
+                meta.count
+            );
+        }
+    }
     eprintln!(
         "served {} flows in {} batches (accepted {}, shed {}, bad frames {}, reloads {}); final model v{}",
         stats.scored,
@@ -703,18 +869,39 @@ fn cmd_bench_check(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_score(args: &[String]) -> Result<(), String> {
     let model_path = args.first().ok_or("score: missing <model.txt>")?;
-    let data_path = args.get(1).ok_or("score: missing <data.csv>")?;
+    let data_path = args.get(1).ok_or("score: missing <data.csv|data.cnds>")?;
     let quantile: f64 = parse_flag(args, "--quantile", 0.95)?;
     let scorer = DeployedScorer::load_from_path(model_path).map_err(|e| e.to_string())?;
-    let data = loader::read_csv(data_path, false).map_err(|e| e.to_string())?;
-    if data.n_features() != scorer.n_features() {
-        return Err(format!(
-            "model expects {} features but data has {}",
-            scorer.n_features(),
-            data.n_features()
-        ));
-    }
-    let scores = scorer.anomaly_scores(&data.x).map_err(|e| e.to_string())?;
+    let scores = if is_store_path(data_path) {
+        // Out-of-core: stream the store one chunk at a time. Scoring is
+        // row-independent, so the scores (and therefore the printed
+        // output) are byte-identical to the in-memory CSV path.
+        let store = cnd_store::FlowStore::open(data_path).map_err(|e| e.to_string())?;
+        if store.meta().dim != scorer.n_features() {
+            return Err(format!(
+                "model expects {} features but store has {}",
+                scorer.n_features(),
+                store.meta().dim
+            ));
+        }
+        let chunk_rows: usize = parse_flag(args, "--chunk-rows", cnd_store::default_chunk_rows())?;
+        let mut scores = Vec::with_capacity(store.len() as usize);
+        let chunks = store.chunks(chunk_rows).map_err(|e| e.to_string())?;
+        for part in scorer.score_chunks(chunks) {
+            scores.extend(part.map_err(|e| e.to_string())?.scores);
+        }
+        scores
+    } else {
+        let data = loader::read_csv(data_path, false).map_err(|e| e.to_string())?;
+        if data.n_features() != scorer.n_features() {
+            return Err(format!(
+                "model expects {} features but data has {}",
+                scorer.n_features(),
+                data.n_features()
+            ));
+        }
+        scorer.anomaly_scores(&data.x).map_err(|e| e.to_string())?
+    };
     // Calibrate on the lower bulk of the scored data itself (no labels).
     let tau = quantile_threshold(&scores, quantile).map_err(|e| e.to_string())?;
     let alerts = apply_threshold(&scores, tau);

@@ -16,6 +16,7 @@
 //! | [`core`] | `cnd-core` | CFE, `L_CND`, CND-IDS pipeline, ADCN/LwF, runner |
 //! | [`obs`] | `cnd-obs` | spans, metrics registry, JSONL traces, phase reports |
 //! | [`serve`] | `cnd-serve` | online scoring server: micro-batching, hot-swap, admission control |
+//! | [`store`] | `cnd-store` | out-of-core `.cnds` flow store, chunked iterators, reservoir sampling |
 //!
 //! # Quickstart
 //!
@@ -54,3 +55,4 @@ pub use cnd_nn as nn;
 pub use cnd_obs as obs;
 pub use cnd_parallel as parallel;
 pub use cnd_serve as serve;
+pub use cnd_store as store;

@@ -32,6 +32,7 @@ fn pipeline(split: &continual::ContinualSplit, retry: RetryPolicy) -> ResilientS
                 min_batch: 100,
                 drift_window: 50,
                 drift_threshold: 3.0,
+                reservoir_seed: 42,
             },
             guard: GuardConfig::default(),
             retry,

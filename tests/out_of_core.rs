@@ -1,0 +1,167 @@
+//! End-to-end tests of the out-of-core data plane: CSV → `cnd ingest`
+//! equivalent → `.cnds` store → chunked train/score, asserting the
+//! documented f64 bit-identity contract against the in-memory path and
+//! that an oversized stream still trains under bounded sampling.
+
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cnd_ids::core::outofcore::{train_from_store, OutOfCoreTrainConfig};
+use cnd_ids::core::{CndIds, CndIdsConfig};
+use cnd_ids::datasets::{ingest_csv_from, Dataset, DatasetProfile, GeneratorConfig, IngestOptions};
+use cnd_ids::linalg::Matrix;
+use cnd_ids::store::FlowStore;
+use proptest::prelude::*;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_store_path() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cnd_oocore_it_{}_{}.cnds",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A small labelled dataset rendered as CSV text, the way an operator's
+/// export tool would produce it (header + trailing CRLF quirks included
+/// so the test exercises the hardened loader too).
+fn dataset_as_csv(rows: usize) -> (Dataset, String) {
+    let data = DatasetProfile::WustlIiot
+        .generate(&GeneratorConfig::small(97))
+        .expect("generation succeeds");
+    let rows = rows.min(data.len());
+    let mut csv = String::from("\u{feff}");
+    for j in 0..data.n_features() {
+        csv.push_str(&format!("f{j},"));
+    }
+    csv.push_str("label\r\n");
+    for i in 0..rows {
+        for v in data.x.row(i) {
+            csv.push_str(&format!("{v:.9},"));
+        }
+        csv.push_str(&data.class_names[data.class[i]]);
+        csv.push_str("\r\n");
+    }
+    let truncated = Dataset {
+        x: Matrix::from_fn(rows, data.n_features(), |i, j| data.x.row(i)[j]),
+        class: data.class[..rows].to_vec(),
+        class_names: data.class_names.clone(),
+        name: data.name.clone(),
+    };
+    (truncated, csv)
+}
+
+/// Ingests the CSV into a fresh temp store and returns it with the
+/// loader's view of the same text (the in-memory oracle).
+fn ingest_oracle(rows: usize) -> (Dataset, PathBuf) {
+    let (_, csv) = dataset_as_csv(rows);
+    let path = tmp_store_path();
+    let report = ingest_csv_from(Cursor::new(csv.clone()), &path, &IngestOptions::default())
+        .expect("ingest succeeds");
+    assert_eq!(report.rows_quarantined, 0, "synthetic CSV is clean");
+    let oracle = cnd_ids::datasets::loader::read_csv_from(Cursor::new(csv), true, "oracle".into())
+        .expect("oracle load succeeds");
+    assert_eq!(report.rows_written as usize, oracle.len());
+    (oracle, path)
+}
+
+#[test]
+fn store_training_and_scoring_match_in_memory_bitwise() {
+    // 600 rows through 64-row chunks: ~10 chunks per pass, capacities
+    // above the stream size so the reservoirs are identity samples and
+    // the bit-identity contract applies end to end.
+    let (oracle, path) = ingest_oracle(600);
+    let store = FlowStore::open(&path).expect("store opens");
+    assert_eq!(store.len(), 600);
+
+    let mut cfg = OutOfCoreTrainConfig::new(CndIdsConfig::fast(7));
+    cfg.chunk_rows = 64;
+    cfg.clean_capacity = 1_000;
+    cfg.train_capacity = 1_000;
+    let report = train_from_store(&store, &cfg).expect("out-of-core training succeeds");
+    assert_eq!(report.rows_streamed, 600);
+    assert_eq!(report.clean_sampled as usize, oracle.normal_count());
+    assert_eq!(report.train_sampled, 600);
+
+    // In-memory oracle: same N_c (normal rows in stream order), same
+    // training set (every row), same config and seed.
+    let normals: Vec<usize> = oracle.normal_indices().collect();
+    let n_c = oracle.x.select_rows(&normals).expect("selects");
+    let mut in_memory = CndIds::new(CndIdsConfig::fast(7), &n_c).expect("builds");
+    in_memory.train_experience(&oracle.x).expect("trains");
+
+    let streamed_scorer = report.model.freeze().expect("freezes");
+    let oracle_scorer = in_memory.freeze().expect("freezes");
+
+    let expected = oracle_scorer.anomaly_scores(&oracle.x).expect("scores");
+    let mut streamed = Vec::new();
+    let chunks = store.chunks(64).expect("chunk iter");
+    for part in streamed_scorer.score_chunks(chunks) {
+        let part = part.expect("chunk scores");
+        assert_eq!(part.labels.len(), part.scores.len(), "labels ride along");
+        streamed.extend(part.scores);
+    }
+    assert_eq!(streamed.len(), expected.len());
+    for (i, (a, b)) in expected.iter().zip(&streamed).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "score {i} diverged");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn oversized_stream_trains_with_bounded_sample() {
+    // Capacities far below the stream size: the reservoirs bound memory
+    // and training still completes with a usable scorer.
+    let (oracle, path) = ingest_oracle(900);
+    let store = FlowStore::open(&path).expect("store opens");
+
+    let mut cfg = OutOfCoreTrainConfig::new(CndIdsConfig::fast(11));
+    cfg.chunk_rows = 128;
+    cfg.clean_capacity = 60;
+    cfg.train_capacity = 150;
+    let report = train_from_store(&store, &cfg).expect("training succeeds");
+    assert_eq!(report.rows_streamed, 900);
+    assert_eq!(report.clean_sampled, 60);
+    assert_eq!(report.train_sampled, 150);
+    assert!(report.clean_candidates >= 60);
+
+    let scorer = report.model.freeze().expect("freezes");
+    let probe = oracle
+        .x
+        .select_rows(&(0..64).collect::<Vec<_>>())
+        .expect("probe");
+    let scores = scorer.anomaly_scores(&probe).expect("scores");
+    assert!(scores.iter().all(|s| s.is_finite()));
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Adversarial chunk sizes: any chunking of the store produces
+    /// bitwise the same scores as one full-matrix pass.
+    #[test]
+    fn chunk_size_never_changes_scores(chunk_rows in 1usize..190) {
+        let (oracle, path) = ingest_oracle(150);
+        let store = FlowStore::open(&path).expect("store opens");
+
+        let normals: Vec<usize> = oracle.normal_indices().collect();
+        let n_c = oracle.x.select_rows(&normals).expect("selects");
+        let mut model = CndIds::new(CndIdsConfig::fast(3), &n_c).expect("builds");
+        model.train_experience(&oracle.x).expect("trains");
+        let scorer = model.freeze().expect("freezes");
+
+        let expected = scorer.anomaly_scores(&oracle.x).expect("scores");
+        let mut streamed = Vec::new();
+        for part in scorer.score_chunks(store.chunks(chunk_rows).expect("chunk iter")) {
+            streamed.extend(part.expect("chunk scores").scores);
+        }
+        prop_assert_eq!(streamed.len(), expected.len());
+        for (a, b) in expected.iter().zip(&streamed) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
